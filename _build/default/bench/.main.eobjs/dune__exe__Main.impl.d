@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Datagen Engine Float Hashtbl List Measure Optimizer Printf Relalg Staged Storage String Sys Test Time Toolkit Workloads

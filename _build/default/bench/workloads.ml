@@ -1,0 +1,98 @@
+(* Benchmark workloads: the paper's queries on the TPC-H schema.
+
+   Thresholds are scaled to the generator's laptop-scale data (the
+   shapes of the distributions match dbgen; absolute money amounts
+   differ by the scale factor). *)
+
+(* the motivating query of Section 1.1 ("customers who have ordered more
+   than $X"), in its four equivalent formulations (Figure 1's lattice) *)
+let lattice_threshold = 500_000
+
+let q1_subquery =
+  Printf.sprintf
+    "select c_custkey from customer where %d < (select sum(o_totalprice) from orders where o_custkey = c_custkey)"
+    lattice_threshold
+
+let q1_outerjoin_agg =
+  Printf.sprintf
+    "select c_custkey from customer left outer join orders on o_custkey = c_custkey \
+     group by c_custkey having %d < sum(o_totalprice)"
+    lattice_threshold
+
+let q1_join_agg =
+  Printf.sprintf
+    "select c_custkey from customer join orders on o_custkey = c_custkey \
+     group by c_custkey having %d < sum(o_totalprice)"
+    lattice_threshold
+
+let q1_derived =
+  Printf.sprintf
+    "select c_custkey from customer, (select o_custkey, sum(o_totalprice) as total \
+     from orders group by o_custkey) a where o_custkey = c_custkey and %d < total"
+    lattice_threshold
+
+(* TPC-H Query 2 (the paper's Section 5), full form *)
+let q2 =
+  "select s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment \
+   from part, supplier, partsupp, nation, region \
+   where p_partkey = ps_partkey and s_suppkey = ps_suppkey \
+   and p_size = 15 and p_type like '%BRASS' \
+   and s_nationkey = n_nationkey and n_regionkey = r_regionkey and r_name = 'EUROPE' \
+   and ps_supplycost = (select min(ps_supplycost) from partsupp, supplier, nation, region \
+       where p_partkey = ps_partkey and s_suppkey = ps_suppkey \
+       and s_nationkey = n_nationkey and n_regionkey = r_regionkey and r_name = 'EUROPE') \
+   order by s_acctbal desc, n_name, s_name, p_partkey limit 100"
+
+(* TPC-H Query 17 (Sections 3.4 and 5) *)
+let q17 =
+  "select sum(l_extendedprice) / 7.0 as avg_yearly \
+   from lineitem, part \
+   where p_partkey = l_partkey and p_brand = 'Brand#23' and p_container = 'MED BOX' \
+   and l_quantity < (select 0.2 * avg(l_quantity) from lineitem l2 \
+                     where l2.l_partkey = part.p_partkey)"
+
+(* a relaxed Q17 touching every part, to stress segmented execution *)
+let q17_all_parts =
+  "select sum(l_extendedprice) / 7.0 as avg_yearly \
+   from lineitem, part \
+   where p_partkey = l_partkey \
+   and l_quantity < (select 0.5 * avg(l_quantity) from lineitem l2 \
+                     where l2.l_partkey = part.p_partkey)"
+
+(* an aggregation-heavy join for the eager-aggregation ablation:
+   revenue per nation *)
+let revenue_per_nation =
+  "select n_name, sum(l_extendedprice) as revenue, count(*) as lines \
+   from nation, supplier, lineitem \
+   where s_nationkey = n_nationkey and l_suppkey = s_suppkey \
+   group by n_name order by n_name"
+
+(* existential workload: suppliers with a high-stock part *)
+let exists_workload =
+  "select s_name from supplier where exists \
+   (select ps_suppkey from partsupp where ps_suppkey = s_suppkey and ps_availqty > 9000) \
+   order by s_name"
+
+(* a Q18-flavoured workload: large orders found through a correlated
+   HAVING-style subquery *)
+let big_orders =
+  "select o_orderkey, o_totalprice from orders \
+   where o_totalprice > (select 2 * avg(o2.o_totalprice) from orders o2 \
+                         where o2.o_custkey = orders.o_custkey) \
+   order by o_totalprice desc limit 20"
+
+(* a Q22-flavoured anti-join workload: customers without orders whose
+   balance is above their nation's average *)
+let inactive_customers =
+  "select c_custkey from customer \
+   where not exists (select o_orderkey from orders where o_custkey = c_custkey) \
+   and c_acctbal > (select avg(c2.c_acctbal) from customer c2 \
+                    where c2.c_nationkey = customer.c_nationkey) \
+   order by c_custkey"
+
+let all_named =
+  [ ("lattice", q1_subquery); ("q2", q2); ("q17", q17);
+    ("q17-all-parts", q17_all_parts); ("revenue", revenue_per_nation);
+    ("exists", exists_workload); ("big-orders", big_orders);
+    ("inactive", inactive_customers)
+  ]

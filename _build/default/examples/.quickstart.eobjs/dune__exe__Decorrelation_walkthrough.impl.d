@@ -1,0 +1,1 @@
+examples/decorrelation_walkthrough.ml: Array Catalog Datagen Engine Exec List Normalize Printf Relalg Sqlfront Storage

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Catalog Engine Printf Relalg Storage

@@ -1,0 +1,1 @@
+examples/subquery_classes.ml: Catalog Datagen Engine Exec Normalize Printf Relalg Sqlfront Storage

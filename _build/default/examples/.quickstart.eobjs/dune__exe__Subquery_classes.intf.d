@@ -1,0 +1,1 @@
+examples/subquery_classes.mli:

@@ -1,0 +1,1 @@
+examples/syntax_independence.ml: Array Datagen Engine List Optimizer Printf Relalg

@@ -1,0 +1,1 @@
+examples/syntax_independence.mli:

@@ -1,0 +1,1 @@
+examples/tpch_q17_segment.ml: Datagen Engine List Optimizer Printf Relalg Unix

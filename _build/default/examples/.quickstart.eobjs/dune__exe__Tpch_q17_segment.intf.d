@@ -1,0 +1,1 @@
+examples/tpch_q17_segment.mli:

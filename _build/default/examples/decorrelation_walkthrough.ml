@@ -1,0 +1,71 @@
+(* The paper's Figures 2, 3 and 5, live.
+
+   Shows every stage of normalizing the motivating query Q1 ("customers
+   who have ordered more than $1,000,000"), from the binder's
+   mutually-recursive tree to the flattened join, and verifies that all
+   stages compute identical results.
+
+   Run with:  dune exec examples/decorrelation_walkthrough.exe *)
+
+let q1 =
+  "select c_custkey from customer \
+   where 1000000 < (select sum(o_totalprice) from orders where o_custkey = c_custkey)"
+
+let () =
+  Relalg.Col.reset_counter ();
+  let db = Datagen.Tpch_gen.database ~sf:0.01 () in
+  let cat = db.Storage.Database.catalog in
+  let env = Catalog.props_env cat in
+  let b = Sqlfront.Binder.bind_sql cat q1 in
+  let st = Normalize.run (Normalize.default_options env) b.op in
+
+  print_endline "Query (the paper's Q1, Section 1.1):";
+  Printf.printf "  %s\n" q1;
+
+  print_endline "\n--- Stage 1: binder output (Figure 3) ---";
+  print_endline "Scalar and relational operators are mutually recursive: the";
+  print_endline "comparison's right operand is a relational subquery.";
+  print_string (Relalg.Pp.to_string st.bound);
+
+  print_endline "\n--- Stage 2: Apply introduced (Figure 2) ---";
+  print_endline "The subquery is evaluated explicitly by Apply; the scalar side";
+  print_endline "now only references a column.  Still a nested-loops execution,";
+  print_endline "but no recursion between scalar and relational evaluation.";
+  print_string (Relalg.Pp.to_string st.applied);
+
+  print_endline "\n--- Stage 3: Apply removed (Figure 5, identity (9) then (2)) ---";
+  print_endline "The scalar aggregate becomes a vector GroupBy over a left";
+  print_endline "outerjoin: exactly Dayal's outerjoin-then-aggregate strategy.";
+  print_string (Relalg.Pp.to_string st.decorrelated);
+
+  print_endline "\n--- Stage 4: outerjoin simplified ---";
+  print_endline "1000000 < X rejects NULL; the rejection derives through the";
+  print_endline "GroupBy to o_totalprice, so the outerjoin becomes a join.";
+  print_string (Relalg.Pp.to_string st.oj_simplified);
+
+  print_endline "\n--- Stage 5: cleanup and column pruning ---";
+  print_string (Relalg.Pp.to_string st.normalized);
+  Printf.printf "\nsubquery classification: %s\n"
+    (Normalize.Classify.to_string st.subquery_class);
+
+  (* verify all stages agree *)
+  let run op =
+    let ctx = Exec.Executor.make_ctx db in
+    Exec.Executor.run ctx Exec.Executor.empty_lookup op
+    |> List.map (fun r -> Array.map Relalg.Value.to_string r)
+    |> List.sort compare
+  in
+  let r_bound = run st.bound in
+  let r_norm = run st.normalized in
+  Printf.printf "\nAll stages equivalent: %b (%d qualifying customers)\n"
+    (r_bound = r_norm) (List.length r_norm);
+
+  (* and what cost-based optimization picks in the end *)
+  let eng = Engine.create db in
+  let p = Engine.prepare eng q1 in
+  Printf.printf "\n--- Cost-based choice (%d alternatives explored) ---\n" p.explored;
+  print_string (Relalg.Pp.to_string p.plan);
+  print_endline "\nWith few outer rows and an index on o_custkey, the optimizer may";
+  print_endline "re-introduce correlated execution as an index-lookup Apply — the";
+  print_endline "paper's point that correlated execution \"can actually be the best";
+  print_endline "strategy\" when the outer table is small and indices exist."

@@ -1,0 +1,59 @@
+(* Quickstart: build a schema, load rows, run SQL — the five-minute tour
+   of the public API.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. declare a catalog *)
+  let open Relalg.Value in
+  let cat = Catalog.create () in
+  Catalog.add_table cat
+    { name = "books";
+      columns =
+        [ { col_name = "id"; col_ty = TInt };
+          { col_name = "title"; col_ty = TStr };
+          { col_name = "author_id"; col_ty = TInt };
+          { col_name = "price"; col_ty = TFloat }
+        ];
+      primary_key = [ "id" ];
+      indexes = [ [ "author_id" ] ]
+    };
+  Catalog.add_table cat
+    { name = "authors";
+      columns = [ { col_name = "aid"; col_ty = TInt }; { col_name = "name"; col_ty = TStr } ];
+      primary_key = [ "aid" ];
+      indexes = []
+    };
+
+  (* 2. load data *)
+  let db = Storage.Database.create cat in
+  Storage.Table.load
+    (Storage.Database.table db "books")
+    [ [| Int 1; Str "A Relational Model"; Int 1; Float 35.0 |];
+      [| Int 2; Str "The Complete Book"; Int 2; Float 89.0 |];
+      [| Int 3; Str "Access Path Selection"; Int 3; Float 15.0 |];
+      [| Int 4; Str "Of Nests and Trees"; Int 3; Float 25.0 |]
+    ];
+  Storage.Table.load
+    (Storage.Database.table db "authors")
+    [ [| Int 1; Str "Codd" |]; [| Int 2; Str "Garcia-Molina" |]; [| Int 3; Str "Selinger" |] ];
+  Storage.Database.build_declared_indexes db;
+
+  (* 3. query away — subqueries welcome, they will be flattened *)
+  let eng = Engine.create db in
+  let show sql =
+    Printf.printf "\nsql> %s\n%s\n" sql (Engine.format_result (Engine.query eng sql))
+  in
+  show "select title, price from books where price > 20 order by price desc";
+  show
+    "select name from authors where 30 < (select sum(price) from books where author_id = aid)";
+  show
+    "select name, (select count(*) from books where author_id = aid) as n_books \
+     from authors order by name";
+  show "select title from books where author_id in (select aid from authors where name like 'S%')";
+
+  (* 4. look at what the optimizer did *)
+  print_endline "\nEXPLAIN of the correlated-subquery query:";
+  print_endline
+    (Engine.explain eng
+       "select name from authors where 30 < (select sum(price) from books where author_id = aid)")

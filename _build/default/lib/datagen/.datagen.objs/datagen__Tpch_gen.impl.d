@@ -1,0 +1,1 @@
+lib/datagen/tpch_gen.ml: Array Catalog Float List Printf Prng Relalg Storage

@@ -1,0 +1,33 @@
+(* SplitMix64: a small, fast, deterministic PRNG.  Data generation must
+   be reproducible across runs so that tests can assert exact results
+   and benchmark numbers are comparable between configurations. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* uniform int in [0, bound) *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int";
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+(* uniform int in [lo, hi] inclusive *)
+let range t lo hi = lo + int t (hi - lo + 1)
+
+let float t lo hi =
+  let u =
+    Int64.to_float (Int64.shift_right_logical (next_int64 t) 11)
+    /. 9007199254740992.0 (* 2^53 *)
+  in
+  lo +. (u *. (hi -. lo))
+
+let pick t arr = arr.(int t (Array.length arr))

@@ -1,0 +1,17 @@
+(** SplitMix64: a small, fast, deterministic PRNG.  Data generation must
+    be reproducible so tests can assert exact results and benchmark
+    numbers are comparable between configurations. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+(** Uniform in [0, bound).  @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform in [lo, hi], inclusive. *)
+val range : t -> int -> int -> int
+
+val float : t -> float -> float -> float
+val pick : t -> 'a array -> 'a

@@ -1,0 +1,48 @@
+(** The query engine facade: parse → bind → normalize → cost-based
+    optimization → execution (the compilation pipeline of the paper's
+    Section 4). *)
+
+open Relalg
+
+type t
+
+val create : Storage.Database.t -> t
+
+type prepared = {
+  sql : string;
+  bound : Sqlfront.Binder.bound;
+  stages : Normalize.stages;  (** normalization pipeline snapshots *)
+  plan : Algebra.op;  (** the chosen plan *)
+  plan_cost : float;
+  seed_cost : float;
+  explored : int;  (** alternatives considered by the search *)
+  config : Optimizer.Config.t;
+}
+
+(** Compile a SQL string.  [config] selects the optimizer technology
+    level (default {!Optimizer.Config.full}); [must] restricts the
+    chosen plan (see {!Optimizer.Search.optimize}).
+    @raise Sqlfront.Parser.Parse_error / Sqlfront.Binder.Bind_error *)
+val prepare : ?config:Optimizer.Config.t -> ?must:(Algebra.op -> bool) -> t -> string -> prepared
+
+type execution = {
+  result : Exec.Executor.result;
+  apply_invocations : int;  (** correlated inner evaluations performed *)
+  rows_processed : int;
+  elapsed_s : float;
+}
+
+(** @raise Exec.Executor.Runtime_error for Max1row violations. *)
+val execute : t -> prepared -> execution
+
+(** [prepare] + [execute]. *)
+val query : ?config:Optimizer.Config.t -> t -> string -> Exec.Executor.result
+
+(** Normalized tree, chosen plan, costs and subquery class. *)
+val explain : ?config:Optimizer.Config.t -> t -> string -> string
+
+(** Every pipeline stage (the paper's Figures 2/3/5 for the query). *)
+val explain_stages : ?config:Optimizer.Config.t -> t -> string -> string
+
+(** Render a result as an aligned text table. *)
+val format_result : Exec.Executor.result -> string

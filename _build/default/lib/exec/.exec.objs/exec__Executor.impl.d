@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Array Col Expr Hashtbl Like List Op Option Printf Relalg Storage Value

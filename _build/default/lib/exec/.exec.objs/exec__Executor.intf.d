@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Col Relalg Storage Value

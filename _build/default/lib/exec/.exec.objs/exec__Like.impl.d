@@ -1,0 +1,1 @@
+lib/exec/like.ml: Hashtbl String

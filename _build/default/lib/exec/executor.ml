@@ -1,0 +1,609 @@
+(* The execution engine.
+
+   A materializing interpreter over logical operator trees.  It executes
+   every stage of the compilation pipeline:
+
+   - the binder's output, where scalar expressions still contain
+     relational children — executed with the mutual recursion between
+     scalar and relational evaluation described in Section 2.1;
+   - Apply trees — executed as correlated nested loops, with an
+     index-lookup fast path when the inner expression is a filtered
+     scan whose equality column has a hash index (the "simplest and
+     most common" correlated execution of Section 4);
+   - fully decorrelated trees — joins execute as hash joins when the
+     predicate has equi-conjuncts, aggregations as hash aggregates.
+
+   This makes the interpreter the single semantic baseline: tests
+   compare results across pipeline stages to validate every rewrite. *)
+
+open Relalg
+open Relalg.Algebra
+
+exception Runtime_error of string
+
+type row = Value.t array
+
+(* Correlation environment: column id -> value.  Extended per outer row
+   by Apply and by scalar-subquery evaluation. *)
+type lookup = int -> Value.t option
+
+let empty_lookup : lookup = fun _ -> None
+
+type ctx = {
+  db : Storage.Database.t;
+  mutable seg : (Col.t list * row list) option;
+      (** current SegmentApply segment: outer layout and segment rows *)
+  mutable apply_invocations : int;  (** statistics for tests/benches *)
+  mutable rows_processed : int;
+}
+
+let make_ctx db = { db; seg = None; apply_invocations = 0; rows_processed = 0 }
+
+(* position map for a schema *)
+let positions (schema : Col.t list) : (int, int) Hashtbl.t =
+  let h = Hashtbl.create (List.length schema * 2) in
+  List.iteri (fun i (c : Col.t) -> if not (Hashtbl.mem h c.id) then Hashtbl.add h c.id i) schema;
+  h
+
+let row_lookup (pos : (int, int) Hashtbl.t) (r : row) (outer : lookup) : lookup =
+ fun id ->
+  match Hashtbl.find_opt pos id with
+  | Some i -> Some r.(i)
+  | None -> outer id
+
+let rows_lookup (pos1 : (int, int) Hashtbl.t) (r1 : row) (pos2 : (int, int) Hashtbl.t)
+    (r2 : row) (outer : lookup) : lookup =
+ fun id ->
+  match Hashtbl.find_opt pos1 id with
+  | Some i -> Some r1.(i)
+  | None -> (
+      match Hashtbl.find_opt pos2 id with Some i -> Some r2.(i) | None -> outer id)
+
+(* ------------------------------------------------------------------ *)
+(* Grouping keys: hashtable over value lists                          *)
+(* ------------------------------------------------------------------ *)
+
+module VKey = struct
+  type t = Value.t list
+
+  let equal a b = try List.for_all2 Value.equal a b with Invalid_argument _ -> false
+  let hash l = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 l
+end
+
+module VTbl = Hashtbl.Make (VKey)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate accumulation                                             *)
+(* ------------------------------------------------------------------ *)
+
+type acc = {
+  mutable count : int;  (** non-null inputs seen (or rows, for count-star) *)
+  mutable sum : Value.t;
+  mutable min_ : Value.t;
+  mutable max_ : Value.t;
+}
+
+let fresh_acc () = { count = 0; sum = Value.Null; min_ = Value.Null; max_ = Value.Null }
+
+let acc_add (a : acc) (v : Value.t) =
+  if not (Value.is_null v) then begin
+    a.count <- a.count + 1;
+    a.sum <- (if Value.is_null a.sum then v else Value.arith `Add a.sum v);
+    a.min_ <- (if Value.is_null a.min_ || Value.compare v a.min_ < 0 then v else a.min_);
+    a.max_ <- (if Value.is_null a.max_ || Value.compare v a.max_ > 0 then v else a.max_)
+  end
+
+let acc_result (fn : agg_fn) (a : acc) : Value.t =
+  match fn with
+  | CountStar | Count _ -> Value.Int a.count
+  | Sum _ -> a.sum
+  | Min _ -> a.min_
+  | Max _ -> a.max_
+  | Avg _ ->
+      if a.count = 0 then Value.Null
+      else Value.arith `Div a.sum (Value.Int a.count)
+
+(* ------------------------------------------------------------------ *)
+(* Scalar evaluation (3VL) — mutually recursive with [run]            *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval (ctx : ctx) (env : lookup) (e : expr) : Value.t =
+  match e with
+  | ColRef c -> (
+      match env c.id with
+      | Some v -> v
+      | None -> raise (Runtime_error (Printf.sprintf "unbound column %s#%d" c.name c.id)))
+  | Const v -> v
+  | Arith (op, a, b) ->
+      let va = eval ctx env a and vb = eval ctx env b in
+      let o =
+        match op with Add -> `Add | Sub -> `Sub | Mul -> `Mul | Div -> `Div | Mod -> `Mod
+      in
+      Value.arith o va vb
+  | Cmp (op, a, b) -> (
+      match Value.cmp_sql (eval ctx env a) (eval ctx env b) with
+      | None -> Value.Null
+      | Some c ->
+          Value.Bool
+            (match op with
+            | Eq -> c = 0
+            | Ne -> c <> 0
+            | Lt -> c < 0
+            | Le -> c <= 0
+            | Gt -> c > 0
+            | Ge -> c >= 0))
+  | And (a, b) -> (
+      match eval ctx env a with
+      | Value.Bool false -> Value.Bool false
+      | va -> (
+          match eval ctx env b with
+          | Value.Bool false -> Value.Bool false
+          | vb -> if Value.is_null va || Value.is_null vb then Value.Null else Value.Bool true))
+  | Or (a, b) -> (
+      match eval ctx env a with
+      | Value.Bool true -> Value.Bool true
+      | va -> (
+          match eval ctx env b with
+          | Value.Bool true -> Value.Bool true
+          | vb -> if Value.is_null va || Value.is_null vb then Value.Null else Value.Bool false))
+  | Not a -> (
+      match eval ctx env a with
+      | Value.Bool b -> Value.Bool (not b)
+      | Value.Null -> Value.Null
+      | v -> raise (Runtime_error ("NOT applied to non-boolean " ^ Value.to_string v)))
+  | IsNull a -> Value.Bool (Value.is_null (eval ctx env a))
+  | Like (a, pattern) -> (
+      match eval ctx env a with
+      | Value.Null -> Value.Null
+      | Value.Str s -> Value.Bool (Like.matches ~pattern s)
+      | v -> raise (Runtime_error ("LIKE applied to non-string " ^ Value.to_string v)))
+  | Case (branches, els) ->
+      let rec go = function
+        | [] -> ( match els with Some e -> eval ctx env e | None -> Value.Null)
+        | (c, v) :: rest -> (
+            match eval ctx env c with Value.Bool true -> eval ctx env v | _ -> go rest)
+      in
+      go branches
+  | Subquery q -> (
+      (* mutual recursion: scalar evaluation calls back into the
+         relational engine (Section 2.1) *)
+      match run ctx env q with
+      | [] -> Value.Null
+      | [ r ] ->
+          if Array.length r <> 1 then
+            raise (Runtime_error "scalar subquery must return one column");
+          r.(0)
+      | _ -> raise (Runtime_error "scalar subquery returned more than one row"))
+  | Exists q -> Value.Bool (run ctx env q <> [])
+  | InSub (a, q) -> eval ctx env (QuantCmp (Eq, Any, a, q))
+  | QuantCmp (op, quant, a, q) ->
+      let va = eval ctx env a in
+      let rows = run ctx env q in
+      let results =
+        List.map
+          (fun (r : row) ->
+            if Array.length r <> 1 then
+              raise (Runtime_error "quantified subquery must return one column");
+            match Value.cmp_sql va r.(0) with
+            | None -> Value.Null
+            | Some c ->
+                Value.Bool
+                  (match op with
+                  | Eq -> c = 0
+                  | Ne -> c <> 0
+                  | Lt -> c < 0
+                  | Le -> c <= 0
+                  | Gt -> c > 0
+                  | Ge -> c >= 0))
+          rows
+      in
+      (match quant with
+      | Any ->
+          if List.exists (fun v -> v = Value.Bool true) results then Value.Bool true
+          else if List.exists Value.is_null results then Value.Null
+          else Value.Bool false
+      | All ->
+          if List.exists (fun v -> v = Value.Bool false) results then Value.Bool false
+          else if List.exists Value.is_null results then Value.Null
+          else Value.Bool true)
+
+and eval_pred ctx env e = eval ctx env e = Value.Bool true
+
+(* ------------------------------------------------------------------ *)
+(* Relational execution                                               *)
+(* ------------------------------------------------------------------ *)
+
+and run (ctx : ctx) (env : lookup) (o : op) : row list =
+  match o with
+  | TableScan { table; _ } ->
+      let tb = Storage.Database.table ctx.db table in
+      let out = ref [] in
+      for i = Array.length tb.rows - 1 downto 0 do
+        out := tb.rows.(i) :: !out
+      done;
+      ctx.rows_processed <- ctx.rows_processed + Array.length tb.rows;
+      !out
+  | ConstTable { rows; _ } -> rows
+  | SegmentHole { src; _ } -> (
+      match ctx.seg with
+      | None -> raise (Runtime_error "SegmentHole outside SegmentApply")
+      | Some (layout, rows) ->
+          let pos = positions layout in
+          let idx =
+            List.map
+              (fun (c : Col.t) ->
+                match Hashtbl.find_opt pos c.id with
+                | Some i -> i
+                | None -> raise (Runtime_error ("segment source column missing: " ^ c.name)))
+              src
+          in
+          List.map (fun r -> Array.of_list (List.map (fun i -> r.(i)) idx)) rows)
+  | Select (p, i) ->
+      let child = run ctx env i in
+      let pos = positions (Op.schema i) in
+      List.filter (fun r -> eval_pred ctx (row_lookup pos r env) p) child
+  | Project (projs, i) ->
+      let child = run ctx env i in
+      let pos = positions (Op.schema i) in
+      List.map
+        (fun r ->
+          let l = row_lookup pos r env in
+          Array.of_list (List.map (fun p -> eval ctx l p.expr) projs))
+        child
+  | Join { kind; pred; left; right } -> exec_join ctx env kind pred left right
+  | Apply { kind; pred; left; right } -> exec_apply ctx env kind pred left right
+  | SegmentApply { seg_cols; outer; inner } -> exec_segment_apply ctx env seg_cols outer inner
+  | GroupBy { keys; aggs; input } | LocalGroupBy { keys; aggs; input } ->
+      exec_group_by ctx env keys aggs input
+  | ScalarAgg { aggs; input } ->
+      let child = run ctx env input in
+      let pos = positions (Op.schema input) in
+      let accs = List.map (fun _ -> fresh_acc ()) aggs in
+      List.iter
+        (fun r ->
+          let l = row_lookup pos r env in
+          List.iter2
+            (fun (a : agg) acc ->
+              match agg_input_expr a.fn with
+              | None -> acc.count <- acc.count + 1
+              | Some e -> acc_add acc (eval ctx l e))
+            aggs accs)
+        child;
+      if child = [] then [ Array.of_list (List.map (fun (a : agg) -> agg_on_empty a.fn) aggs) ]
+      else [ Array.of_list (List.map2 (fun (a : agg) acc -> acc_result a.fn acc) aggs accs) ]
+  | UnionAll (l, r) -> run ctx env l @ run ctx env r
+  | Except (l, r) ->
+      (* bag difference: remove one left occurrence per right occurrence *)
+      let counts = VTbl.create 64 in
+      List.iter
+        (fun (r : row) ->
+          let k = Array.to_list r in
+          VTbl.replace counts k (1 + try VTbl.find counts k with Not_found -> 0))
+        (run ctx env r);
+      List.filter
+        (fun (r : row) ->
+          let k = Array.to_list r in
+          match VTbl.find_opt counts k with
+          | Some n when n > 0 ->
+              VTbl.replace counts k (n - 1);
+              false
+          | _ -> true)
+        (run ctx env l)
+  | Max1row i -> (
+      match run ctx env i with
+      | ([] | [ _ ]) as rows -> rows
+      | _ -> raise (Runtime_error "subquery returned more than one row (Max1row)"))
+  | Rownum { input; _ } ->
+      List.mapi (fun i r -> Array.append r [| Value.Int (i + 1) |]) (run ctx env input)
+
+(* --- hash aggregation ------------------------------------------------ *)
+
+and exec_group_by ctx env (keys : Col.t list) (aggs : agg list) (input : op) : row list =
+  let child = run ctx env input in
+  let pos = positions (Op.schema input) in
+  let key_idx =
+    List.map
+      (fun (c : Col.t) ->
+        match Hashtbl.find_opt pos c.id with
+        | Some i -> i
+        | None -> raise (Runtime_error ("grouping column missing: " ^ c.name)))
+      keys
+  in
+  let groups = VTbl.create 256 in
+  let order = ref [] in
+  List.iter
+    (fun (r : row) ->
+      let k = List.map (fun i -> r.(i)) key_idx in
+      let accs =
+        match VTbl.find_opt groups k with
+        | Some accs -> accs
+        | None ->
+            let accs = List.map (fun _ -> fresh_acc ()) aggs in
+            VTbl.add groups k accs;
+            order := k :: !order;
+            accs
+      in
+      let l = row_lookup pos r env in
+      List.iter2
+        (fun (a : agg) acc ->
+          match agg_input_expr a.fn with
+          | None -> acc.count <- acc.count + 1
+          | Some e -> acc_add acc (eval ctx l e))
+        aggs accs)
+    child;
+  List.rev_map
+    (fun k ->
+      let accs = VTbl.find groups k in
+      Array.of_list (k @ List.map2 (fun (a : agg) acc -> acc_result a.fn acc) aggs accs))
+    !order
+
+(* --- joins ---------------------------------------------------------- *)
+
+and split_equi_conjuncts pred (lcols : Col.Set.t) (rcols : Col.Set.t) =
+  let conj = conjuncts pred in
+  let is_subset e s = Col.Set.subset (Expr.cols e) s in
+  let equi, residual =
+    List.partition_map
+      (fun c ->
+        match c with
+        | Cmp (Eq, a, b) when is_subset a lcols && is_subset b rcols -> Left (a, b)
+        | Cmp (Eq, a, b) when is_subset b lcols && is_subset a rcols -> Left (b, a)
+        | c -> Right c)
+      conj
+  in
+  (equi, residual)
+
+and exec_join ctx env kind pred left right =
+  let lrows = run ctx env left and rrows = run ctx env right in
+  let lschema = Op.schema left and rschema = Op.schema right in
+  let lpos = positions lschema and rpos = positions rschema in
+  let lset = Col.Set.of_list lschema and rset = Col.Set.of_list rschema in
+  let rarity = List.length rschema in
+  ctx.rows_processed <- ctx.rows_processed + List.length lrows + List.length rrows;
+  let equi, residual = split_equi_conjuncts pred lset rset in
+  let emit_combined l r = Array.append l r in
+  let nulls = Array.make rarity Value.Null in
+  if equi <> [] then begin
+    (* hash join; NULL keys never match *)
+    let res_pred = conj_list residual in
+    let build = VTbl.create (List.length rrows * 2) in
+    List.iter
+      (fun (r : row) ->
+        let lk = row_lookup rpos r env in
+        let key = List.map (fun (_, be) -> eval ctx lk be) equi in
+        if not (List.exists Value.is_null key) then
+          VTbl.replace build key (r :: (try VTbl.find build key with Not_found -> [])))
+      rrows;
+    let out = ref [] in
+    List.iter
+      (fun (l : row) ->
+        let llk = row_lookup lpos l env in
+        let key = List.map (fun (ae, _) -> eval ctx llk ae) equi in
+        let matches =
+          if List.exists Value.is_null key then []
+          else
+            match VTbl.find_opt build key with
+            | None -> []
+            | Some cand ->
+                List.filter
+                  (fun r -> eval_pred ctx (rows_lookup lpos l rpos r env) res_pred)
+                  cand
+        in
+        match kind with
+        | Inner -> List.iter (fun r -> out := emit_combined l r :: !out) matches
+        | LeftOuter ->
+            if matches = [] then out := emit_combined l nulls :: !out
+            else List.iter (fun r -> out := emit_combined l r :: !out) matches
+        | Semi -> if matches <> [] then out := l :: !out
+        | Anti -> if matches = [] then out := l :: !out)
+      lrows;
+    List.rev !out
+  end
+  else begin
+    (* nested loops *)
+    let out = ref [] in
+    List.iter
+      (fun (l : row) ->
+        let matches =
+          List.filter (fun r -> eval_pred ctx (rows_lookup lpos l rpos r env) pred) rrows
+        in
+        match kind with
+        | Inner -> List.iter (fun r -> out := emit_combined l r :: !out) matches
+        | LeftOuter ->
+            if matches = [] then out := emit_combined l nulls :: !out
+            else List.iter (fun r -> out := emit_combined l r :: !out) matches
+        | Semi -> if matches <> [] then out := l :: !out
+        | Anti -> if matches = [] then out := l :: !out)
+      lrows;
+    List.rev !out
+  end
+
+(* --- Apply: correlated nested-loops execution ----------------------- *)
+
+(* Index fast path: the inner tree is Select(p, TableScan t) (possibly
+   under a Project) where p contains an equality between an indexed
+   column of t and an expression over outer columns only. *)
+and index_probe_path ctx (right : op) :
+    (lookup -> row list) option =
+  let try_scan pred table cols =
+    let tb = Storage.Database.table ctx.db table in
+    let conj = conjuncts pred in
+    let scan_set = Col.Set.of_list cols in
+    let indexed c = Storage.Table.find_index tb c.Col.name <> None in
+    let pick =
+      List.find_map
+        (fun cj ->
+          match cj with
+          | Cmp (Eq, ColRef c, e)
+            when List.exists (Col.equal c) cols
+                 && Col.Set.is_empty (Col.Set.inter (Expr.cols e) scan_set)
+                 && indexed c ->
+              Some (c, e, cj)
+          | Cmp (Eq, e, ColRef c)
+            when List.exists (Col.equal c) cols
+                 && Col.Set.is_empty (Col.Set.inter (Expr.cols e) scan_set)
+                 && indexed c ->
+              Some (c, e, cj)
+          | _ -> None)
+        conj
+    in
+    match pick with
+    | None -> None
+    | Some (c, probe_expr, used) ->
+        let ix = Option.get (Storage.Table.find_index tb c.Col.name) in
+        let residual = conj_list (List.filter (fun x -> x != used) conj) in
+        let pos = positions cols in
+        Some
+          (fun (env : lookup) ->
+            let v = eval ctx env probe_expr in
+            if Value.is_null v then []
+            else
+              let cand = Storage.Table.index_lookup ix tb v in
+              List.filter (fun r -> eval_pred ctx (row_lookup pos r env) residual) cand)
+  in
+  match right with
+  | Select (p, TableScan { table; cols }) -> try_scan p table cols
+  | Project (projs, Select (p, TableScan { table; cols })) -> (
+      match try_scan p table cols with
+      | None -> None
+      | Some f ->
+          let pos = positions cols in
+          Some
+            (fun env ->
+              List.map
+                (fun r ->
+                  let l = row_lookup pos r env in
+                  Array.of_list (List.map (fun pr -> eval ctx l pr.expr) projs))
+                (f env)))
+  | _ -> None
+
+and exec_apply ctx env kind pred left right =
+  let lrows = run ctx env left in
+  let lschema = Op.schema left and rschema = Op.schema right in
+  let lpos = positions lschema and rpos = positions rschema in
+  let rarity = List.length rschema in
+  let nulls = Array.make rarity Value.Null in
+  let fast = index_probe_path ctx right in
+  let out = ref [] in
+  List.iter
+    (fun (l : row) ->
+      ctx.apply_invocations <- ctx.apply_invocations + 1;
+      let lenv = row_lookup lpos l env in
+      let rrows = match fast with Some f -> f lenv | None -> run ctx lenv right in
+      let matches =
+        if is_true_const pred then rrows
+        else List.filter (fun r -> eval_pred ctx (rows_lookup lpos l rpos r env) pred) rrows
+      in
+      match kind with
+      | Inner -> List.iter (fun r -> out := Array.append l r :: !out) matches
+      | LeftOuter ->
+          if matches = [] then out := Array.append l nulls :: !out
+          else List.iter (fun r -> out := Array.append l r :: !out) matches
+      | Semi -> if matches <> [] then out := l :: !out
+      | Anti -> if matches = [] then out := l :: !out)
+    lrows;
+  List.rev !out
+
+(* --- SegmentApply ---------------------------------------------------- *)
+
+and exec_segment_apply ctx env seg_cols outer inner =
+  let orows = run ctx env outer in
+  let oschema = Op.schema outer in
+  let opos = positions oschema in
+  let seg_idx =
+    List.map
+      (fun (c : Col.t) ->
+        match Hashtbl.find_opt opos c.id with
+        | Some i -> i
+        | None -> raise (Runtime_error ("segment column missing: " ^ c.name)))
+      seg_cols
+  in
+  (* partition preserving first-seen order *)
+  let order = ref [] in
+  let parts = VTbl.create 64 in
+  List.iter
+    (fun (r : row) ->
+      let k = List.map (fun i -> r.(i)) seg_idx in
+      (match VTbl.find_opt parts k with
+      | None ->
+          order := k :: !order;
+          VTbl.add parts k [ r ]
+      | Some rs -> VTbl.replace parts k (r :: rs)))
+    orows;
+  let out = ref [] in
+  List.iter
+    (fun k ->
+      let seg_rows = List.rev (VTbl.find parts k) in
+      let saved = ctx.seg in
+      ctx.seg <- Some (oschema, seg_rows);
+      let inner_rows = run ctx env inner in
+      ctx.seg <- saved;
+      (* {a} × E(σ_{A=a} R): pair the segment key columns with each
+         inner row.  The output schema is outer ++ inner, where the
+         outer part carries the segment's defining values; columns of
+         the outer not among seg_cols are NULL (they are not
+         well-defined per segment and must not be referenced above). *)
+      let proto = Array.make (List.length oschema) Value.Null in
+      List.iteri (fun _ _ -> ()) seg_idx;
+      List.iter2 (fun i v -> proto.(i) <- v) seg_idx k;
+      List.iter (fun r -> out := Array.append proto r :: !out) inner_rows)
+    (List.rev !order);
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Sorting and top-level result production                            *)
+(* ------------------------------------------------------------------ *)
+
+type result = { col_names : string list; rows : row list }
+
+let sort_rows (schema : Col.t list) (order : (Col.t * bool) list) (rows : row list) :
+    row list =
+  if order = [] then rows
+  else begin
+    let pos = positions schema in
+    let keyed =
+      List.map
+        (fun ((c : Col.t), desc) ->
+          match Hashtbl.find_opt pos c.id with
+          | Some i -> (i, desc)
+          | None -> raise (Runtime_error ("order-by column missing: " ^ c.name)))
+        order
+    in
+    let cmp (a : row) (b : row) =
+      let rec go = function
+        | [] -> 0
+        | (i, desc) :: rest ->
+            let c = Value.compare a.(i) b.(i) in
+            if c <> 0 then if desc then -c else c else go rest
+      in
+      go keyed
+    in
+    List.stable_sort cmp rows
+  end
+
+let truncate limit rows =
+  match limit with
+  | None -> rows
+  | Some n ->
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | r :: rest -> r :: take (k - 1) rest
+      in
+      take n rows
+
+(* Execute a query end to end: run, sort, limit, project away the hidden
+   order-by columns ([outputs] lists the visible ones). *)
+let run_query (db : Storage.Database.t) ~(op : op) ~(outputs : (string * Col.t) list)
+    ~(order : (Col.t * bool) list) ~(limit : int option) : result =
+  let ctx = make_ctx db in
+  let rows = run ctx empty_lookup op in
+  let schema = Op.schema op in
+  let rows = sort_rows schema order rows in
+  let rows = truncate limit rows in
+  let visible = List.length outputs in
+  let rows =
+    if List.length schema > visible then List.map (fun r -> Array.sub r 0 visible) rows
+    else rows
+  in
+  { col_names = List.map fst outputs; rows }

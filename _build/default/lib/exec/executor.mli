@@ -1,0 +1,56 @@
+(** The execution engine: a materializing interpreter over logical
+    operator trees.
+
+    It executes every stage of the compilation pipeline — the binder's
+    output (scalar/relational mutual recursion, paper Section 2.1),
+    Apply trees (correlated nested loops with an index-probe fast path
+    when the inner is a filtered indexed scan), and fully decorrelated
+    trees (hash joins on equi-conjuncts, hash aggregation,
+    SegmentApply).  Being able to run the unoptimized tree makes the
+    interpreter the semantic ground truth for every rewrite. *)
+
+open Relalg
+open Relalg.Algebra
+
+exception Runtime_error of string
+
+type row = Value.t array
+
+(** Correlation environment: column id -> value. *)
+type lookup = int -> Value.t option
+
+val empty_lookup : lookup
+
+type ctx = {
+  db : Storage.Database.t;
+  mutable seg : (Col.t list * row list) option;
+      (** current SegmentApply segment (outer layout, rows) *)
+  mutable apply_invocations : int;  (** statistics for benches/tests *)
+  mutable rows_processed : int;
+}
+
+val make_ctx : Storage.Database.t -> ctx
+
+(** Scalar evaluation under 3-valued logic; UNKNOWN is [Value.Null].
+    Subquery expression nodes recurse into {!run} (mutual recursion). *)
+val eval : ctx -> lookup -> expr -> Value.t
+
+(** [true] iff the predicate evaluates to TRUE (not FALSE/UNKNOWN). *)
+val eval_pred : ctx -> lookup -> expr -> bool
+
+(** Execute a tree; rows are positional per {!Op.schema}. *)
+val run : ctx -> lookup -> op -> row list
+
+type result = { col_names : string list; rows : row list }
+
+val sort_rows : Col.t list -> (Col.t * bool) list -> row list -> row list
+val truncate : int option -> row list -> row list
+
+(** Run, sort, limit and project away hidden order-by columns. *)
+val run_query :
+  Storage.Database.t ->
+  op:op ->
+  outputs:(string * Col.t) list ->
+  order:(Col.t * bool) list ->
+  limit:int option ->
+  result

@@ -1,0 +1,23 @@
+(* SQL LIKE pattern matching: % matches any sequence, _ any single
+   character.  No escape syntax (not needed by the workloads). *)
+
+let matches ~(pattern : string) (s : string) : bool =
+  let np = String.length pattern and ns = String.length s in
+  (* memoized recursion over (pattern index, string index) *)
+  let memo = Hashtbl.create 64 in
+  let rec go pi si =
+    match Hashtbl.find_opt memo (pi, si) with
+    | Some r -> r
+    | None ->
+        let r =
+          if pi = np then si = ns
+          else
+            match pattern.[pi] with
+            | '%' -> go (pi + 1) si || (si < ns && go pi (si + 1))
+            | '_' -> si < ns && go (pi + 1) (si + 1)
+            | c -> si < ns && s.[si] = c && go (pi + 1) (si + 1)
+        in
+        Hashtbl.add memo (pi, si) r;
+        r
+  in
+  go 0 0

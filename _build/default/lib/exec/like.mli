@@ -1,0 +1,4 @@
+(** SQL LIKE pattern matching: [%] matches any sequence, [_] any single
+    character.  No escape syntax. *)
+
+val matches : pattern:string -> string -> bool

@@ -1,0 +1,1 @@
+lib/normalize/normalize.ml: Algebra Apply_intro Classify Decorrelate Oj_simplify Op Props Prune Relalg Simplify

@@ -1,0 +1,1 @@
+lib/normalize/apply_intro.ml: Col Expr List Op Option Props Relalg Value

@@ -1,0 +1,1 @@
+lib/normalize/apply_intro.mli: Props Relalg

@@ -1,0 +1,1 @@
+lib/normalize/classify.ml: Expr List Op Relalg

@@ -1,0 +1,1 @@
+lib/normalize/classify.mli: Relalg

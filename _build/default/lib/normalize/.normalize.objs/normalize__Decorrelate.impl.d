@@ -1,0 +1,1 @@
+lib/normalize/decorrelate.ml: Col Expr List Op Option Props Relalg Value

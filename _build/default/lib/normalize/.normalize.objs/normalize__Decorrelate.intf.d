@@ -1,0 +1,1 @@
+lib/normalize/decorrelate.mli: Props Relalg

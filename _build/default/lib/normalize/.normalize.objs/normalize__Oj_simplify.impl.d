@@ -1,0 +1,1 @@
+lib/normalize/oj_simplify.ml: Col Expr List Op Relalg

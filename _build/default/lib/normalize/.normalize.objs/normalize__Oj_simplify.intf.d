@@ -1,0 +1,1 @@
+lib/normalize/oj_simplify.mli: Col Relalg

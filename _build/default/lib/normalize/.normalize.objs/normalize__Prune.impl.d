@@ -1,0 +1,1 @@
+lib/normalize/prune.ml: Col Expr List Op Props Relalg

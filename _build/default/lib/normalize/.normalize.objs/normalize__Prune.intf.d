@@ -1,0 +1,1 @@
+lib/normalize/prune.mli: Col Props Relalg

@@ -1,0 +1,1 @@
+lib/normalize/simplify.ml: Col Expr Hashtbl List Op Relalg Value

@@ -1,0 +1,1 @@
+lib/normalize/simplify.mli: Relalg

@@ -1,0 +1,19 @@
+(** Removal of the mutual recursion between scalar and relational
+    operators (paper Section 2.2): every subquery inside a scalar
+    expression is evaluated explicitly through an Apply operator
+    introduced below the consuming relational operator.
+
+    Existential/quantified conjuncts of a Select become
+    Apply-semijoin/antijoin (Section 2.4); scalar subqueries get
+    Apply-outerjoin with Max1row unless keys prove at most one row;
+    value-context boolean subqueries rewrite through scalar count
+    aggregates; a CASE containing a subquery that may raise stays
+    lazily evaluated (conditional scalar execution). *)
+
+open Relalg
+open Relalg.Algebra
+
+(** Exposed for tests. *)
+val case_needs_conditional_execution : Props.env -> expr -> bool
+
+val transform : Props.env -> op -> op

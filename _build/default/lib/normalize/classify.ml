@@ -1,0 +1,51 @@
+(* Subquery classes (paper Section 2.5).
+
+   Class 1: removable with no additional common subexpressions — the
+            tree contains no Apply after normalization.
+   Class 2: removable only by duplicating subexpressions (identities
+            (5)-(7)); kept correlated by normalization.
+   Class 3: exception subqueries (Max1row required at runtime);
+            fundamentally non-relational.
+
+   Classification inspects the normalized tree: residual Applies with a
+   Max1row right child are Class 3; other residual Applies are Class 2;
+   a tree without Applies (that had subqueries to begin with) is
+   Class 1. *)
+
+open Relalg
+open Relalg.Algebra
+
+type cls = Class1 | Class2 | Class3 | NoSubquery
+
+let to_string = function
+  | Class1 -> "class 1 (fully flattened)"
+  | Class2 -> "class 2 (kept correlated: needs common subexpressions)"
+  | Class3 -> "class 3 (exception subquery: Max1row)"
+  | NoSubquery -> "no subqueries"
+
+let rec has_max1row (o : op) =
+  match o with Max1row _ -> true | _ -> List.exists has_max1row (Op.children o)
+
+let rec residual_expr_subquery (o : op) : bool =
+  List.exists Expr.has_subquery (Op.local_exprs o)
+  || List.exists residual_expr_subquery (Op.children o)
+
+let classify ~(had_subqueries : bool) (normalized : op) : cls =
+  let residual_applies = ref [] in
+  let rec walk o =
+    (match o with Apply a -> residual_applies := a.right :: !residual_applies | _ -> ());
+    List.iter walk (Op.children o)
+  in
+  walk normalized;
+  (* a subquery left inside a scalar expression after normalization was
+     kept only for exception semantics (conditional CASE execution of
+     a Max1row-guarded branch): Class 3 *)
+  if residual_expr_subquery normalized then Class3
+  else
+    match !residual_applies with
+    | [] -> if had_subqueries then Class1 else NoSubquery
+    | rs -> if List.exists has_max1row rs then Class3 else Class2
+
+let rec op_has_subquery (o : op) : bool =
+  List.exists Expr.has_subquery (Op.local_exprs o)
+  || List.exists op_has_subquery (Op.children o)

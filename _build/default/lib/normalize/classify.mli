@@ -1,0 +1,14 @@
+(** Subquery classes (paper Section 2.5), read off the normalized tree:
+    no residual Apply = Class 1; residual Apply with Max1row (or a
+    subquery kept lazy inside CASE) = Class 3; other residual Applies =
+    Class 2. *)
+
+open Relalg.Algebra
+
+type cls = Class1 | Class2 | Class3 | NoSubquery
+
+val to_string : cls -> string
+val classify : had_subqueries:bool -> op -> cls
+
+(** Does any scalar expression in the tree contain a relational child? *)
+val op_has_subquery : op -> bool

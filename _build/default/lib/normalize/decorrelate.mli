@@ -1,0 +1,22 @@
+(** Removal of Apply — the paper's Section 2.3, Figure 4.
+
+    Apply operators are pushed towards the leaves until the right child
+    no longer references the left child's columns, then degenerate into
+    join variants (identities (1)/(2)).  Identities (3)-(9) handle the
+    operators in between; Class 2 identities (5)-(7), which duplicate
+    the outer, only fire when [class2] is set, matching the paper's
+    normalization policy.  Residual Applies execute correlated. *)
+
+open Relalg
+open Relalg.Algebra
+
+type config = { env : Props.env; class2 : bool }
+
+val contains_apply : op -> bool
+
+(** Rewrite every decorrelatable Apply in the tree. *)
+val remove : config -> op -> op
+
+(** Push a single Apply node ([kind], [pred], left, right) downward.
+    Exposed for unit tests. *)
+val push : config -> join_kind -> expr -> op -> op -> op

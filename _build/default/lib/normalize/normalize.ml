@@ -1,0 +1,62 @@
+(* Query normalization driver (Section 4, "Query normalization").
+
+   Pipeline:
+   1. remove scalar/relational mutual recursion (Apply introduction) —
+      always possible;
+   2. remove correlations (Apply removal) — usually possible; Class 2/3
+      subqueries remain as residual Applies;
+   3. simplify outerjoins into joins under derived null-rejection;
+   4. cleanup: merge/eliminate trivial operators, push selections.
+
+   The [stages] record exposes each intermediate tree so that callers
+   (tests, the EXPLAIN facility, the decorrelation walkthrough example)
+   can observe the Figure 5 progression. *)
+
+open Relalg
+
+(* Re-export the pass modules: [normalize.ml] is the library's root
+   module, so submodules are reachable only through these aliases. *)
+module Apply_intro = Apply_intro
+module Decorrelate = Decorrelate
+module Oj_simplify = Oj_simplify
+module Simplify = Simplify
+module Prune = Prune
+module Classify = Classify
+
+type stages = {
+  bound : Algebra.op;  (** binder output: mutual recursion *)
+  applied : Algebra.op;  (** after Apply introduction (Figure 2 shape) *)
+  decorrelated : Algebra.op;  (** after Apply removal (Figure 5, line 2) *)
+  oj_simplified : Algebra.op;  (** after outerjoin simplification (line 4) *)
+  normalized : Algebra.op;  (** after cleanup/pushdown: the optimizer input *)
+  subquery_class : Classify.cls;
+}
+
+type options = {
+  env : Props.env;
+  decorrelate : bool;  (** master switch for Apply removal *)
+  simplify_oj : bool;
+  class2 : bool;  (** allow identities (5)-(7) during normalization *)
+}
+
+let default_options env = { env; decorrelate = true; simplify_oj = true; class2 = false }
+
+let run (opts : options) (bound : Algebra.op) : stages =
+  let had_subqueries = Classify.op_has_subquery bound in
+  let applied = Apply_intro.transform opts.env bound in
+  let decorrelated =
+    if opts.decorrelate then
+      Decorrelate.remove { env = opts.env; class2 = opts.class2 } applied
+    else applied
+  in
+  let oj_simplified =
+    if opts.simplify_oj then Oj_simplify.simplify decorrelated else decorrelated
+  in
+  let normalized = Simplify.simplify oj_simplified in
+  let normalized = Prune.prune ~env:opts.env (Op.schema_set normalized) normalized in
+  let normalized = Simplify.simplify normalized in
+  let subquery_class = Classify.classify ~had_subqueries normalized in
+  { bound; applied; decorrelated; oj_simplified; normalized; subquery_class }
+
+let normalize (opts : options) (bound : Algebra.op) : Algebra.op =
+  (run opts bound).normalized

@@ -1,0 +1,144 @@
+(* Outerjoin simplification (Section 1.2, "Simplify outerjoin").
+
+   A left outerjoin is simplified to a join when some filter above it
+   rejects NULL on a column of the join's inner (right) side: the padded
+   rows would be filtered anyway.  The framework is Galindo-Legaria &
+   Rosenthal (TODS 22(1)); the paper adds the derivation of
+   null-rejection THROUGH GroupBy operators, which is what fires on the
+   decorrelated tree of Figure 5 (the filter 1000000 < X rejects NULL
+   on the aggregate output X = sum(o_totalprice), hence on
+   o_totalprice below the GroupBy, hence the outerjoin becomes a join).
+
+   The pass walks top-down carrying the set of columns on which NULLs
+   are known to be rejected by the context. *)
+
+open Relalg
+open Relalg.Algebra
+
+let restrict (rejected : Col.Set.t) (o : op) = Col.Set.inter rejected (Op.schema_set o)
+
+let rec simplify_with (rejected : Col.Set.t) (o : op) : op =
+  match o with
+  | Select (p, i) ->
+      let rejected = Col.Set.union rejected (Expr.null_rejected_cols p) in
+      Select (p, simplify_with (restrict rejected i) i)
+  | Project (projs, i) ->
+      (* a rejected output column whose defining expression is strict
+         rejects the expression's input columns *)
+      let below =
+        List.fold_left
+          (fun acc p ->
+            if Col.Set.mem p.out rejected then Col.Set.union acc (Expr.strict_cols p.expr)
+            else acc)
+          Col.Set.empty projs
+      in
+      Project (projs, simplify_with (restrict below i) i)
+  | Join { kind; pred; left; right } ->
+      let pred_rejects = Expr.null_rejected_cols pred in
+      let kind =
+        match kind with
+        | LeftOuter
+          when not (Col.Set.is_empty (Col.Set.inter rejected (Op.schema_set right))) ->
+            Inner
+        | k -> k
+      in
+      let lrej, rrej =
+        match kind with
+        | Inner ->
+            ( Col.Set.union rejected pred_rejects,
+              Col.Set.union rejected pred_rejects )
+        | LeftOuter ->
+            (* the join keeps left rows regardless of pred; context
+               rejections flow to both sides (right-side rows with a
+               rejected column NULL either join and die above, or do
+               not join — in which case fresh padding replaces them,
+               identically filtered above) *)
+            (Col.Set.union rejected pred_rejects, rejected)
+        | Semi -> (Col.Set.union rejected pred_rejects, pred_rejects)
+        | Anti -> (rejected, Col.Set.empty)
+      in
+      Join
+        { kind;
+          pred;
+          left = simplify_with (restrict lrej left) left;
+          right = simplify_with (restrict rrej right) right
+        }
+  | Apply { kind; pred; left; right } ->
+      (* same variant logic; the right side starts a fresh context *)
+      let pred_rejects = Expr.null_rejected_cols pred in
+      let kind =
+        match kind with
+        | LeftOuter
+          when not (Col.Set.is_empty (Col.Set.inter rejected (Op.schema_set right))) ->
+            Inner
+        | k -> k
+      in
+      let lrej =
+        match kind with
+        | Inner | Semi -> Col.Set.union rejected pred_rejects
+        | LeftOuter -> Col.Set.union rejected pred_rejects
+        | Anti -> rejected
+      in
+      Apply
+        { kind;
+          pred;
+          left = simplify_with (restrict lrej left) left;
+          right = simplify_with Col.Set.empty right
+        }
+  | GroupBy { keys; aggs; input } ->
+      (* null-rejection THROUGH GroupBy (the paper's extension):
+         - a rejected grouping column passes through;
+         - a rejected aggregate output for sum/min/max/avg with strict
+           input rejects the input columns below, PROVIDED no
+           count-star aggregate is computed (dropping an all-NULL
+           padding row must not change any other aggregate; NULL-strict
+           aggregates skip it, count-star would not) *)
+      let from_keys = Col.Set.inter rejected (Col.Set.of_list keys) in
+      (* A column c may be marked rejected below iff
+         (i) every aggregate skips rows where c is NULL — its input is
+             strict and mentions c (count-star never skips, so its
+             presence empties the set), and
+         (ii) some REJECTED aggregate output is NULL-yielding
+             (sum/min/max/avg), so that a group consisting only of
+             dropped rows was filtered above anyway. *)
+      let per_agg_cols =
+        List.map
+          (fun (a : agg) ->
+            match a.fn with
+            | CountStar -> Col.Set.empty
+            | Count e | Sum e | Min e | Max e | Avg e ->
+                if Expr.strict e then Expr.strict_cols e else Col.Set.empty)
+          aggs
+      in
+      let candidate =
+        match per_agg_cols with
+        | [] -> Col.Set.empty
+        | s :: rest -> List.fold_left Col.Set.inter s rest
+      in
+      let some_rejected_null_yielding =
+        List.exists
+          (fun (a : agg) ->
+            Col.Set.mem a.out rejected
+            && match a.fn with Sum _ | Min _ | Max _ | Avg _ -> true | _ -> false)
+          aggs
+      in
+      let from_aggs = if some_rejected_null_yielding then candidate else Col.Set.empty in
+      let below = Col.Set.union from_keys from_aggs in
+      GroupBy { keys; aggs; input = simplify_with (restrict below input) input }
+  | LocalGroupBy { keys; aggs; input } ->
+      LocalGroupBy { keys; aggs; input = simplify_with Col.Set.empty input }
+  | ScalarAgg { aggs; input } ->
+      ScalarAgg { aggs; input = simplify_with Col.Set.empty input }
+  | SegmentApply { seg_cols; outer; inner } ->
+      SegmentApply
+        { seg_cols;
+          outer = simplify_with (restrict rejected outer) outer;
+          inner = simplify_with Col.Set.empty inner
+        }
+  | UnionAll (l, r) -> UnionAll (simplify_with Col.Set.empty l, simplify_with Col.Set.empty r)
+  | Except (l, r) -> Except (simplify_with Col.Set.empty l, simplify_with Col.Set.empty r)
+  | Max1row i -> Max1row (simplify_with rejected i)
+  | Rownum r -> Rownum { r with input = simplify_with (restrict rejected r.input) r.input }
+  | TableScan _ | ConstTable _ | SegmentHole _ -> o
+
+let simplify (o : op) : op = simplify_with Col.Set.empty o

@@ -1,0 +1,13 @@
+(** Outerjoin simplification under derived null-rejection
+    (Section 1.2), including the paper's extension: deriving
+    null-rejection THROUGH GroupBy operators, which is what turns the
+    decorrelated Figure 5 outerjoin into a join. *)
+
+open Relalg
+open Relalg.Algebra
+
+(** Walk with an explicit set of columns whose NULLs the context
+    rejects (exposed for tests). *)
+val simplify_with : Col.Set.t -> op -> op
+
+val simplify : op -> op

@@ -1,0 +1,13 @@
+(** Column pruning.
+
+    Decorrelation (identities (8)/(9)) groups by ALL columns of the
+    outer relation; only a key plus the referenced columns are needed.
+    Walks top-down with the set of columns the context requires,
+    narrowing grouping keys (a grouping column drops when the kept ones
+    functionally determine it) and unreferenced aggregates/projections.
+    Does not cross UnionAll/Except (positional operators). *)
+
+open Relalg
+open Relalg.Algebra
+
+val prune : env:Props.env -> Col.Set.t -> op -> op

@@ -1,0 +1,21 @@
+(** Tree cleanup and heuristic predicate pushdown — the always-beneficial
+    part of query normalization (paper Section 4). *)
+
+open Relalg.Algebra
+
+(** Fold comparisons/connectives over constants (NULL operands are left
+    alone — their 3VL behaviour is not a constant). *)
+val const_fold : expr -> expr
+
+(** Drop duplicate conjuncts modulo equality symmetry (derived
+    predicates must not double-count in selectivity estimation). *)
+val dedup_conjuncts : expr -> expr
+
+(** Single-pass bottom-up cleanup: elide trivial selects/projections,
+    merge stacked selects and projections, dedup conjuncts. *)
+val cleanup : op -> op
+
+(** Push filter conjuncts towards the tables they constrain (through
+    projects, group-bys on grouping columns, and into the join-variant
+    sides where the variant permits), then clean up. *)
+val simplify : op -> op

@@ -1,0 +1,1 @@
+lib/optimizer/card.ml: Col Float Hashtbl List Op Relalg Stats Value

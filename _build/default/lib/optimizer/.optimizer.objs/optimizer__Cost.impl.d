@@ -1,0 +1,1 @@
+lib/optimizer/cost.ml: Card Catalog Col Expr Float List Op Relalg Rules Stats

@@ -1,0 +1,1 @@
+lib/optimizer/search.ml: Buffer Catalog Config Cost Float Hashtbl List Normalize Op Pp Props Relalg Rules Stats String

@@ -1,0 +1,121 @@
+(* Cardinality estimation over logical trees.
+
+   Column provenance: a map from column id to (table, column) built by
+   walking the tree once (through scans, pass-through projections and
+   grouping keys).  Distinct counts come from Stats; selectivities use
+   the classic System-R defaults. *)
+
+open Relalg
+open Relalg.Algebra
+
+type env = {
+  stats : Stats.t;
+  origins : (int, string * string) Hashtbl.t;
+  mutable hole_card : float;  (** estimated rows of the current segment *)
+}
+
+let build_origins (o : op) : (int, string * string) Hashtbl.t =
+  let h = Hashtbl.create 64 in
+  let rec walk o =
+    (match o with
+    | TableScan { table; cols } ->
+        List.iter (fun (c : Col.t) -> Hashtbl.replace h c.id (table, c.name)) cols
+    | Project (ps, _) ->
+        List.iter
+          (fun p ->
+            match p.expr with
+            | ColRef c -> (
+                match Hashtbl.find_opt h c.Col.id with
+                | Some o -> Hashtbl.replace h p.out.Col.id o
+                | None -> ())
+            | _ -> ())
+          ps
+    | SegmentHole { cols; src } ->
+        List.iter2
+          (fun (c : Col.t) (s : Col.t) ->
+            match Hashtbl.find_opt h s.id with
+            | Some o -> Hashtbl.replace h c.id o
+            | None -> ())
+          cols src
+    | _ -> ());
+    List.iter walk (Op.children o)
+  in
+  (* two passes so that SegmentHole src columns defined by a later
+     sibling still resolve *)
+  walk o;
+  walk o;
+  h
+
+let make_env stats (o : op) = { stats; origins = build_origins o; hole_card = 1000. }
+
+let ndv_of env (c : Col.t) : float option =
+  match Hashtbl.find_opt env.origins c.id with
+  | Some (table, col) ->
+      let n = Stats.ndv env.stats table col in
+      if n > 0 then Some (float_of_int n) else None
+  | None -> None
+
+(* selectivity of a predicate used as a filter *)
+let rec selectivity env (p : expr) : float =
+  match p with
+  | Const (Value.Bool true) -> 1.0
+  | Const (Value.Bool false) -> 0.0
+  | And (a, b) -> selectivity env a *. selectivity env b
+  | Or (a, b) ->
+      let sa = selectivity env a and sb = selectivity env b in
+      sa +. sb -. (sa *. sb)
+  | Not a -> 1.0 -. selectivity env a
+  | Cmp (Eq, ColRef a, ColRef b) -> (
+      match ndv_of env a, ndv_of env b with
+      | Some na, Some nb -> 1.0 /. Float.max na nb
+      | Some n, None | None, Some n -> 1.0 /. n
+      | None, None -> 0.1)
+  | Cmp (Eq, ColRef a, _) | Cmp (Eq, _, ColRef a) -> (
+      match ndv_of env a with Some n -> 1.0 /. n | None -> 0.1)
+  | Cmp (Eq, _, _) -> 0.1
+  | Cmp (Ne, _, _) -> 0.9
+  | Cmp (_, _, _) -> 1.0 /. 3.0
+  | Like _ -> 0.15
+  | IsNull _ -> 0.05
+  | Case _ -> 0.5
+  | _ -> 0.5
+
+let group_card env (keys : Col.t list) (input_card : float) : float =
+  if keys = [] then 1.0
+  else
+    let prod =
+      List.fold_left
+        (fun acc c ->
+          match ndv_of env c with Some n -> acc *. n | None -> acc *. 100.)
+        1.0 keys
+    in
+    Float.max 1.0 (Float.min prod (Float.max 1.0 (input_card /. 1.5)))
+
+let rec estimate env (o : op) : float =
+  match o with
+  | TableScan { table; _ } -> float_of_int (Stats.row_count env.stats table)
+  | ConstTable { rows; _ } -> float_of_int (List.length rows)
+  | SegmentHole _ -> env.hole_card
+  | Select (p, i) -> estimate env i *. selectivity env p
+  | Project (_, i) | Rownum { input = i; _ } | Max1row i -> estimate env i
+  | Join { kind; pred; left; right } | Apply { kind; pred; left; right } -> (
+      let cl = estimate env left and cr = estimate env right in
+      let sel = selectivity env pred in
+      match kind with
+      | Inner -> Float.max 1.0 (cl *. cr *. sel)
+      | LeftOuter -> Float.max cl (cl *. cr *. sel)
+      | Semi -> Float.max 1.0 (cl *. Float.min 1.0 (cr *. sel))
+      | Anti -> Float.max 1.0 (cl *. Float.max 0.1 (1.0 -. (cr *. sel))))
+  | SegmentApply { seg_cols; outer; inner } ->
+      let co = estimate env outer in
+      let nseg = group_card env seg_cols co in
+      let saved = env.hole_card in
+      env.hole_card <- Float.max 1.0 (co /. nseg);
+      let ci = estimate env inner in
+      env.hole_card <- saved;
+      nseg *. ci
+  | GroupBy { keys; input; _ } | LocalGroupBy { keys; input; _ } ->
+      group_card env keys (estimate env input)
+  | ScalarAgg _ -> 1.0
+  | UnionAll (l, r) -> estimate env l +. estimate env r
+  | Except (l, _) -> estimate env l

@@ -1,0 +1,62 @@
+(* Optimizer configuration: each orthogonal technique can be toggled
+   independently, which is how the benchmark harness re-creates the
+   "query processor technology levels" compared in the paper's Section 5
+   and how the ablation benches isolate one primitive at a time. *)
+
+type t = {
+  decorrelate : bool;  (** Apply removal during normalization (Section 2.3) *)
+  simplify_oj : bool;  (** outerjoin simplification (Section 1.2) *)
+  class2 : bool;  (** identities (5)-(7): duplicate common subexpressions *)
+  groupby_reorder : bool;  (** Section 3.1/3.2 reorderings *)
+  local_agg : bool;  (** Section 3.3 eager local aggregation *)
+  segment_apply : bool;  (** Section 3.4 segmented execution *)
+  correlated_exec : bool;  (** re-introduce index-lookup Apply (Section 4) *)
+  join_reorder : bool;  (** inner-join commute/associate (exposes patterns) *)
+  max_alternatives : int;  (** plan-space exploration budget *)
+  max_rounds : int;
+}
+
+let full =
+  { decorrelate = true;
+    simplify_oj = true;
+    class2 = false;
+    groupby_reorder = true;
+    local_agg = true;
+    segment_apply = true;
+    correlated_exec = true;
+    join_reorder = true;
+    max_alternatives = 400;
+    max_rounds = 6;
+  }
+
+(* A processor that executes subqueries exactly as written: no
+   flattening, no aggregate optimization.  The "correlated execution"
+   baseline of Section 1.1. *)
+let correlated_only =
+  { full with
+    decorrelate = false;
+    simplify_oj = false;
+    groupby_reorder = false;
+    local_agg = false;
+    segment_apply = false;
+    correlated_exec = false;
+    max_rounds = 0;
+  }
+
+(* Flattening and outerjoin simplification only — roughly the
+   Dayal/Kim-era processor: subqueries normalized, but no GroupBy
+   reordering or segmented execution. *)
+let decorrelated_only =
+  { full with
+    groupby_reorder = false;
+    local_agg = false;
+    segment_apply = false;
+    correlated_exec = false;
+    max_rounds = 0;
+  }
+
+let name_of c =
+  if c = full then "full"
+  else if c = correlated_only then "correlated"
+  else if c = decorrelated_only then "decorrelated"
+  else "custom"

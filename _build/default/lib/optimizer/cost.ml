@@ -1,0 +1,103 @@
+(* Cost model.
+
+   Mirrors the executor's strategy selection: joins with equi-conjuncts
+   run as hash joins, other joins as nested loops; Apply runs the inner
+   expression once per outer row, except when the inner is a filtered
+   base-table scan with an index on an equality column — then it costs
+   an index probe per outer row.  Costs are abstract work units
+   (roughly: rows touched). *)
+
+open Relalg
+open Relalg.Algebra
+
+let touch = 1.0
+let hash_build = 1.6
+let probe_cost = 2.5
+
+(* does the predicate contain a usable equi conjunct between sides? *)
+let has_equi pred (lcols : Col.Set.t) (rcols : Col.Set.t) =
+  List.exists
+    (fun c ->
+      match c with
+      | Cmp (Eq, a, b) ->
+          (Col.Set.subset (Expr.cols a) lcols && Col.Set.subset (Expr.cols b) rcols)
+          || (Col.Set.subset (Expr.cols b) lcols && Col.Set.subset (Expr.cols a) rcols)
+      | _ -> false)
+    (conjuncts pred)
+
+(* index fast path detection, mirroring Exec's [index_probe_path] *)
+let rec apply_index_path (cat : Catalog.t) (lcols : Col.Set.t) (right : op) :
+    (string * string) option =
+  match right with
+  | Project (_, i) -> apply_index_path cat lcols i
+  | Select (p, TableScan { table; cols }) ->
+      let scan_cols = Col.Set.of_list cols in
+      List.find_map
+        (fun c ->
+          match c with
+          | Cmp (Eq, ColRef rc, e) | Cmp (Eq, e, ColRef rc) ->
+              if
+                Col.Set.mem rc scan_cols
+                && Col.Set.is_empty (Col.Set.inter (Expr.cols e) scan_cols)
+                && Rules.Correlated.has_index cat table rc.Col.name
+              then Some (table, rc.Col.name)
+              else None
+          | _ -> None)
+        (conjuncts p)
+  | _ -> None
+
+let rec cost (env : Card.env) (cat : Catalog.t) (o : op) : float =
+  let card = Card.estimate env in
+  match o with
+  | TableScan _ -> card o *. touch
+  | ConstTable _ | SegmentHole _ -> card o *. touch
+  | Select (p, i) ->
+      let n = float_of_int (List.length (conjuncts p)) in
+      cost env cat i +. (card i *. 0.3 *. n)
+  | Project (_, i) -> cost env cat i +. (card i *. 0.2)
+  | Rownum { input = i; _ } -> cost env cat i +. (card i *. 0.1)
+  | Max1row i -> cost env cat i
+  | Join { kind; pred; left; right } ->
+      let cl = cost env cat left and cr = cost env cat right in
+      let nl = card left and nr = card right in
+      let out = card o in
+      let lset = Op.schema_set left and rset = Op.schema_set right in
+      if has_equi pred lset rset then
+        cl +. cr +. (hash_build *. nr) +. (1.2 *. nl) +. (0.5 *. out)
+      else begin
+        ignore kind;
+        cl +. cr +. (nl *. Float.max 1.0 nr *. 0.8) +. (0.5 *. out)
+      end
+  | Apply { left; right; _ } -> (
+      let cl = cost env cat left in
+      let nl = card left in
+      match apply_index_path cat (Op.schema_set left) right with
+      | Some (table, col) ->
+          let matched =
+            let rows = float_of_int (Stats.row_count env.stats table) in
+            let nd = float_of_int (max 1 (Stats.ndv env.stats table col)) in
+            rows /. nd
+          in
+          cl +. (nl *. (probe_cost +. matched))
+      | None ->
+          (* re-execute the inner expression per outer row *)
+          let ci = cost env cat right in
+          cl +. (nl *. Float.max 1.0 ci) +. (0.5 *. card o))
+  | SegmentApply { seg_cols; outer; inner } ->
+      let co = cost env cat outer in
+      let no = card outer in
+      let nseg = Card.group_card env seg_cols no in
+      let saved = env.hole_card in
+      env.hole_card <- Float.max 1.0 (no /. nseg);
+      let ci = cost env cat inner in
+      env.hole_card <- saved;
+      co +. (hash_build *. no) +. (nseg *. Float.max 1.0 ci)
+  | GroupBy { input; _ } | LocalGroupBy { input; _ } ->
+      cost env cat input +. (hash_build *. card input) +. (0.5 *. card o)
+  | ScalarAgg { input; _ } -> cost env cat input +. card input
+  | UnionAll (l, r) -> cost env cat l +. cost env cat r
+  | Except (l, r) -> cost env cat l +. cost env cat r +. (hash_build *. card r) +. card l
+
+let of_plan (stats : Stats.t) (o : op) : float =
+  let env = Card.make_env stats o in
+  cost env (Stats.catalog stats) o

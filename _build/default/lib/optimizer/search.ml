@@ -1,0 +1,186 @@
+(* Cost-based plan search.
+
+   The architecture follows the paper's Section 4: normalization
+   produces a canonical tree, then transformation rules generate
+   execution alternatives and the cheapest estimated plan wins.  The
+   search is a bounded transformation closure with memoized
+   deduplication — a simplification of the Volcano/Cascades engine the
+   paper's system uses, preserving its essential structure (orthogonal
+   local rules + cost-based choice among all derivable trees).
+
+   Deduplication canonicalizes column ids (rules mint fresh ids on each
+   firing, so textual identity would never fire). *)
+
+open Relalg
+open Relalg.Algebra
+
+type rule = { name : string; apply : op -> op list }
+
+let rules_for (cfg : Config.t) ~(env : Props.env) ~(cat : Catalog.t) : rule list =
+  let r name f = { name; apply = (fun o -> match f o with Some t -> [ t ] | None -> []) } in
+  let rmulti name f = { name; apply = f } in
+  List.concat
+    [ (if cfg.groupby_reorder then
+         [ r "groupby-pull-above-join" (Rules.Groupby_reorder.pull_above_join ~env);
+           r "groupby-push-below-join" (Rules.Groupby_reorder.push_below_join ~env);
+           r "groupby-push-below-outerjoin" (Rules.Groupby_reorder.push_below_outerjoin ~env);
+           r "semijoin-below-groupby" Rules.Groupby_reorder.push_semijoin_below_groupby;
+           r "semijoin-above-groupby" Rules.Groupby_reorder.pull_semijoin_above_groupby;
+           r "filter-below-groupby" Rules.Groupby_reorder.push_filter_below_groupby;
+           r "filter-above-groupby" Rules.Groupby_reorder.pull_filter_above_groupby
+         ]
+       else []);
+      (if cfg.local_agg then
+         [ r "eager-local-aggregate" Rules.Local_agg.eager_aggregate;
+           r "local-groupby-below-join" Rules.Local_agg.push_local_below_join
+         ]
+       else []);
+      (if cfg.segment_apply then
+         [ r "segment-apply-intro" Rules.Segment_apply.introduce;
+           r "segment-apply-join-pushdown" Rules.Segment_apply.push_join_below
+         ]
+       else []);
+      (if cfg.correlated_exec then
+         [ r "join-to-indexed-apply" (Rules.Correlated.join_to_apply ~cat) ]
+       else []);
+      (if cfg.join_reorder then
+         [ r "join-commute" Rules.Join_rules.commute;
+           rmulti "join-associate"
+             (fun o -> List.filter_map (fun x -> x) (Rules.Join_rules.associate o));
+           r "filter-pullup" Rules.Join_rules.filter_pullup;
+           r "project-pullup" Rules.Join_rules.project_pullup
+         ]
+       else [])
+    ]
+
+(* id-insensitive canonical form: renumber #ids by first occurrence in
+   the printed tree *)
+let canonical (o : op) : string =
+  let s = Pp.to_string o in
+  let buf = Buffer.create (String.length s) in
+  let map = Hashtbl.create 64 in
+  let next = ref 0 in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '#' then begin
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+        incr j
+      done;
+      if !j > !i + 1 then begin
+        let id = String.sub s (!i + 1) (!j - !i - 1) in
+        let canon =
+          match Hashtbl.find_opt map id with
+          | Some c -> c
+          | None ->
+              incr next;
+              let c = string_of_int !next in
+              Hashtbl.replace map id c;
+              c
+        in
+        Buffer.add_char buf '#';
+        Buffer.add_string buf canon;
+        i := !j
+      end
+      else begin
+        Buffer.add_char buf '#';
+        incr i
+      end
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(* apply [rule] at every node of [t], producing one whole tree per
+   firing position *)
+let apply_everywhere (rule : rule) (t : op) : op list =
+  let results = ref [] in
+  let rec go (node : op) (rebuild : op -> op) =
+    List.iter (fun node' -> results := rebuild node' :: !results) (rule.apply node);
+    let children = Op.children node in
+    List.iteri
+      (fun idx child ->
+        let rebuild_child c' =
+          rebuild
+            (Op.with_children node
+               (List.mapi (fun j ch -> if j = idx then c' else ch) children))
+        in
+        go child rebuild_child)
+      children
+  in
+  go t (fun x -> x);
+  !results
+
+type outcome = {
+  best : op;
+  best_cost : float;
+  explored : int;  (** number of distinct alternatives considered *)
+  seed_cost : float;
+}
+
+(* Beam-directed transformation closure: every candidate is
+   cleanup-normalized (merging/eliding trivial projections, so
+   syntactic debris from rule firings neither pollutes the memo nor
+   hides duplicates), costed once, and only the most promising
+   [beam_width] trees of each round are expanded further. *)
+let beam_width = 64
+
+let optimize ?(must = fun (_ : op) -> true) (cfg : Config.t) (stats : Stats.t)
+    ~(env : Props.env) (seed : op) : outcome =
+  (* [must]: restrict the final choice to plans satisfying a predicate
+     (used by the benches to force one strategy of the lattice);
+     exploration itself is unrestricted.  Falls back to the seed when no
+     explored plan qualifies. *)
+  let cat = Stats.catalog stats in
+  let rules = rules_for cfg ~env ~cat in
+  let seen = Hashtbl.create 128 in
+  let best = ref seed in
+  let best_cost = ref infinity in
+  let add t =
+    let t = Normalize.Simplify.cleanup t in
+    let key = canonical t in
+    if Hashtbl.mem seen key then None
+    else begin
+      Hashtbl.replace seen key ();
+      let c = Cost.of_plan stats t in
+      if c < !best_cost && must t then begin
+        best := t;
+        best_cost := c
+      end;
+      Some (c, t)
+    end
+  in
+  let seed_cost =
+    match add seed with Some (c, _) -> c | None -> Cost.of_plan stats seed
+  in
+  let frontier = ref [ (seed_cost, seed) ] in
+  let round = ref 0 in
+  let exception Budget_exhausted in
+  (try
+     while !round < cfg.max_rounds && !frontier <> [] do
+       incr round;
+       let next = ref [] in
+       List.iter
+         (fun (_, t) ->
+           List.iter
+             (fun rule ->
+               List.iter
+                 (fun t' ->
+                   if Hashtbl.length seen >= cfg.max_alternatives then
+                     raise Budget_exhausted;
+                   match add t' with
+                   | Some entry -> next := entry :: !next
+                   | None -> ())
+                 (apply_everywhere rule t))
+             rules)
+         !frontier;
+       let ranked = List.sort (fun (a, _) (b, _) -> Float.compare a b) !next in
+       frontier := List.filteri (fun i _ -> i < beam_width) ranked
+     done
+   with Budget_exhausted -> ());
+  let best_cost = if !best_cost = infinity then Cost.of_plan stats seed else !best_cost in
+  { best = !best; best_cost; explored = Hashtbl.length seen; seed_cost }

@@ -1,0 +1,36 @@
+(** Cost-based plan search.
+
+    A beam-directed transformation closure with memoized deduplication:
+    a compact stand-in for the Volcano/Cascades engine of the paper's
+    Section 4, preserving its architecture (orthogonal local rules +
+    cost-based choice). *)
+
+open Relalg
+open Relalg.Algebra
+
+type rule = { name : string; apply : op -> op list }
+
+(** The rule set enabled by a configuration. *)
+val rules_for : Config.t -> env:Props.env -> cat:Catalog.t -> rule list
+
+(** Id-insensitive canonical rendering: column ids renumbered by first
+    occurrence.  Two trees equal up to column identity share a
+    canonical form. *)
+val canonical : op -> string
+
+(** Fire a rule at every node, returning one whole tree per firing. *)
+val apply_everywhere : rule -> op -> op list
+
+type outcome = {
+  best : op;
+  best_cost : float;
+  explored : int;  (** number of distinct alternatives considered *)
+  seed_cost : float;
+}
+
+(** Explore from [seed] and return the cheapest plan.  [must] restricts
+    the final choice (not the exploration) to plans satisfying a
+    predicate — benches use it to force one strategy of the paper's
+    lattice; falls back to the seed if nothing qualifies. *)
+val optimize :
+  ?must:(op -> bool) -> Config.t -> Stats.t -> env:Props.env -> op -> outcome

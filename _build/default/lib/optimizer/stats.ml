@@ -1,0 +1,28 @@
+(* Table statistics for cardinality estimation: row counts and
+   per-column distinct counts (exact, computed on demand and cached). *)
+
+type t = {
+  db : Storage.Database.t;
+  ndv_cache : (string * string, int) Hashtbl.t;
+}
+
+let create db = { db; ndv_cache = Hashtbl.create 64 }
+
+let row_count t table =
+  match Storage.Database.table_opt t.db table with
+  | Some tb -> Storage.Table.row_count tb
+  | None -> 0
+
+let ndv t table col =
+  match Hashtbl.find_opt t.ndv_cache (table, col) with
+  | Some n -> n
+  | None ->
+      let n =
+        match Storage.Database.table_opt t.db table with
+        | Some tb -> Storage.Table.distinct_count tb col
+        | None -> 0
+      in
+      Hashtbl.replace t.ndv_cache (table, col) n;
+      n
+
+let catalog t = t.db.Storage.Database.catalog

@@ -1,0 +1,9 @@
+(** Table statistics for cardinality estimation: row counts and
+    per-column distinct counts (exact, computed on demand, cached). *)
+
+type t
+
+val create : Storage.Database.t -> t
+val row_count : t -> string -> int
+val ndv : t -> string -> string -> int
+val catalog : t -> Catalog.t

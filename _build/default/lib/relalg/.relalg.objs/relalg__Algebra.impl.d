@@ -1,0 +1,1 @@
+lib/relalg/algebra.ml: Col List Value

@@ -1,0 +1,1 @@
+lib/relalg/col.ml: Format Int List Map Set Stdlib Value

@@ -1,0 +1,1 @@
+lib/relalg/col.mli: Format Stdlib Value

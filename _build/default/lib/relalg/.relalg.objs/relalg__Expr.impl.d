@@ -1,0 +1,1 @@
+lib/relalg/expr.ml: Algebra Col Format List Option Value

@@ -1,0 +1,1 @@
+lib/relalg/expr.mli: Algebra Col Format

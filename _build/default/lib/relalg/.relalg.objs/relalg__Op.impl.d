@@ -1,0 +1,1 @@
+lib/relalg/op.ml: Algebra Array Col Expr List Value

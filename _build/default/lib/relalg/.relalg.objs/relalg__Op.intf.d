@@ -1,0 +1,1 @@
+lib/relalg/op.mli: Algebra Col

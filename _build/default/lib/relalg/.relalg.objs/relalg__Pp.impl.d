@@ -1,0 +1,1 @@
+lib/relalg/pp.ml: Algebra Buffer Col Expr Format List Op Printf String

@@ -1,0 +1,1 @@
+lib/relalg/props.ml: Algebra Array Col Expr List Op Value

@@ -1,0 +1,1 @@
+lib/relalg/props.mli: Algebra Col

@@ -1,0 +1,1 @@
+lib/relalg/value.ml: Float Format Hashtbl Printf Stdlib String

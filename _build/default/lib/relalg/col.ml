@@ -1,0 +1,45 @@
+(* Column identities.
+
+   Every column produced anywhere in a query gets a globally unique
+   integer id at creation time (bind time for base-table occurrences,
+   rewrite time for manufactured columns).  Rewrites reference columns
+   only through ids, which makes the decorrelation identities immune to
+   name capture: two scans of the same table in one query have disjoint
+   ids, and cloning a subtree re-instantiates ids through an explicit
+   substitution. *)
+
+type t = { id : int; name : string; ty : Value.ty }
+
+let counter = ref 0
+
+(* Tests reset the counter so expected plans print with stable ids. *)
+let reset_counter () = counter := 0
+
+let fresh name ty =
+  incr counter;
+  { id = !counter; name; ty }
+
+(* A renamed copy of [c] with a fresh id (used when cloning subtrees). *)
+let clone c = fresh c.name c.ty
+
+let equal a b = a.id = b.id
+let compare a b = Stdlib.compare a.id b.id
+let pp fmt c = Format.fprintf fmt "%s#%d" c.name c.id
+
+(* Integer-keyed map from column id, used where only ids are known. *)
+module IdMap = Map.Make (Int)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let set_of_list l = Set.of_list l
+let names_of set = Set.elements set |> List.map (fun c -> c.name)

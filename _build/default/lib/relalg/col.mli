@@ -1,0 +1,33 @@
+(** Column identities.
+
+    Every column produced anywhere in a query carries a globally unique
+    integer id, assigned at creation (bind time for base-table
+    occurrences, rewrite time for manufactured columns).  Rewrites
+    reference columns only through ids, making the decorrelation
+    identities immune to name capture: two scans of the same table have
+    disjoint ids, and cloning a subtree re-instantiates ids through an
+    explicit substitution. *)
+
+type t = { id : int; name : string; ty : Value.ty }
+
+(** Reset the global id counter — tests only, so expected plans print
+    with stable ids. *)
+val reset_counter : unit -> unit
+
+val fresh : string -> Value.ty -> t
+
+(** Same name and type, fresh id. *)
+val clone : t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Stdlib.Set.S with type elt = t
+module Map : Stdlib.Map.S with type key = t
+
+(** Maps keyed by the integer column id. *)
+module IdMap : Stdlib.Map.S with type key = int
+
+val set_of_list : t list -> Set.t
+val names_of : Set.t -> string list

@@ -1,0 +1,155 @@
+(* Operations over scalar expressions. *)
+
+open Algebra
+
+(* Fold over the column references of an expression.  Subquery children
+   are visited through [on_op], so callers decide whether relational
+   children count (free-variable analysis does; local analyses don't). *)
+let rec fold_cols ~on_op f acc e =
+  match e with
+  | ColRef c -> f acc c
+  | Const _ -> acc
+  | Arith (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      fold_cols ~on_op f (fold_cols ~on_op f acc a) b
+  | Not a | IsNull a | Like (a, _) -> fold_cols ~on_op f acc a
+  | Case (branches, els) ->
+      let acc =
+        List.fold_left
+          (fun acc (c, v) -> fold_cols ~on_op f (fold_cols ~on_op f acc c) v)
+          acc branches
+      in
+      (match els with Some e -> fold_cols ~on_op f acc e | None -> acc)
+  | Subquery q | Exists q -> on_op acc q
+  | InSub (a, q) -> on_op (fold_cols ~on_op f acc a) q
+  | QuantCmp (_, _, a, q) -> on_op (fold_cols ~on_op f acc a) q
+
+(* Columns referenced directly by [e], ignoring relational children. *)
+let cols e = fold_cols ~on_op:(fun acc _ -> acc) (fun s c -> Col.Set.add c s) Col.Set.empty e
+
+let has_subquery e =
+  let exception Found in
+  try
+    ignore (fold_cols ~on_op:(fun _ _ -> raise Found) (fun () _ -> ()) () e);
+    false
+  with Found -> true
+
+(* Substitute columns by expressions.  Does not descend into relational
+   children: subquery bodies resolve their own columns (outer references
+   into the substituted scope are handled by the Apply machinery before
+   any substitution happens). *)
+let rec subst (m : expr Col.IdMap.t) e =
+  match e with
+  | ColRef c -> ( match Col.IdMap.find_opt c.id m with Some e' -> e' | None -> e)
+  | Const _ -> e
+  | Arith (o, a, b) -> Arith (o, subst m a, subst m b)
+  | Cmp (o, a, b) -> Cmp (o, subst m a, subst m b)
+  | And (a, b) -> And (subst m a, subst m b)
+  | Or (a, b) -> Or (subst m a, subst m b)
+  | Not a -> Not (subst m a)
+  | IsNull a -> IsNull (subst m a)
+  | Like (a, pat) -> Like (subst m a, pat)
+  | Case (branches, els) ->
+      Case
+        ( List.map (fun (c, v) -> (subst m c, subst m v)) branches,
+          Option.map (subst m) els )
+  | Subquery _ | Exists _ | InSub _ | QuantCmp _ -> e
+
+let subst_of_projs (projs : proj list) =
+  List.fold_left (fun m p -> Col.IdMap.add p.out.id p.expr m) Col.IdMap.empty projs
+
+(* Rename columns (column -> column), including inside relational
+   children via [map_op] supplied by the caller (Op.rename needs this). *)
+let rec rename ~map_op (m : Col.t Col.IdMap.t) e =
+  let r = rename ~map_op m in
+  match e with
+  | ColRef c -> ( match Col.IdMap.find_opt c.id m with Some c' -> ColRef c' | None -> e)
+  | Const _ -> e
+  | Arith (o, a, b) -> Arith (o, r a, r b)
+  | Cmp (o, a, b) -> Cmp (o, r a, r b)
+  | And (a, b) -> And (r a, r b)
+  | Or (a, b) -> Or (r a, r b)
+  | Not a -> Not (r a)
+  | IsNull a -> IsNull (r a)
+  | Like (a, pat) -> Like (r a, pat)
+  | Case (branches, els) ->
+      Case (List.map (fun (c, v) -> (r c, r v)) branches, Option.map r els)
+  | Subquery q -> Subquery (map_op m q)
+  | Exists q -> Exists (map_op m q)
+  | InSub (a, q) -> InSub (r a, map_op m q)
+  | QuantCmp (o, qu, a, q) -> QuantCmp (o, qu, r a, map_op m q)
+
+(* An expression is strict when it evaluates to NULL whenever ALL of
+   its column references are NULL (and it references at least one
+   column).  This is the property needed to pull a projection above the
+   NULL-padded side of an outerjoin, and the paper's agg-on-NULLs
+   condition of Sections 2.3/3.2: the padding nulls every inner column
+   at once.  Arithmetic and comparisons propagate NULL from either
+   operand, so one strict operand suffices; AND/OR need both (3VL:
+   NULL AND FALSE = FALSE). *)
+let rec strict = function
+  | ColRef _ -> true
+  | Const _ -> false
+  | Arith (_, a, b) -> strict a || strict b
+  | Cmp (_, a, b) -> strict a || strict b
+  | And (a, b) | Or (a, b) -> strict a && strict b
+  | Not a -> strict a
+  | Like (a, _) -> strict a
+  | IsNull _ -> false
+  | Case _ -> false
+  | Subquery _ | Exists _ | InSub _ | QuantCmp _ -> false
+
+(* Does predicate [p], used as a filter, reject rows in which column [c]
+   is NULL?  Sound under-approximation; the basis of outerjoin
+   simplification (Galindo-Legaria & Rosenthal, used in Section 1.2). *)
+let rec null_rejected_cols (p : expr) : Col.Set.t =
+  match p with
+  | Cmp (_, a, b) ->
+      (* unknown comparison filters the row; strict operands propagate *)
+      Col.Set.union (strict_cols a) (strict_cols b)
+  | And (a, b) -> Col.Set.union (null_rejected_cols a) (null_rejected_cols b)
+  | Or (a, b) -> Col.Set.inter (null_rejected_cols a) (null_rejected_cols b)
+  | Not (IsNull e) -> strict_cols e
+  | Not _ -> Col.Set.empty
+  | ColRef c -> Col.Set.singleton c (* boolean column used as predicate *)
+  | _ -> Col.Set.empty
+
+(* Columns c such that "c is NULL implies e is NULL". *)
+and strict_cols (e : expr) : Col.Set.t =
+  match e with
+  | ColRef c -> Col.Set.singleton c
+  | Arith (_, a, b) | Cmp (_, a, b) -> Col.Set.union (strict_cols a) (strict_cols b)
+  | Not a | Like (a, _) -> strict_cols a
+  | _ -> Col.Set.empty
+
+let pp_cmpop fmt o =
+  Format.pp_print_string fmt
+    (match o with Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")
+
+let pp_arithop fmt o =
+  Format.pp_print_string fmt
+    (match o with Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%")
+
+let rec pp fmt e =
+  match e with
+  | ColRef c -> Col.pp fmt c
+  | Const v -> Value.pp fmt v
+  | Arith (o, a, b) -> Format.fprintf fmt "(%a %a %a)" pp a pp_arithop o pp b
+  | Cmp (o, a, b) -> Format.fprintf fmt "(%a %a %a)" pp a pp_cmpop o pp b
+  | And (a, b) -> Format.fprintf fmt "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf fmt "(%a OR %a)" pp a pp b
+  | Not a -> Format.fprintf fmt "NOT %a" pp a
+  | IsNull a -> Format.fprintf fmt "%a IS NULL" pp a
+  | Like (a, pat) -> Format.fprintf fmt "%a LIKE '%s'" pp a pat
+  | Case (branches, els) ->
+      Format.fprintf fmt "CASE";
+      List.iter (fun (c, v) -> Format.fprintf fmt " WHEN %a THEN %a" pp c pp v) branches;
+      (match els with Some e -> Format.fprintf fmt " ELSE %a" pp e | None -> ());
+      Format.fprintf fmt " END"
+  | Subquery _ -> Format.fprintf fmt "SUBQUERY(...)"
+  | Exists _ -> Format.fprintf fmt "EXISTS(...)"
+  | InSub (a, _) -> Format.fprintf fmt "%a IN (...)" pp a
+  | QuantCmp (o, q, a, _) ->
+      Format.fprintf fmt "%a %a %s (...)" pp a pp_cmpop o
+        (match q with Any -> "ANY" | All -> "ALL")
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,44 @@
+(** Operations over scalar expressions. *)
+
+open Algebra
+
+(** Fold over column references; relational children (subqueries) are
+    visited through [on_op]. *)
+val fold_cols :
+  on_op:('acc -> op -> 'acc) -> ('acc -> Col.t -> 'acc) -> 'acc -> expr -> 'acc
+
+(** Columns referenced directly (ignores relational children). *)
+val cols : expr -> Col.Set.t
+
+val has_subquery : expr -> bool
+
+(** Substitute columns by expressions (does not descend into relational
+    children). *)
+val subst : expr Col.IdMap.t -> expr -> expr
+
+(** The substitution defined by a projection list: output -> defining
+    expression. *)
+val subst_of_projs : proj list -> expr Col.IdMap.t
+
+(** Rename columns, including inside relational children via [map_op]
+    (normally {!Op.rename}). *)
+val rename : map_op:(Col.t Col.IdMap.t -> op -> op) -> Col.t Col.IdMap.t -> expr -> expr
+
+(** [strict e]: e evaluates to NULL whenever ALL of its column
+    references are NULL (and it has at least one).  The paper's
+    agg-on-NULLs condition: outerjoin padding nulls every inner column
+    at once. *)
+val strict : expr -> bool
+
+(** Columns on which a filter predicate rejects NULL (rows with the
+    column NULL cannot pass).  The basis of outerjoin
+    simplification. *)
+val null_rejected_cols : expr -> Col.Set.t
+
+(** Columns c with "c NULL implies e NULL". *)
+val strict_cols : expr -> Col.Set.t
+
+val pp_cmpop : Format.formatter -> cmpop -> unit
+val pp_arithop : Format.formatter -> arithop -> unit
+val pp : Format.formatter -> expr -> unit
+val to_string : expr -> string

@@ -1,0 +1,53 @@
+(** Operations over relational operator trees. *)
+
+open Algebra
+
+(** Output schema: the ordered list of columns the operator produces.
+    Join/Apply with [Semi]/[Anti] keep the left schema only;
+    [SegmentApply] produces outer ++ inner. *)
+val schema : op -> Col.t list
+
+val schema_set : op -> Col.Set.t
+
+(** Relational children, left to right. *)
+val children : op -> op list
+
+(** Rebuild an operator with new children (same arity).
+    @raise Invalid_argument on arity mismatch. *)
+val with_children : op -> op list -> op
+
+(** The scalar expressions attached directly to the operator (not those
+    of its children): select/join/apply predicates, projections,
+    aggregate arguments. *)
+val local_exprs : op -> expr list
+
+(** Free (outer) references: columns used by the subtree but not
+    produced by it — the paper's correlation.  Scalar subquery children
+    contribute their own free references. *)
+val free_cols : op -> Col.Set.t
+
+(** [correlated_with inner left]: does [inner] reference columns
+    produced by [left]?  The test of identities (1)/(2). *)
+val correlated_with : op -> op -> bool
+
+val uses_cols : op -> Col.Set.t -> bool
+
+(** Rename columns throughout the tree (produced and referenced). *)
+val rename : Col.t Col.IdMap.t -> op -> op
+
+(** Deep copy with fresh ids for every column produced inside the
+    subtree; free references are untouched.  Returns the mapping
+    old-column-id -> fresh column.  Needed by the identities that
+    duplicate a subexpression — (5), (6), (7) — and by SegmentApply
+    introduction. *)
+val clone_fresh : op -> op * Col.t Col.IdMap.t
+
+(** Structural isomorphism up to column renaming; on success returns
+    the column bijection (first tree's columns -> second's).  Used by
+    SegmentApply introduction (paper Section 3.4.1) to detect two
+    instances of the same expression. *)
+val iso : op -> op -> Col.t Col.IdMap.t option
+
+val map_bottom_up : (op -> op) -> op -> op
+val exists_op : (op -> bool) -> op -> bool
+val count_ops : op -> int

@@ -1,0 +1,17 @@
+(** Plan rendering, used by EXPLAIN and by tests asserting tree shapes
+    (the paper's Figures 2, 3, 5, 6, 7). *)
+
+open Algebra
+
+val agg_to_string : agg -> string
+val cols_to_string : Col.t list -> string
+
+(** One-line label of a single operator. *)
+val label : op -> string
+
+(** Indented multi-line tree rendering (includes column ids). *)
+val to_string : op -> string
+
+(** Shape-only rendering without column ids or predicates, robust
+    against id renumbering. *)
+val shape : op -> string

@@ -1,0 +1,37 @@
+(** Derived logical properties — sound under-approximations.
+
+    These drive the paper's preconditions: identities (7)-(9) need keys,
+    identity (9) and the Section 3.2 compensation need non-nullability,
+    Max1row elision needs cardinality bounds, and column pruning needs
+    functional dependencies. *)
+
+open Algebra
+
+type key = Col.Set.t
+
+(** Base-table keys come from the environment (catalog). *)
+type env = { table_key : string -> string list }
+
+val default_env : env
+
+(** Candidate keys of the operator's output. *)
+val keys : ?env:env -> op -> key list
+
+val has_key : ?env:env -> op -> bool
+
+(** Is [cols] a superset of some key of the output? *)
+val covers_key : ?env:env -> op -> Col.Set.t -> bool
+
+(** Functional-dependency closure of a column set within the tree:
+    base-table keys determine all columns of their scan, grouping
+    columns determine aggregate outputs, pass-through projections
+    propagate. *)
+val fd_closure : ?env:env -> op -> Col.Set.t -> Col.Set.t
+
+(** Provably at most one output row per invocation (the paper's
+    "compiler can detect this from information about keys", used to
+    elide Max1row). *)
+val max_one_row : ?env:env -> op -> bool
+
+(** Output columns guaranteed non-NULL. *)
+val nonnullable : op -> Col.Set.t

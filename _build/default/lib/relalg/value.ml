@@ -1,0 +1,145 @@
+(* Runtime values for the bag-relational engine.
+
+   SQL NULL is a first-class value; three-valued logic lives in the
+   comparison helpers below ([cmp_sql] returns [None] when either side is
+   NULL) while [compare] is a total order used for hashing, sorting and
+   grouping (where SQL treats NULLs as equal and orders them first). *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Date of int  (** days since 1970-01-01 *)
+
+type ty = TInt | TFloat | TStr | TBool | TDate
+
+let ty_name = function
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TStr -> "string"
+  | TBool -> "bool"
+  | TDate -> "date"
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some TInt
+  | Float _ -> Some TFloat
+  | Str _ -> Some TStr
+  | Bool _ -> Some TBool
+  | Date _ -> Some TDate
+
+let is_null = function Null -> true | _ -> false
+
+(* Total order: Null < Bool < Int/Float (numeric, compared by value) <
+   Str < Date.  Int and Float compare numerically across the two
+   representations so that mixed arithmetic results group correctly. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Str _ -> 3
+  | Date _ -> 4
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | Date x, Date y -> Stdlib.compare x y
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash (v : t) =
+  match v with
+  | Null -> 17
+  | Bool b -> if b then 3 else 5
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+  | Date d -> 31 * Hashtbl.hash d
+
+(* SQL comparison: [None] when either operand is NULL (unknown). *)
+let cmp_sql a b =
+  match a, b with
+  | Null, _ | _, Null -> None
+  | _ -> Some (compare a b)
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
+(* Arithmetic follows SQL: NULL-strict; integer ops stay integral,
+   mixed ops promote to float.  Division by zero yields NULL rather than
+   a runtime error so that speculative evaluation inside rewritten plans
+   is safe (the engine never needs division errors for the paper's
+   workloads). *)
+let arith op a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> (
+      match op with
+      | `Add -> Int (x + y)
+      | `Sub -> Int (x - y)
+      | `Mul -> Int (x * y)
+      | `Div -> if y = 0 then Null else Float (float_of_int x /. float_of_int y)
+      | `Mod -> if y = 0 then Null else Int (x mod y))
+  | _ -> (
+      match to_float a, to_float b with
+      | Some x, Some y -> (
+          match op with
+          | `Add -> Float (x +. y)
+          | `Sub -> Float (x -. y)
+          | `Mul -> Float (x *. y)
+          | `Div -> if y = 0. then Null else Float (x /. y)
+          | `Mod -> if y = 0. then Null else Float (Float.rem x y))
+      | _ -> Null)
+
+let date_to_string (d : int) =
+  (* Civil-from-days algorithm (Howard Hinnant), valid for our range. *)
+  let z = d + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let day = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  let y = if m <= 2 then y + 1 else y in
+  Printf.sprintf "%04d-%02d-%02d" y m day
+
+let date_of_ymd y m day =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = if m > 2 then m - 3 else m + 9 in
+  let doy = (((153 * mp) + 2) / 5) + day - 1 in
+  let doe = (365 * yoe) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let date_of_string s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] -> (
+      try Some (date_of_ymd (int_of_string y) (int_of_string m) (int_of_string d))
+      with Failure _ -> None)
+  | _ -> None
+
+let to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+      else Printf.sprintf "%.4f" f
+  | Str s -> s
+  | Bool b -> if b then "true" else "false"
+  | Date d -> date_to_string d
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

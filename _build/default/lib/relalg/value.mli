@@ -1,0 +1,50 @@
+(** Runtime values for the bag-relational engine.
+
+    SQL NULL is a first-class value.  Three-valued logic lives in
+    {!cmp_sql} (which is undefined — [None] — when either side is NULL),
+    while {!compare} is the total order used for hashing, sorting and
+    grouping, where SQL treats NULLs as equal and smallest. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Date of int  (** days since 1970-01-01 *)
+
+type ty = TInt | TFloat | TStr | TBool | TDate
+
+val ty_name : ty -> string
+
+(** [None] for NULL. *)
+val type_of : t -> ty option
+
+val is_null : t -> bool
+
+(** Total order: NULL first; [Int] and [Float] compare numerically
+    across representations. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** Consistent with {!equal}: [Int n] and [Float (float n)] hash
+    alike. *)
+val hash : t -> int
+
+(** SQL comparison: [None] (unknown) when either operand is NULL. *)
+val cmp_sql : t -> t -> int option
+
+val to_float : t -> float option
+
+(** SQL arithmetic: NULL-strict; [Int op Int] stays integral except
+    division; division by zero yields NULL. *)
+val arith : [ `Add | `Sub | `Mul | `Div | `Mod ] -> t -> t -> t
+
+(** Civil-calendar conversions (proleptic Gregorian). *)
+val date_to_string : int -> string
+
+val date_of_ymd : int -> int -> int -> int
+val date_of_string : string -> int option
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

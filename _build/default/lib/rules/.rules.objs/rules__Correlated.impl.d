@@ -1,0 +1,1 @@
+lib/rules/correlated.ml: Catalog Col Expr List Op Relalg

@@ -1,0 +1,1 @@
+lib/rules/correlated.mli: Catalog Relalg

@@ -1,0 +1,1 @@
+lib/rules/groupby_reorder.ml: Col Expr List Op Option Props Relalg Value

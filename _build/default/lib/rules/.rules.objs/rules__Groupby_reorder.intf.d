@@ -1,0 +1,1 @@
+lib/rules/groupby_reorder.mli: Props Relalg

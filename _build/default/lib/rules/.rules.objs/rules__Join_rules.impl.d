@@ -1,0 +1,1 @@
+lib/rules/join_rules.ml: Col Expr Hashtbl List Op Relalg

@@ -1,0 +1,1 @@
+lib/rules/local_agg.ml: Col Expr List Op Relalg Value

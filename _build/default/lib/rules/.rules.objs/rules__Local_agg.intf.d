@@ -1,0 +1,1 @@
+lib/rules/local_agg.mli: Relalg

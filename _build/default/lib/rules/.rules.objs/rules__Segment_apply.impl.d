@@ -1,0 +1,1 @@
+lib/rules/segment_apply.ml: Col Expr List Op Relalg

@@ -1,0 +1,1 @@
+lib/rules/segment_apply.mli: Relalg

@@ -1,0 +1,68 @@
+(* Re-introduction of correlated execution during cost-based
+   optimization (paper Section 4: "introduction of correlated execution
+   (the simplest and most common being index-lookup-join)").
+
+   Normalization removes correlations; when the outer side is small and
+   an index exists on the inner join column, a correlated nested-loops
+   plan with index lookups beats the set-oriented plan.  The rule turns
+   a join whose right side is a (possibly filtered/projected) base-table
+   scan with an index on an equijoin column back into an Apply; the
+   executor's index fast path then probes per outer row. *)
+
+open Relalg
+open Relalg.Algebra
+
+(* does the table have a declared single-column index on [col]? *)
+let has_index (cat : Catalog.t) table col =
+  match Catalog.find_table cat table with
+  | None -> false
+  | Some def ->
+      List.exists (function [ c ] -> c = col | _ -> false) def.indexes
+      || def.primary_key = [ col ]
+
+let rec scan_of (o : op) : (string * Col.t list) option =
+  match o with
+  | TableScan { table; cols } -> Some (table, cols)
+  | Select (_, i) -> scan_of i
+  | Project (_, i) -> scan_of i
+  | _ -> None
+
+let join_to_apply ~(cat : Catalog.t) (o : op) : op option =
+  match o with
+  | Join { kind; pred; left; right } -> (
+      match scan_of right with
+      | None -> None
+      | Some (table, cols) ->
+          let lcols = Op.schema_set left in
+          let scan_cols = Col.Set.of_list cols in
+          (* find an equi conjunct left-expr = indexed scan column *)
+          let indexed_eq =
+            List.exists
+              (fun c ->
+                match c with
+                | Cmp (Eq, ColRef rc, e) | Cmp (Eq, e, ColRef rc) ->
+                    Col.Set.mem rc scan_cols
+                    && Col.Set.subset (Expr.cols e) lcols
+                    && has_index cat table rc.Col.name
+                | _ -> false)
+              (conjuncts pred)
+          in
+          if indexed_eq then
+            (* the predicate moves into the inner expression, where the
+               executor recognizes the index probe *)
+            let right' =
+              match right with
+              | Select (p, i) -> Select (conj pred p, i)
+              | i -> Select (pred, i)
+            in
+            Some (Apply { kind; pred = true_; left; right = right' })
+          else None)
+  | _ -> None
+
+(* The inverse: execute a decorrelatable Apply as a join (covered by the
+   normalizer; provided for completeness in the rule set). *)
+let apply_to_join (o : op) : op option =
+  match o with
+  | Apply { kind; pred; left; right } when not (Op.correlated_with right left) ->
+      Some (Join { kind; pred; left; right })
+  | _ -> None

@@ -1,0 +1,16 @@
+(** Re-introduction of correlated execution during cost-based
+    optimization (paper Section 4): a join whose inner side is a
+    filtered base-table scan with an index on an equijoin column can
+    run as an index-lookup Apply. *)
+
+open Relalg.Algebra
+
+val has_index : Catalog.t -> string -> string -> bool
+
+(** Turn an eligible join back into an Apply whose inner select the
+    executor recognizes as an index probe. *)
+val join_to_apply : cat:Catalog.t -> op -> op option
+
+(** The inverse (identities (1)/(2)); provided for rule-set
+    completeness. *)
+val apply_to_join : op -> op option

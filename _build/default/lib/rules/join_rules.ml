@@ -1,0 +1,152 @@
+(* Inner-join commutativity and associativity, with equality-closure
+   predicate derivation.
+
+   The optimizer needs modest join reordering to expose the patterns
+   the paper's techniques match — e.g. TPC-H Q17's
+   (lineitem ⋈ part) ⋈ agg(lineitem) must re-associate to
+   (lineitem ⋈ agg(lineitem)) ⋈ part before SegmentApply introduction
+   (Section 3.4.1) can see the two lineitem instances joined together.
+
+   Transitive equality closure derives the predicate for the new inner
+   join: from l=p and p=l2, re-associating lineitem next to the
+   aggregate derives l=l2. *)
+
+open Relalg
+open Relalg.Algebra
+
+let project_restore (cols : Col.t list) (o : op) : op =
+  Project (List.map (fun c -> { expr = ColRef c; out = c }) cols, o)
+
+(* union-find over column ids, seeded from equality conjuncts *)
+let equality_classes (conjs : expr list) : (int, int) Hashtbl.t * (int, Col.t) Hashtbl.t =
+  let parent = Hashtbl.create 16 in
+  let col_of = Hashtbl.create 16 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | Some p when p <> x ->
+        let r = find p in
+        Hashtbl.replace parent x r;
+        r
+    | Some _ -> x
+    | None ->
+        Hashtbl.replace parent x x;
+        x
+  in
+  let union x y =
+    let rx = find x and ry = find y in
+    if rx <> ry then Hashtbl.replace parent rx ry
+  in
+  List.iter
+    (fun c ->
+      match c with
+      | Cmp (Eq, ColRef a, ColRef b) ->
+          Hashtbl.replace col_of a.Col.id a;
+          Hashtbl.replace col_of b.Col.id b;
+          union a.Col.id b.Col.id
+      | _ -> ())
+    conjs;
+  (* normalize parents *)
+  let roots = Hashtbl.create 16 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace roots k (find k)) parent;
+  (roots, col_of)
+
+(* equality conjuncts implied between column set [xs] and [ys] *)
+let implied_equalities conjs (xs : Col.Set.t) (ys : Col.Set.t) : expr list =
+  let roots, col_of = equality_classes conjs in
+  let res = ref [] in
+  Hashtbl.iter
+    (fun xid xroot ->
+      match Hashtbl.find_opt col_of xid with
+      | Some xc when Col.Set.mem xc xs ->
+          Hashtbl.iter
+            (fun yid yroot ->
+              if xroot = yroot && xid <> yid then
+                match Hashtbl.find_opt col_of yid with
+                | Some yc when Col.Set.mem yc ys ->
+                    res := Cmp (Eq, ColRef xc, ColRef yc) :: !res
+                | _ -> ())
+            roots
+      | _ -> ())
+    roots;
+  !res
+
+let commute (o : op) : op option =
+  match o with
+  | Join { kind = Inner; pred; left; right } ->
+      Some
+        (project_restore (Op.schema o)
+           (Join { kind = Inner; pred; left = right; right = left }))
+  | _ -> None
+
+(* (A ⋈q B) ⋈p C: produce (A ⋈ C) ⋈ B and (B ⋈ C) ⋈ A, when the new
+   inner join has at least one equality conjunct (derived via closure
+   if necessary). *)
+let associate (o : op) : op option list =
+  match o with
+  | Join { kind = Inner; pred = p; left = Join { kind = Inner; pred = q; left = a; right = b }; right = c } ->
+      let conjs = conjuncts p @ conjuncts q in
+      let build x y other =
+        let xs = Op.schema_set x and ys = Op.schema_set y in
+        let xy = Col.Set.union xs ys in
+        let inner_direct, rest =
+          List.partition (fun cj -> Col.Set.subset (Expr.cols cj) xy) conjs
+        in
+        let implied =
+          if List.exists (fun cj -> match cj with Cmp (Eq, _, _) -> true | _ -> false) inner_direct
+          then []
+          else implied_equalities conjs xs ys
+        in
+        if inner_direct = [] && implied = [] then None
+        else begin
+          let has_eq =
+            List.exists
+              (fun cj -> match cj with Cmp (Eq, _, _) -> true | _ -> false)
+              (inner_direct @ implied)
+          in
+          if not has_eq then None
+          else
+            let inner =
+              Join { kind = Inner; pred = conj_list (inner_direct @ implied); left = x; right = y }
+            in
+            let outer_pred = match rest with [] -> true_ | _ -> conj_list rest in
+            let j = Join { kind = Inner; pred = outer_pred; left = inner; right = other } in
+            Some (project_restore (Op.schema o) j)
+        end
+      in
+      [ build a c b; build b c a ]
+  | _ -> []
+
+let associate_one (o : op) : op option =
+  match List.filter_map (fun x -> x) (associate o) with t :: _ -> Some t | [] -> None
+
+(* Pull a filter above an inner join (the inverse of predicate
+   pushdown).  Exposes patterns to other rules — e.g. Kim's derived
+   table formulation needs the HAVING filter above the join before the
+   GroupBy can be pulled. *)
+let filter_pullup (o : op) : op option =
+  match o with
+  | Join { kind = Inner; pred; left; right = Select (q, r) } ->
+      Some (Select (q, Join { kind = Inner; pred; left; right = r }))
+  | Join { kind = Inner; pred; left = Select (q, l); right } ->
+      Some (Select (q, Join { kind = Inner; pred; left = l; right }))
+  | _ -> None
+
+(* Pull a projection above an inner join, substituting its definitions
+   into the join predicate. *)
+let project_pullup (o : op) : op option =
+  match o with
+  | Join { kind = Inner; pred; left; right = Project (ps, r) } ->
+      let sub = Expr.subst_of_projs ps in
+      let pass = List.map (fun (c : Col.t) -> { expr = ColRef c; out = c }) (Op.schema left) in
+      Some
+        (Project
+           ( pass @ ps,
+             Join { kind = Inner; pred = Expr.subst sub pred; left; right = r } ))
+  | Join { kind = Inner; pred; left = Project (ps, l); right } ->
+      let sub = Expr.subst_of_projs ps in
+      let pass = List.map (fun (c : Col.t) -> { expr = ColRef c; out = c }) (Op.schema right) in
+      Some
+        (Project
+           ( ps @ pass,
+             Join { kind = Inner; pred = Expr.subst sub pred; left = l; right } ))
+  | _ -> None

@@ -1,0 +1,180 @@
+(* Local aggregates (paper Section 3.3).
+
+   An aggregate f splits into a local part fl and a global part fg with
+   f(∪Si) = fg(∪ fl(Si)).  The standard SQL aggregates split as:
+
+       sum   -> local sum,   global sum
+       count -> local count, global sum
+       min   -> local min,   global min
+       max   -> local max,   global max
+       avg   -> local (sum, count), global sum/sum + computing project
+
+   [split] introduces LocalGroupBy below a GroupBy; [eager_*] push the
+   LocalGroupBy below a join input (eager aggregation, Yan & Larson),
+   extending its grouping columns with the join predicate's columns —
+   the freedom Section 3.3 highlights. *)
+
+open Relalg
+open Relalg.Algebra
+
+let split_aggs (aggs : agg list) : (agg list * agg list * proj list) option =
+  (* returns (local aggs, global aggs, computing projections keyed by
+     original output ids) *)
+  let locals = ref [] and globals = ref [] and projs = ref [] in
+  let ok =
+    List.for_all
+      (fun (a : agg) ->
+        match a.fn with
+        | CountStar ->
+            let l = { fn = CountStar; out = Col.fresh "lcnt" Value.TInt } in
+            let g = { fn = Sum (ColRef l.out); out = Col.fresh "gcnt" Value.TInt } in
+            locals := l :: !locals;
+            globals := g :: !globals;
+            projs := { expr = ColRef g.out; out = a.out } :: !projs;
+            true
+        | Count e ->
+            let l = { fn = Count e; out = Col.fresh "lcnt" Value.TInt } in
+            let g = { fn = Sum (ColRef l.out); out = Col.fresh "gcnt" Value.TInt } in
+            locals := l :: !locals;
+            globals := g :: !globals;
+            projs := { expr = ColRef g.out; out = a.out } :: !projs;
+            true
+        | Sum e ->
+            let l = { fn = Sum e; out = Col.fresh "lsum" Value.TFloat } in
+            let g = { fn = Sum (ColRef l.out); out = Col.fresh "gsum" Value.TFloat } in
+            locals := l :: !locals;
+            globals := g :: !globals;
+            projs := { expr = ColRef g.out; out = a.out } :: !projs;
+            true
+        | Min e ->
+            let l = { fn = Min e; out = Col.fresh "lmin" Value.TFloat } in
+            let g = { fn = Min (ColRef l.out); out = Col.fresh "gmin" Value.TFloat } in
+            locals := l :: !locals;
+            globals := g :: !globals;
+            projs := { expr = ColRef g.out; out = a.out } :: !projs;
+            true
+        | Max e ->
+            let l = { fn = Max e; out = Col.fresh "lmax" Value.TFloat } in
+            let g = { fn = Max (ColRef l.out); out = Col.fresh "gmax" Value.TFloat } in
+            locals := l :: !locals;
+            globals := g :: !globals;
+            projs := { expr = ColRef g.out; out = a.out } :: !projs;
+            true
+        | Avg e ->
+            (* composite: decompose into primitive local/global parts
+               (paper, footnote 3) *)
+            let ls = { fn = Sum e; out = Col.fresh "lsum" Value.TFloat } in
+            let lc = { fn = Count e; out = Col.fresh "lcnt" Value.TInt } in
+            let gs = { fn = Sum (ColRef ls.out); out = Col.fresh "gsum" Value.TFloat } in
+            let gc = { fn = Sum (ColRef lc.out); out = Col.fresh "gcnt" Value.TInt } in
+            locals := lc :: ls :: !locals;
+            globals := gc :: gs :: !globals;
+            (* division by a zero count yields NULL in this engine,
+               which is exactly avg's empty/all-NULL result *)
+            projs :=
+              { expr = Arith (Div, ColRef gs.out, ColRef gc.out); out = a.out } :: !projs;
+            true)
+      aggs
+  in
+  if ok then Some (List.rev !locals, List.rev !globals, List.rev !projs) else None
+
+(* G_{A,F} R  =  π (G_{A,Fg} (LG_{A,Fl} R)) *)
+let split (o : op) : op option =
+  match o with
+  | GroupBy { input = LocalGroupBy _; _ } -> None  (* already split *)
+  | GroupBy { keys; aggs; input } when aggs <> [] -> (
+      match split_aggs aggs with
+      | None -> None
+      | Some (locals, globals, projs) ->
+          let lg = LocalGroupBy { keys; aggs = locals; input } in
+          let g = GroupBy { keys; aggs = globals; input = lg } in
+          let pass = List.map (fun c -> { expr = ColRef c; out = c }) keys in
+          Some (Project (pass @ projs, g)))
+  | _ -> None
+
+(* Push a LocalGroupBy below one input of a join, extending its
+   grouping columns by the join predicate's columns on that side.
+   Requires the local aggregate inputs to come from that side. *)
+let push_local_below_join (o : op) : op option =
+  match o with
+  | LocalGroupBy { keys; aggs; input = Join { kind = Inner; pred; left = s; right = r } } ->
+      let rcols = Op.schema_set r and scols = Op.schema_set s in
+      let a = Col.Set.of_list keys in
+      let pcols = Expr.cols pred in
+      let agg_cols =
+        List.fold_left
+          (fun acc (ag : agg) ->
+            match agg_input_expr ag.fn with
+            | None -> acc
+            | Some e -> Col.Set.union acc (Expr.cols e))
+          Col.Set.empty aggs
+      in
+      if Col.Set.subset agg_cols rcols then begin
+        (* push onto the right input *)
+        let rkeys =
+          Col.Set.elements
+            (Col.Set.union (Col.Set.inter a rcols) (Col.Set.inter pcols rcols))
+        in
+        let lg = LocalGroupBy { keys = rkeys; aggs; input = r } in
+        Some (Join { kind = Inner; pred; left = s; right = lg })
+      end
+      else if Col.Set.subset agg_cols scols then begin
+        let skeys =
+          Col.Set.elements
+            (Col.Set.union (Col.Set.inter a scols) (Col.Set.inter pcols scols))
+        in
+        let lg = LocalGroupBy { keys = skeys; aggs; input = s } in
+        Some (Join { kind = Inner; pred; left = lg; right = r })
+      end
+      else None
+  | _ -> None
+
+(* Composite rule: eager aggregation in one step —
+   G_{A,F}(S ⋈p R) with aggregate inputs from R becomes
+   π (G_{A,Fg} (S ⋈p (LG_{(A∪cols p)∩cols R, Fl} R))).
+   Unlike the full GroupBy pushdown of Section 3.1 this needs NO key on
+   S and no condition on A: the global GroupBy recombines partials. *)
+let eager_aggregate (o : op) : op option =
+  match o with
+  | GroupBy { input = Join { left = LocalGroupBy _; _ }; _ }
+  | GroupBy { input = Join { right = LocalGroupBy _; _ }; _ } ->
+      None  (* already eager *)
+  | GroupBy { keys; aggs; input = Join { kind = Inner; pred; left = s; right = r } }
+    when aggs <> [] -> (
+      match split_aggs aggs with
+      | None -> None
+      | Some (locals, globals, projs) ->
+          let rcols = Op.schema_set r and scols = Op.schema_set s in
+          let local_cols =
+            List.fold_left
+              (fun acc (ag : agg) ->
+                match agg_input_expr ag.fn with
+                | None -> acc
+                | Some e -> Col.Set.union acc (Expr.cols e))
+              Col.Set.empty locals
+          in
+          let a = Col.Set.of_list keys and pcols = Expr.cols pred in
+          let build side_cols mk =
+            let lkeys =
+              Col.Set.elements
+                (Col.Set.union (Col.Set.inter a side_cols) (Col.Set.inter pcols side_cols))
+            in
+            let g = GroupBy { keys; aggs = globals; input = mk lkeys } in
+            let pass = List.map (fun c -> { expr = ColRef c; out = c }) keys in
+            Some (Project (pass @ projs, g))
+          in
+          if Col.Set.subset local_cols rcols then
+            build rcols (fun lkeys ->
+                Join
+                  { kind = Inner; pred; left = s;
+                    right = LocalGroupBy { keys = lkeys; aggs = locals; input = r }
+                  })
+          else if Col.Set.subset local_cols scols && not (Col.Set.is_empty local_cols) then
+            build scols (fun lkeys ->
+                Join
+                  { kind = Inner; pred;
+                    left = LocalGroupBy { keys = lkeys; aggs = locals; input = s };
+                    right = r
+                  })
+          else None)
+  | _ -> None

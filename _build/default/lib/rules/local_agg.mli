@@ -1,0 +1,19 @@
+(** Local aggregates (paper Section 3.3): split an aggregate into a
+    local (partial) part and a global (recombining) part, then push the
+    LocalGroupBy below joins — eager aggregation. *)
+
+open Relalg.Algebra
+
+(** Split every aggregate of a GroupBy into local/global pairs:
+    G_{A,F} R = π (G_{A,Fg} (LG_{A,Fl} R)).  [None] when already split.
+    avg decomposes into (sum, count) with a computing projection. *)
+val split : op -> op option
+
+(** Push a LocalGroupBy below one input of an inner join, extending its
+    grouping columns with the join predicate's columns on that side. *)
+val push_local_below_join : op -> op option
+
+(** One-step eager aggregation: G_{A,F}(S ⋈p R) with aggregate inputs
+    from R becomes π (G_{A,Fg} (S ⋈p (LG_{(A∪cols p)∩cols R, Fl} R))).
+    Needs no key on S: the global GroupBy recombines partials. *)
+val eager_aggregate : op -> op option

@@ -1,0 +1,20 @@
+(** Segmented execution (paper Section 3.4).
+
+    SegmentApply evaluates a parameterized expression once per segment
+    of its input — the algebraic form of groupwise processing, enabling
+    TPC-H Q17's order-of-magnitude plan. *)
+
+open Relalg.Algebra
+
+(** 3.4.1: when a join (inner, semi, anti or left outer) connects two
+    instances of the same expression — one possibly wrapped in extra
+    filter/projection/aggregation layers — and the predicate equates a
+    column of one instance with its own image in the other, rewrite as
+    SegmentApply over that column.  The join variant carries into the
+    per-segment expression. *)
+val introduce : op -> op option
+
+(** 3.4.2: (R SA_A E) ⋈p T = (R ⋈p T) SA_{A ∪ cols(T)} E when
+    cols(p) ⊆ A ∪ cols(T); matches through the projection the
+    introduction rule leaves on top. *)
+val push_join_below : op -> op option

@@ -1,0 +1,1 @@
+lib/sqlfront/binder.ml: Ast Catalog Col Format List Op Option Parser Relalg Value

@@ -1,0 +1,1 @@
+lib/sqlfront/binder.mli: Algebra Ast Catalog Col Relalg

@@ -1,0 +1,1 @@
+lib/sqlfront/lexer.ml: Buffer List Printf String Token

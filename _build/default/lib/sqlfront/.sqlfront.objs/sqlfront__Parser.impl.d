@@ -1,0 +1,1 @@
+lib/sqlfront/parser.ml: Ast Format Lexer List Relalg Token

@@ -1,0 +1,1 @@
+lib/sqlfront/token.ml: List Printf String

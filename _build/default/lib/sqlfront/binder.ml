@@ -1,0 +1,444 @@
+(* Name resolution and algebrization.
+
+   Produces the "direct algebraic representation" of Section 2.1: an
+   operator tree in which scalar expressions may still contain
+   relational children (Subquery / Exists / InSub / QuantCmp nodes).
+   Normalization removes those.
+
+   Conventions established here, following the paper:
+   - DISTINCT becomes a no-aggregate GroupBy (Section 1.1, footnote 1).
+   - IN (subquery) becomes =ANY; NOT IN becomes <>ALL; NOT is pushed
+     through the boolean structure (sound in 3VL because SQL's filter
+     semantics treat FALSE and UNKNOWN alike and negation of a
+     comparison maps UNKNOWN to UNKNOWN).
+   - Every base-table occurrence gets fresh column ids. *)
+
+open Relalg
+open Relalg.Algebra
+
+exception Bind_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Bind_error s)) fmt
+
+type scope_entry = { alias : string; entry_cols : (string * Col.t) list }
+type scope = scope_entry list
+
+type bound = {
+  op : op;
+  outputs : (string * Col.t) list;  (** display name, column *)
+  order : (Col.t * bool) list;  (** sort column, descending? *)
+  limit : int option;
+}
+
+(* mode for expression binding *)
+type mode = {
+  scopes : scope list;  (** innermost first; entries beyond the head are outer *)
+  group_cols : Col.Set.t option;  (** Some = grouped context: bare columns must come from here *)
+  collector : (agg list ref * scope list) option;
+      (** aggregate collector and the pre-group scopes agg args bind in *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Column resolution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_in_scope (sc : scope) qual name : Col.t option =
+  match qual with
+  | Some q -> (
+      match List.find_opt (fun e -> e.alias = q) sc with
+      | None -> None
+      | Some e -> List.assoc_opt name e.entry_cols)
+  | None -> (
+      let hits =
+        List.filter_map (fun e -> List.assoc_opt name e.entry_cols) sc
+      in
+      match hits with
+      | [] -> None
+      | [ c ] -> Some c
+      | _ -> fail "ambiguous column reference %s" name)
+
+let resolve (scopes : scope list) qual name : Col.t =
+  let rec go = function
+    | [] ->
+        fail "unknown column %s%s" (match qual with Some q -> q ^ "." | None -> "") name
+    | sc :: rest -> ( match resolve_in_scope sc qual name with Some c -> c | None -> go rest)
+  in
+  go scopes
+
+(* ------------------------------------------------------------------ *)
+(* NOT pushdown (3VL-sound)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let negate_cmp = function Eq -> Ne | Ne -> Eq | Lt -> Ge | Le -> Gt | Gt -> Le | Ge -> Lt
+let negate_quant = function Any -> All | All -> Any
+
+let rec push_not (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.EAnd (a, b) -> Ast.EOr (push_not a, push_not b)
+  | Ast.EOr (a, b) -> Ast.EAnd (push_not a, push_not b)
+  | Ast.ENot a -> a
+  | Ast.ECmp (op, a, b) -> Ast.ECmp (negate_cmp op, a, b)
+  | Ast.EIsNull (n, a) -> Ast.EIsNull (not n, a)
+  | Ast.EQuant (op, q, a, sub) -> Ast.EQuant (negate_cmp op, negate_quant q, a, sub)
+  | Ast.EInSub (n, a, sub) -> Ast.EInSub (not n, a, sub)
+  | Ast.EInList (n, a, es) -> Ast.EInList (not n, a, es)
+  | Ast.EBetween (n, a, lo, hi) -> Ast.EBetween (not n, a, lo, hi)
+  | Ast.ELike (n, a, p) -> Ast.ELike (not n, a, p)
+  | e -> Ast.ENot e
+
+(* ------------------------------------------------------------------ *)
+(* Expression binding                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let agg_of_name name (arg : expr option) : agg_fn =
+  match name, arg with
+  | "count", None -> CountStar
+  | "count", Some e -> Count e
+  | "sum", Some e -> Sum e
+  | "avg", Some e -> Avg e
+  | "min", Some e -> Min e
+  | "max", Some e -> Max e
+  | n, _ -> fail "unknown aggregate %s" n
+
+(* bind_query is mutually recursive with expression binding because of
+   subqueries *)
+let rec bind_expr (cat : Catalog.t) (m : mode) (e : Ast.expr) : expr =
+  let be = bind_expr cat m in
+  match e with
+  | Ast.EInt i -> Const (Value.Int i)
+  | Ast.EFloat f -> Const (Value.Float f)
+  | Ast.EStr s -> Const (Value.Str s)
+  | Ast.EBool b -> Const (Value.Bool b)
+  | Ast.ENull -> Const Value.Null
+  | Ast.EDate s -> (
+      match Value.date_of_string s with
+      | Some d -> Const (Value.Date d)
+      | None -> fail "invalid date literal '%s'" s)
+  | Ast.ECol (qual, name) ->
+      let c = resolve m.scopes qual name in
+      (match m.group_cols with
+      | Some gs when not (Col.Set.mem c gs) ->
+          (* bare column in a grouped context must be a grouping column;
+             outer references (resolved beyond the current scope) are
+             parameters and exempt *)
+          let in_current =
+            match m.scopes with
+            | sc :: _ -> resolve_in_scope sc qual name <> None
+            | [] -> false
+          in
+          if in_current then
+            fail "column %s must appear in GROUP BY or inside an aggregate" name
+      | _ -> ());
+      ColRef c
+  | Ast.EArith (op, a, b) -> Arith (op, be a, be b)
+  | Ast.ENeg a -> Arith (Sub, Const (Value.Int 0), be a)
+  | Ast.ECmp (op, a, b) -> Cmp (op, be a, be b)
+  | Ast.EAnd (a, b) -> And (be a, be b)
+  | Ast.EOr (a, b) -> Or (be a, be b)
+  | Ast.ENot a -> (
+      match push_not a with
+      | Ast.ENot a' -> Not (be a')  (* irreducible *)
+      | pushed -> be pushed)
+  | Ast.EIsNull (false, a) -> IsNull (be a)
+  | Ast.EIsNull (true, a) -> Not (IsNull (be a))
+  | Ast.EBetween (false, a, lo, hi) ->
+      let ba = be a in
+      And (Cmp (Ge, ba, be lo), Cmp (Le, ba, be hi))
+  | Ast.EBetween (true, a, lo, hi) ->
+      let ba = be a in
+      Or (Cmp (Lt, ba, be lo), Cmp (Gt, ba, be hi))
+  | Ast.ELike (false, a, p) -> Like (be a, p)
+  | Ast.ELike (true, a, p) -> Not (Like (be a, p))
+  | Ast.EInList (false, a, es) ->
+      let ba = be a in
+      List.fold_left
+        (fun acc e -> Or (acc, Cmp (Eq, ba, be e)))
+        (Const (Value.Bool false))
+        es
+  | Ast.EInList (true, a, es) ->
+      let ba = be a in
+      List.fold_left
+        (fun acc e -> And (acc, Cmp (Ne, ba, be e)))
+        (Const (Value.Bool true))
+        es
+  | Ast.ECase (branches, els) ->
+      Case (List.map (fun (c, v) -> (be c, be v)) branches, Option.map be els)
+  | Ast.EAgg (name, distinct, arg) -> (
+      if distinct then fail "DISTINCT aggregates are not supported";
+      match m.collector with
+      | None -> fail "aggregate %s is not allowed in this context" name
+      | Some (collected, arg_scopes) ->
+          let arg_mode = { scopes = arg_scopes; group_cols = None; collector = None } in
+          let barg = Option.map (bind_expr cat arg_mode) arg in
+          let fn = agg_of_name name barg in
+          (* reuse an existing identical aggregate *)
+          let existing =
+            List.find_opt (fun a -> agg_same a.fn fn) !collected
+          in
+          let a =
+            match existing with
+            | Some a -> a
+            | None ->
+                let out = Col.fresh (agg_display name) Value.TFloat in
+                let a = { fn; out } in
+                collected := !collected @ [ a ];
+                a
+          in
+          ColRef a.out)
+  | Ast.EScalarSub q ->
+      let b = bind_query cat m.scopes q in
+      (match b.outputs with
+      | [ _ ] -> Subquery b.op
+      | _ -> fail "scalar subquery must return exactly one column")
+  | Ast.EExists q ->
+      let b = bind_query cat m.scopes q in
+      Exists b.op
+  | Ast.EInSub (negated, a, q) ->
+      let b = bind_query cat m.scopes q in
+      (match b.outputs with
+      | [ _ ] -> ()
+      | _ -> fail "IN subquery must return exactly one column");
+      let ba = be a in
+      if negated then QuantCmp (Ne, All, ba, b.op) else QuantCmp (Eq, Any, ba, b.op)
+  | Ast.EQuant (op, quant, a, q) ->
+      let b = bind_query cat m.scopes q in
+      (match b.outputs with
+      | [ _ ] -> ()
+      | _ -> fail "quantified subquery must return exactly one column");
+      QuantCmp (op, quant, be a, b.op)
+
+and agg_same a b =
+  match a, b with
+  | CountStar, CountStar -> true
+  | Count x, Count y | Sum x, Sum y | Min x, Min y | Max x, Max y | Avg x, Avg y -> x = y
+  | _ -> false
+
+and agg_display = function "count" -> "cnt" | n -> n
+
+(* ------------------------------------------------------------------ *)
+(* FROM binding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+and bind_table_ref (cat : Catalog.t) (outer : scope list) (t : Ast.table_ref) :
+    op * scope =
+  match t with
+  | Ast.TTable (name, alias) -> (
+      match Catalog.find_table cat name with
+      | None -> fail "unknown table %s" name
+      | Some def ->
+          let cols =
+            List.map (fun (c : Catalog.column) -> Col.fresh c.col_name c.col_ty) def.columns
+          in
+          let entry_cols = List.map (fun (c : Col.t) -> (c.name, c)) cols in
+          ( TableScan { table = name; cols },
+            [ { alias = Option.value ~default:name alias; entry_cols } ] ))
+  | Ast.TDerived (q, alias) ->
+      let b = bind_query cat outer q in
+      (b.op, [ { alias; entry_cols = b.outputs } ])
+  | Ast.TJoin (l, jt, r, on) ->
+      let lop, lsc = bind_table_ref cat outer l in
+      let rop, rsc = bind_table_ref cat outer r in
+      let sc = lsc @ rsc in
+      let m = { scopes = sc :: outer; group_cols = None; collector = None } in
+      let pred = bind_expr cat m on in
+      let kind = match jt with Ast.JInner -> Inner | Ast.JLeft -> LeftOuter in
+      (Join { kind; pred; left = lop; right = rop }, sc)
+
+(* ------------------------------------------------------------------ *)
+(* Query binding                                                      *)
+(* ------------------------------------------------------------------ *)
+
+and bind_query (cat : Catalog.t) (outer : scope list) (q : Ast.query) : bound =
+  (* FROM: comma list is a cross join *)
+  let from_op, scope =
+    match q.from with
+    | [] -> (ConstTable { cols = []; rows = [ [||] ] }, [])
+    | t :: rest ->
+        List.fold_left
+          (fun (lop, lsc) tr ->
+            let rop, rsc = bind_table_ref cat outer tr in
+            (Join { kind = Inner; pred = true_; left = lop; right = rop }, lsc @ rsc))
+          (bind_table_ref cat outer t)
+          rest
+  in
+  let scopes = scope :: outer in
+  let pre_mode = { scopes; group_cols = None; collector = None } in
+  (* WHERE *)
+  let where_op =
+    match q.where with
+    | None -> from_op
+    | Some w -> Select (bind_expr cat pre_mode w, from_op)
+  in
+  (* grouping analysis *)
+  let rec ast_has_agg (e : Ast.expr) =
+    match e with
+    | Ast.EAgg _ -> true
+    | Ast.EArith (_, a, b) | Ast.ECmp (_, a, b) | Ast.EAnd (a, b) | Ast.EOr (a, b)
+    | Ast.EBetween (_, a, _, b) ->
+        ast_has_agg a || ast_has_agg b
+    | Ast.ENot a | Ast.ENeg a | Ast.EIsNull (_, a) | Ast.ELike (_, a, _) -> ast_has_agg a
+    | Ast.ECase (bs, els) ->
+        List.exists (fun (c, v) -> ast_has_agg c || ast_has_agg v) bs
+        || (match els with Some e -> ast_has_agg e | None -> false)
+    | Ast.EInList (_, a, es) -> ast_has_agg a || List.exists ast_has_agg es
+    | Ast.EInSub (_, a, _) | Ast.EQuant (_, _, a, _) -> ast_has_agg a
+    | _ -> false
+  in
+  let select_exprs =
+    List.filter_map (function Ast.SExpr (e, _) -> Some e | Ast.SStar -> None) q.select
+  in
+  let any_agg =
+    q.group_by <> []
+    || List.exists ast_has_agg select_exprs
+    || (match q.having with Some h -> ast_has_agg h | None -> false)
+    || List.exists (fun (e, _) -> ast_has_agg e) q.order_by
+  in
+  let grouped_op, group_cols, aggs_ref, post_scopes =
+    if not any_agg then (where_op, None, None, scopes)
+    else begin
+      (* bind grouping expressions; non-column expressions get a
+         pre-projection *)
+      let pre_projs = ref [] in
+      let keys =
+        List.map
+          (fun ge ->
+            match bind_expr cat pre_mode ge with
+            | ColRef c -> c
+            | e ->
+                let out = Col.fresh "gexpr" Value.TStr in
+                pre_projs := { expr = e; out } :: !pre_projs;
+                out)
+          q.group_by
+      in
+      let input =
+        match !pre_projs with
+        | [] -> where_op
+        | ps ->
+            let pass =
+              List.map (fun c -> { expr = ColRef c; out = c }) (Op.schema where_op)
+            in
+            Project (pass @ List.rev ps, where_op)
+      in
+      let aggs = ref [] in
+      (* operator built after select/having/order binding fills aggs *)
+      (input, Some keys, Some aggs, scopes)
+    end
+  in
+  let collector =
+    match aggs_ref with Some r -> Some (r, post_scopes) | None -> None
+  in
+  let post_mode =
+    { scopes = post_scopes;
+      group_cols = Option.map Col.Set.of_list group_cols;
+      collector
+    }
+  in
+  (* HAVING *)
+  let having_bound = Option.map (bind_expr cat post_mode) q.having in
+  (* SELECT list *)
+  let expand_star () =
+    List.concat_map (fun e -> List.map (fun (n, c) -> (n, ColRef c)) e.entry_cols) scope
+  in
+  let items =
+    List.concat_map
+      (function
+        | Ast.SStar -> expand_star ()
+        | Ast.SExpr (e, alias) ->
+            let name =
+              match alias, e with
+              | Some a, _ -> a
+              | None, Ast.ECol (_, n) -> n
+              | None, Ast.EAgg (n, _, _) -> n
+              | None, _ -> "expr"
+            in
+            [ (name, bind_expr cat post_mode e) ])
+      q.select
+  in
+  (* ORDER BY: reuse a select item when the AST matches an alias or the
+     same expression; otherwise bind as a hidden extra output *)
+  let order_bound =
+    List.map
+      (fun (e, desc) ->
+        let matching =
+          match e with
+          | Ast.ECol (None, n) -> (
+              match List.find_opt (fun (name, _) -> name = n) items with
+              | Some (_, be) -> Some be
+              | None -> None)
+          | _ -> None
+        in
+        let be = match matching with Some b -> b | None -> bind_expr cat post_mode e in
+        (be, desc))
+      q.order_by
+  in
+  (* assemble: grouping operator *)
+  let op_after_group =
+    match group_cols, aggs_ref with
+    | None, _ -> grouped_op
+    | Some [], Some aggs when !aggs <> [] -> ScalarAgg { aggs = !aggs; input = grouped_op }
+    | Some [], Some _ ->
+        (* aggregate-free GROUP BY () cannot happen; treat as scalar agg
+           over nothing *)
+        grouped_op
+    | Some keys, Some aggs -> GroupBy { keys; aggs = !aggs; input = grouped_op }
+    | Some _, None -> assert false
+  in
+  let op_after_having =
+    match having_bound with
+    | None -> op_after_group
+    | Some h -> Select (h, op_after_group)
+  in
+  (* final projection, with hidden order-by columns appended *)
+  let projs =
+    List.map
+      (fun (name, e) ->
+        let ty =
+          match e with ColRef c -> c.Col.ty | Const (Value.Int _) -> Value.TInt | _ -> Value.TFloat
+        in
+        (name, { expr = e; out = Col.fresh name ty }))
+      items
+  in
+  let order_projs =
+    List.map
+      (fun (e, desc) ->
+        match
+          List.find_opt (fun (_, p) -> p.expr = e) projs
+        with
+        | Some (_, p) -> ({ expr = ColRef p.out; out = p.out }, desc, true)
+        | None -> ({ expr = e; out = Col.fresh "orderkey" Value.TFloat }, desc, false))
+      order_bound
+  in
+  let extra = List.filter_map (fun (p, _, reused) -> if reused then None else Some p) order_projs in
+  let proj_op = Project (List.map snd projs @ extra, op_after_having) in
+  (* DISTINCT: a no-aggregate GroupBy over the visible outputs *)
+  let final_op =
+    if q.distinct then begin
+      if extra <> [] then fail "ORDER BY items must appear in the select list when DISTINCT is used";
+      GroupBy { keys = List.map (fun (_, p) -> p.out) projs; aggs = []; input = proj_op }
+    end
+    else proj_op
+  in
+  (* UNION ALL blocks: bind each independently, combine positionally *)
+  let final_op =
+    if q.union_all = [] then final_op
+    else begin
+      if extra <> [] then
+        fail "ORDER BY expressions must appear in the select list when UNION ALL is used";
+      List.fold_left
+        (fun acc block ->
+          let bb = bind_query cat outer { block with union_all = [] } in
+          if List.length bb.outputs <> List.length items then
+            fail "UNION ALL blocks must have the same number of columns";
+          UnionAll (acc, bb.op))
+        final_op q.union_all
+    end
+  in
+  { op = final_op;
+    outputs = List.map (fun (n, p) -> (n, p.out)) projs;
+    order = List.map (fun (p, desc, _) -> (p.out, desc)) order_projs;
+    limit = q.limit
+  }
+
+(* Convenience: parse and bind. *)
+let bind_sql (cat : Catalog.t) (sql : string) : bound =
+  bind_query cat [] (Parser.parse sql)

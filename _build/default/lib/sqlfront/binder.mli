@@ -1,0 +1,35 @@
+(** Name resolution and algebrization.
+
+    Produces the "direct algebraic representation" of the paper's
+    Section 2.1: an operator tree whose scalar expressions may still
+    contain relational children; normalization removes those.
+
+    Conventions (following the paper): DISTINCT becomes a no-aggregate
+    GroupBy; IN (subquery) becomes =ANY and NOT IN becomes <>ALL, with
+    NOT pushed through the boolean structure (3VL-sound); every
+    base-table occurrence gets fresh column ids. *)
+
+open Relalg
+
+exception Bind_error of string
+
+(** One FROM item's visible columns. *)
+type scope_entry = { alias : string; entry_cols : (string * Col.t) list }
+
+type scope = scope_entry list
+
+type bound = {
+  op : Algebra.op;
+  outputs : (string * Col.t) list;  (** display name, column *)
+  order : (Col.t * bool) list;  (** sort column, descending? *)
+  limit : int option;
+}
+
+(** Bind a query under a stack of outer scopes (innermost first); names
+    resolving beyond the head scope become correlations. *)
+val bind_query : Catalog.t -> scope list -> Ast.query -> bound
+
+(** Parse and bind a SQL string.
+    @raise Parser.Parse_error
+    @raise Bind_error *)
+val bind_sql : Catalog.t -> string -> bound

@@ -1,0 +1,80 @@
+(* Hand-written SQL lexer. *)
+
+exception Lex_error of string * int  (** message, position *)
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : Token.t list =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let rec go i =
+    if i >= n then emit Token.EOF
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '-' ->
+          (* line comment *)
+          let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+          go (skip (i + 2))
+      | '(' -> emit Token.LPAREN; go (i + 1)
+      | ')' -> emit Token.RPAREN; go (i + 1)
+      | ',' -> emit Token.COMMA; go (i + 1)
+      | '.' -> emit Token.DOT; go (i + 1)
+      | '*' -> emit Token.STAR; go (i + 1)
+      | '+' -> emit Token.PLUS; go (i + 1)
+      | '-' -> emit Token.MINUS; go (i + 1)
+      | '/' -> emit Token.SLASH; go (i + 1)
+      | '%' -> emit Token.PERCENT; go (i + 1)
+      | ';' -> emit Token.SEMI; go (i + 1)
+      | '=' -> emit Token.EQ; go (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit Token.NE; go (i + 2)
+      | '<' ->
+          if i + 1 < n && src.[i + 1] = '=' then (emit Token.LE; go (i + 2))
+          else if i + 1 < n && src.[i + 1] = '>' then (emit Token.NE; go (i + 2))
+          else (emit Token.LT; go (i + 1))
+      | '>' ->
+          if i + 1 < n && src.[i + 1] = '=' then (emit Token.GE; go (i + 2))
+          else (emit Token.GT; go (i + 1))
+      | '\'' ->
+          (* string literal; '' escapes a quote *)
+          let buf = Buffer.create 16 in
+          let rec str j =
+            if j >= n then raise (Lex_error ("unterminated string", i))
+            else if src.[j] = '\'' then
+              if j + 1 < n && src.[j + 1] = '\'' then (
+                Buffer.add_char buf '\'';
+                str (j + 2))
+              else j + 1
+            else (
+              Buffer.add_char buf src.[j];
+              str (j + 1))
+          in
+          let j = str (i + 1) in
+          emit (Token.STRING (Buffer.contents buf));
+          go j
+      | c when is_digit c ->
+          let rec num j = if j < n && is_digit src.[j] then num (j + 1) else j in
+          let j = num i in
+          if j < n && src.[j] = '.' && j + 1 < n && is_digit src.[j + 1] then begin
+            let k = num (j + 1) in
+            emit (Token.FLOAT (float_of_string (String.sub src i (k - i))));
+            go k
+          end
+          else begin
+            emit (Token.INT (int_of_string (String.sub src i (j - i))));
+            go j
+          end
+      | c when is_ident_start c ->
+          let rec id j = if j < n && is_ident_char src.[j] then id (j + 1) else j in
+          let j = id i in
+          let word = String.sub src i (j - i) in
+          if Token.is_keyword word then emit (Token.KEYWORD (String.uppercase_ascii word))
+          else emit (Token.IDENT (String.lowercase_ascii word));
+          go j
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, i))
+  in
+  go 0;
+  List.rev !tokens

@@ -1,0 +1,372 @@
+(* Recursive-descent SQL parser.
+
+   Expression precedence, loosest first:
+     OR < AND < NOT < (comparison | IS | IN | BETWEEN | LIKE | quantified)
+        < + - < * / % < unary minus < primary *)
+
+exception Parse_error of string
+
+type state = { mutable toks : Token.t list }
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let peek st = match st.toks with [] -> Token.EOF | t :: _ -> t
+
+let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> Token.EOF
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let eat st tok =
+  if peek st = tok then advance st
+  else fail "expected %s but found %s" (Token.to_string tok) (Token.to_string (peek st))
+
+let eat_kw st kw =
+  match peek st with
+  | Token.KEYWORD k when k = kw -> advance st
+  | t -> fail "expected %s but found %s" kw (Token.to_string t)
+
+let is_kw st kw = match peek st with Token.KEYWORD k -> k = kw | _ -> false
+
+let accept_kw st kw = if is_kw st kw then (advance st; true) else false
+
+let ident st =
+  match peek st with
+  | Token.IDENT s -> advance st; s
+  | t -> fail "expected identifier but found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+
+let cmp_of_token = function
+  | Token.EQ -> Some Relalg.Algebra.Eq
+  | Token.NE -> Some Relalg.Algebra.Ne
+  | Token.LT -> Some Relalg.Algebra.Lt
+  | Token.LE -> Some Relalg.Algebra.Le
+  | Token.GT -> Some Relalg.Algebra.Gt
+  | Token.GE -> Some Relalg.Algebra.Ge
+  | _ -> None
+
+let agg_names = [ "count"; "sum"; "avg"; "min"; "max" ]
+
+let rec parse_core st : Ast.query =
+  eat_kw st "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  let select = parse_select_list st in
+  let from = if accept_kw st "FROM" then parse_from_list st else [] in
+  let where = if accept_kw st "WHERE" then Some (parse_expr st) else None in
+  let group_by =
+    if is_kw st "GROUP" then begin
+      eat_kw st "GROUP";
+      eat_kw st "BY";
+      parse_expr_list st
+    end
+    else []
+  in
+  let having = if accept_kw st "HAVING" then Some (parse_expr st) else None in
+  { distinct; select; from; where; group_by; having; union_all = [];
+    order_by = []; limit = None }
+
+and parse_query st : Ast.query =
+  let first = parse_core st in
+  let rec unions acc =
+    if accept_kw st "UNION" then begin
+      eat_kw st "ALL";
+      unions (parse_core st :: acc)
+    end
+    else List.rev acc
+  in
+  let union_all = unions [] in
+  let order_by =
+    if is_kw st "ORDER" then begin
+      eat_kw st "ORDER";
+      eat_kw st "BY";
+      let item () =
+        let e = parse_expr st in
+        if accept_kw st "DESC" then (e, true)
+        else begin
+          ignore (accept_kw st "ASC");
+          (e, false)
+        end
+      in
+      let rec items acc =
+        let it = item () in
+        if peek st = Token.COMMA then (advance st; items (it :: acc))
+        else List.rev (it :: acc)
+      in
+      items []
+    end
+    else []
+  in
+  let limit =
+    if accept_kw st "LIMIT" then
+      match peek st with
+      | Token.INT i -> advance st; Some i
+      | t -> fail "expected integer after LIMIT, found %s" (Token.to_string t)
+    else None
+  in
+  { first with union_all; order_by; limit }
+
+and parse_select_list st =
+  let item () =
+    if peek st = Token.STAR then (advance st; Ast.SStar)
+    else begin
+      let e = parse_expr st in
+      let alias =
+        if accept_kw st "AS" then Some (ident st)
+        else
+          match peek st with Token.IDENT s -> advance st; Some s | _ -> None
+      in
+      Ast.SExpr (e, alias)
+    end
+  in
+  let rec items acc =
+    let it = item () in
+    if peek st = Token.COMMA then (advance st; items (it :: acc)) else List.rev (it :: acc)
+  in
+  items []
+
+and parse_expr_list st =
+  let rec items acc =
+    let e = parse_expr st in
+    if peek st = Token.COMMA then (advance st; items (e :: acc)) else List.rev (e :: acc)
+  in
+  items []
+
+and parse_from_list st =
+  let rec items acc =
+    let t = parse_table_ref st in
+    if peek st = Token.COMMA then (advance st; items (t :: acc)) else List.rev (t :: acc)
+  in
+  items []
+
+and parse_table_ref st =
+  let primary () =
+    if peek st = Token.LPAREN then begin
+      advance st;
+      let q = parse_query st in
+      eat st Token.RPAREN;
+      ignore (accept_kw st "AS");
+      let alias = ident st in
+      Ast.TDerived (q, alias)
+    end
+    else begin
+      let name = ident st in
+      let alias =
+        if accept_kw st "AS" then Some (ident st)
+        else
+          match peek st with Token.IDENT s -> advance st; Some s | _ -> None
+      in
+      Ast.TTable (name, alias)
+    end
+  in
+  let rec joins left =
+    if is_kw st "JOIN" || is_kw st "INNER" || is_kw st "LEFT" then begin
+      let jt =
+        if accept_kw st "LEFT" then begin
+          ignore (accept_kw st "OUTER");
+          Ast.JLeft
+        end
+        else begin
+          ignore (accept_kw st "INNER");
+          Ast.JInner
+        end
+      in
+      eat_kw st "JOIN";
+      let right = primary () in
+      eat_kw st "ON";
+      let cond = parse_expr st in
+      joins (Ast.TJoin (left, jt, right, cond))
+    end
+    else left
+  in
+  joins (primary ())
+
+and parse_expr st = parse_or st
+
+and parse_or st =
+  let l = parse_and st in
+  if accept_kw st "OR" then Ast.EOr (l, parse_or st) else l
+
+and parse_and st =
+  let l = parse_not st in
+  if accept_kw st "AND" then Ast.EAnd (l, parse_and st) else l
+
+and parse_not st =
+  if accept_kw st "NOT" then Ast.ENot (parse_not st) else parse_predicate st
+
+(* comparison / IS NULL / IN / BETWEEN / LIKE / quantified, all
+   non-associative over additive expressions *)
+and parse_predicate st =
+  let l = parse_additive st in
+  match peek st with
+  | Token.KEYWORD "IS" ->
+      advance st;
+      let negated = accept_kw st "NOT" in
+      eat_kw st "NULL";
+      Ast.EIsNull (negated, l)
+  | Token.KEYWORD "NOT" -> (
+      advance st;
+      match peek st with
+      | Token.KEYWORD "IN" -> advance st; parse_in st ~negated:true l
+      | Token.KEYWORD "BETWEEN" -> advance st; parse_between st ~negated:true l
+      | Token.KEYWORD "LIKE" -> advance st; parse_like st ~negated:true l
+      | t -> fail "expected IN/BETWEEN/LIKE after NOT, found %s" (Token.to_string t))
+  | Token.KEYWORD "IN" -> advance st; parse_in st ~negated:false l
+  | Token.KEYWORD "BETWEEN" -> advance st; parse_between st ~negated:false l
+  | Token.KEYWORD "LIKE" -> advance st; parse_like st ~negated:false l
+  | t -> (
+      match cmp_of_token t with
+      | None -> l
+      | Some op -> (
+          advance st;
+          (* quantified comparison? *)
+          match peek st with
+          | Token.KEYWORD ("ANY" | "SOME") ->
+              advance st;
+              eat st Token.LPAREN;
+              let q = parse_query st in
+              eat st Token.RPAREN;
+              Ast.EQuant (op, Relalg.Algebra.Any, l, q)
+          | Token.KEYWORD "ALL" ->
+              advance st;
+              eat st Token.LPAREN;
+              let q = parse_query st in
+              eat st Token.RPAREN;
+              Ast.EQuant (op, Relalg.Algebra.All, l, q)
+          | _ -> Ast.ECmp (op, l, parse_additive st)))
+
+and parse_in st ~negated l =
+  eat st Token.LPAREN;
+  if is_kw st "SELECT" then begin
+    let q = parse_query st in
+    eat st Token.RPAREN;
+    Ast.EInSub (negated, l, q)
+  end
+  else begin
+    let es = parse_expr_list st in
+    eat st Token.RPAREN;
+    Ast.EInList (negated, l, es)
+  end
+
+and parse_between st ~negated l =
+  let lo = parse_additive st in
+  eat_kw st "AND";
+  let hi = parse_additive st in
+  Ast.EBetween (negated, l, lo, hi)
+
+and parse_like st ~negated l =
+  match peek st with
+  | Token.STRING s -> advance st; Ast.ELike (negated, l, s)
+  | t -> fail "LIKE requires a string literal pattern, found %s" (Token.to_string t)
+
+and parse_additive st =
+  let rec go l =
+    match peek st with
+    | Token.PLUS -> advance st; go (Ast.EArith (Relalg.Algebra.Add, l, parse_multiplicative st))
+    | Token.MINUS -> advance st; go (Ast.EArith (Relalg.Algebra.Sub, l, parse_multiplicative st))
+    | _ -> l
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go l =
+    match peek st with
+    | Token.STAR -> advance st; go (Ast.EArith (Relalg.Algebra.Mul, l, parse_unary st))
+    | Token.SLASH -> advance st; go (Ast.EArith (Relalg.Algebra.Div, l, parse_unary st))
+    | Token.PERCENT -> advance st; go (Ast.EArith (Relalg.Algebra.Mod, l, parse_unary st))
+    | _ -> l
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  if peek st = Token.MINUS then (advance st; Ast.ENeg (parse_unary st))
+  else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Token.INT i -> advance st; Ast.EInt i
+  | Token.FLOAT f -> advance st; Ast.EFloat f
+  | Token.STRING s -> advance st; Ast.EStr s
+  | Token.KEYWORD "NULL" -> advance st; Ast.ENull
+  | Token.KEYWORD "TRUE" -> advance st; Ast.EBool true
+  | Token.KEYWORD "FALSE" -> advance st; Ast.EBool false
+  | Token.KEYWORD "DATE" -> (
+      advance st;
+      match peek st with
+      | Token.STRING s -> advance st; Ast.EDate s
+      | t -> fail "expected date literal string, found %s" (Token.to_string t))
+  | Token.KEYWORD "CASE" ->
+      advance st;
+      let rec branches acc =
+        if accept_kw st "WHEN" then begin
+          let c = parse_expr st in
+          eat_kw st "THEN";
+          let v = parse_expr st in
+          branches ((c, v) :: acc)
+        end
+        else List.rev acc
+      in
+      let bs = branches [] in
+      let els = if accept_kw st "ELSE" then Some (parse_expr st) else None in
+      eat_kw st "END";
+      Ast.ECase (bs, els)
+  | Token.KEYWORD "EXISTS" ->
+      advance st;
+      eat st Token.LPAREN;
+      let q = parse_query st in
+      eat st Token.RPAREN;
+      Ast.EExists q
+  | Token.LPAREN ->
+      advance st;
+      if is_kw st "SELECT" then begin
+        let q = parse_query st in
+        eat st Token.RPAREN;
+        Ast.EScalarSub q
+      end
+      else begin
+        let e = parse_expr st in
+        eat st Token.RPAREN;
+        e
+      end
+  | Token.IDENT name when List.mem name agg_names && peek2 st = Token.LPAREN ->
+      advance st;
+      eat st Token.LPAREN;
+      let distinct = accept_kw st "DISTINCT" in
+      if peek st = Token.STAR then begin
+        advance st;
+        eat st Token.RPAREN;
+        if name <> "count" then fail "only count accepts *";
+        Ast.EAgg ("count", distinct, None)
+      end
+      else begin
+        let e = parse_expr st in
+        eat st Token.RPAREN;
+        Ast.EAgg (name, distinct, Some e)
+      end
+  | Token.IDENT name ->
+      advance st;
+      if peek st = Token.DOT then begin
+        advance st;
+        let col = ident st in
+        Ast.ECol (Some name, col)
+      end
+      else Ast.ECol (None, name)
+  | t -> fail "unexpected token %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+
+let parse (src : string) : Ast.query =
+  let st = { toks = Lexer.tokenize src } in
+  let q = parse_query st in
+  (if peek st = Token.SEMI then advance st);
+  (match peek st with
+  | Token.EOF -> ()
+  | t -> fail "trailing input at %s" (Token.to_string t));
+  q
+
+let parse_expr_string (src : string) : Ast.expr =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expr st in
+  (match peek st with
+  | Token.EOF -> ()
+  | t -> fail "trailing input at %s" (Token.to_string t));
+  e

@@ -1,0 +1,58 @@
+(* SQL tokens. *)
+
+type t =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string  (** lower-cased *)
+  | KEYWORD of string  (** upper-cased, from the keyword list *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | SEMI
+  | EOF
+
+let keywords =
+  [ "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "ORDER";
+    "ASC"; "DESC"; "LIMIT"; "AS"; "ON"; "JOIN"; "INNER"; "LEFT"; "OUTER";
+    "AND"; "OR"; "NOT"; "IS"; "NULL"; "IN"; "EXISTS"; "BETWEEN"; "LIKE";
+    "ANY"; "ALL"; "SOME"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END"; "UNION";
+    "EXCEPT"; "DATE"; "TRUE"; "FALSE" ]
+
+let is_keyword s = List.mem (String.uppercase_ascii s) keywords
+
+let to_string = function
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | IDENT s -> s
+  | KEYWORD s -> s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | SEMI -> ";"
+  | EOF -> "<eof>"

@@ -1,0 +1,1 @@
+lib/storage/database.ml: Catalog Hashtbl List Table

@@ -1,0 +1,1 @@
+lib/storage/database.mli: Catalog Hashtbl Table

@@ -1,0 +1,38 @@
+(* A database: a catalog plus loaded tables. *)
+
+type t = {
+  catalog : Catalog.t;
+  tables : (string, Table.t) Hashtbl.t;
+}
+
+let create (catalog : Catalog.t) : t =
+  let tables = Hashtbl.create 16 in
+  List.iter
+    (fun name ->
+      match Catalog.find_table catalog name with
+      | Some def -> Hashtbl.replace tables name (Table.create def)
+      | None -> ())
+    (Catalog.table_names catalog);
+  { catalog; tables }
+
+let table t name : Table.t =
+  match Hashtbl.find_opt t.tables name with
+  | Some tb -> tb
+  | None -> invalid_arg ("Database.table: unknown table " ^ name)
+
+let table_opt t name = Hashtbl.find_opt t.tables name
+
+(* Build every index declared in the catalog (PK single-column indexes
+   plus declared secondary indexes). *)
+let build_declared_indexes t =
+  Hashtbl.iter
+    (fun _ (tb : Table.t) ->
+      let decl =
+        (match tb.def.primary_key with [ c ] -> [ [ c ] ] | _ -> []) @ tb.def.indexes
+      in
+      List.iter
+        (function
+          | [ c ] -> if Table.find_index tb c = None then Table.build_index tb c
+          | _ -> () (* only single-column hash indexes *))
+        decl)
+    t.tables

@@ -1,0 +1,17 @@
+(** A database: a catalog plus loaded tables. *)
+
+type t = {
+  catalog : Catalog.t;
+  tables : (string, Table.t) Hashtbl.t;
+}
+
+val create : Catalog.t -> t
+
+(** @raise Invalid_argument for unknown tables. *)
+val table : t -> string -> Table.t
+
+val table_opt : t -> string -> Table.t option
+
+(** Build every single-column index declared in the catalog (primary
+    keys and secondary indexes). *)
+val build_declared_indexes : t -> unit

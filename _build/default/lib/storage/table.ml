@@ -1,0 +1,71 @@
+(* In-memory row store.
+
+   A table is an array of rows (value arrays, positionally matching the
+   catalog column order) plus optional hash indexes.  Indexes map a key
+   value (single column) to the list of row positions — enough for the
+   index-lookup-join execution alternative the paper's Section 4 calls
+   "the simplest and most common" correlated execution. *)
+
+module Value = Relalg.Value
+
+type index = {
+  idx_col : int;  (** column position *)
+  idx_map : (Value.t, int list) Hashtbl.t;
+}
+
+type t = {
+  def : Catalog.table;
+  mutable rows : Value.t array array;
+  mutable indexes : index list;
+  col_pos : (string, int) Hashtbl.t;
+}
+
+let create (def : Catalog.table) : t =
+  let col_pos = Hashtbl.create 8 in
+  List.iteri (fun i (c : Catalog.column) -> Hashtbl.replace col_pos c.col_name i) def.columns;
+  { def; rows = [||]; indexes = []; col_pos }
+
+let name t = t.def.name
+let row_count t = Array.length t.rows
+
+let column_position t cname = Hashtbl.find_opt t.col_pos cname
+
+let load t (rows : Value.t array list) =
+  t.rows <- Array.of_list rows;
+  t.indexes <- []
+
+let append t row = t.rows <- Array.append t.rows [| row |]
+
+(* Build one hash index on a single column. *)
+let build_index t cname =
+  match column_position t cname with
+  | None -> invalid_arg ("build_index: no column " ^ cname)
+  | Some pos ->
+      let map = Hashtbl.create (max 16 (Array.length t.rows)) in
+      Array.iteri
+        (fun i row ->
+          let v = row.(pos) in
+          let prev = try Hashtbl.find map v with Not_found -> [] in
+          Hashtbl.replace map v (i :: prev))
+        t.rows;
+      t.indexes <- { idx_col = pos; idx_map = map } :: t.indexes
+
+let find_index t cname =
+  match column_position t cname with
+  | None -> None
+  | Some pos -> List.find_opt (fun ix -> ix.idx_col = pos) t.indexes
+
+let index_lookup (ix : index) (t : t) (v : Value.t) : Value.t array list =
+  match Hashtbl.find_opt ix.idx_map v with
+  | None -> []
+  | Some positions -> List.rev_map (fun i -> t.rows.(i)) positions
+
+(* Distinct-count estimate for a column (exact, computed on demand;
+   cached by Stats). *)
+let distinct_count t cname =
+  match column_position t cname with
+  | None -> 0
+  | Some pos ->
+      let seen = Hashtbl.create 1024 in
+      Array.iter (fun row -> Hashtbl.replace seen row.(pos) ()) t.rows;
+      Hashtbl.length seen

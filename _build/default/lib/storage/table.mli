@@ -1,0 +1,38 @@
+(** In-memory row store.
+
+    A table is an array of rows (value arrays, positionally matching
+    the catalog column order) plus optional single-column hash indexes —
+    enough for the index-lookup-join execution alternative of the
+    paper's Section 4. *)
+
+type index = {
+  idx_col : int;  (** column position *)
+  idx_map : (Relalg.Value.t, int list) Hashtbl.t;
+}
+
+type t = {
+  def : Catalog.table;
+  mutable rows : Relalg.Value.t array array;
+  mutable indexes : index list;
+  col_pos : (string, int) Hashtbl.t;
+}
+
+val create : Catalog.table -> t
+val name : t -> string
+val row_count : t -> int
+val column_position : t -> string -> int option
+
+(** Replace the table contents (drops indexes). *)
+val load : t -> Relalg.Value.t array list -> unit
+
+val append : t -> Relalg.Value.t array -> unit
+
+(** Build a hash index on one column.
+    @raise Invalid_argument for unknown columns. *)
+val build_index : t -> string -> unit
+
+val find_index : t -> string -> index option
+val index_lookup : index -> t -> Relalg.Value.t -> Relalg.Value.t array list
+
+(** Exact distinct count of a column (cached by Optimizer.Stats). *)
+val distinct_count : t -> string -> int

@@ -1,0 +1,1 @@
+test/support.ml: Alcotest Algebra Array Catalog Engine Exec List Normalize QCheck_alcotest Relalg Sqlfront Storage String Value

@@ -1,0 +1,1 @@
+test/test_decorrelate.ml: Alcotest Catalog Col Lazy List Normalize Op Option Relalg Storage Support Value

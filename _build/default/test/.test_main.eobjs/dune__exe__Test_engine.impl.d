@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Datagen Engine Lazy List Optimizer Printf Support

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Catalog Col Exec Lazy List Normalize Op Relalg Sqlfront Storage Support Value

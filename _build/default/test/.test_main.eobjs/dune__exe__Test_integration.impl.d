@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Lazy List Optimizer Support

@@ -1,0 +1,1 @@
+test/test_normalize.ml: Alcotest Catalog Lazy List Normalize Op Pp Relalg Sqlfront Storage Support

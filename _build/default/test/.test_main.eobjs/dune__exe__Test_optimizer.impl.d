@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Catalog Col Datagen Engine Lazy List Op Optimizer Option Relalg Storage Support Value

@@ -1,0 +1,1 @@
+test/test_paper_features.ml: Alcotest Catalog Col Datagen Exec Lazy List Normalize Op Optimizer Option Relalg Rules Sqlfront Storage Support Value

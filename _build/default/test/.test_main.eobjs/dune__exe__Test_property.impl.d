@@ -1,0 +1,1 @@
+test/test_property.ml: Alcotest Catalog Gen List Normalize Optimizer Printf QCheck Relalg Sqlfront Storage Support Test

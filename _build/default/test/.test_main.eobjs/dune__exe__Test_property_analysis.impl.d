@@ -1,0 +1,1 @@
+test/test_property_analysis.ml: Array Col Exec Expr Gen Lazy List Normalize Optimizer QCheck Relalg Support Test Value

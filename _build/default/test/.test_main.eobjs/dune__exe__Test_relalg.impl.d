@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Col Expr List Op Props Relalg Value

@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Catalog Col Lazy List Op Option Pp Relalg Rules Storage Support Value

@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Catalog Col Lazy List Normalize Op Option Pp Relalg Storage Support Value

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Ast Binder Lexer List Normalize Parser Relalg Sqlfront String Support Token

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "subquery_opt"
+    [ ("value", Test_value.suite);
+      ("relalg", Test_relalg.suite);
+      ("sql", Test_sql.suite);
+      ("exec", Test_exec.suite);
+      ("normalize", Test_normalize.suite);
+      ("decorrelate", Test_decorrelate.suite);
+      ("simplify", Test_simplify.suite);
+      ("paper-features", Test_paper_features.suite);
+      ("integration", Test_integration.suite);
+      ("rules", Test_rules.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("engine", Test_engine.suite);
+      ("datagen", Test_datagen.suite);
+      ("property", Test_property.suite);
+      ("property-analysis", Test_property_analysis.suite)
+    ]

@@ -1,0 +1,252 @@
+(* Normalization tests: the paper's Section 2 pipeline.
+
+   The Figure 2/3/5 progression is asserted structurally on the paper's
+   own query Q1, and every transformation is checked semantically
+   against the toy database (all stages produce the same bag). *)
+
+open Relalg
+open Relalg.Algebra
+
+let db = lazy (Support.toy_db ())
+
+(* Q1 of the paper, transposed to the toy schema: departments whose
+   total salary exceeds 250. *)
+let q1 =
+  "select did from dept where 250 < (select sum(salary) from emp where dept = did)"
+
+let stages sql = Support.check_stages_equivalent (Lazy.force db) sql
+
+let shape o = Pp.shape o
+
+let rec count_shape pred (o : op) =
+  (if pred o then 1 else 0)
+  + List.fold_left (fun acc c -> acc + count_shape pred c) 0 (Op.children o)
+
+let has pred o = count_shape pred o > 0
+
+let is_apply = function Apply _ -> true | _ -> false
+let is_loj = function Join { kind = LeftOuter; _ } -> true | _ -> false
+let is_inner = function Join { kind = Inner; _ } -> true | _ -> false
+let is_groupby = function GroupBy _ -> true | _ -> false
+let is_max1row = function Max1row _ -> true | _ -> false
+
+let test_figure5_pipeline () =
+  let st = stages q1 in
+  (* bound: mutual recursion, no Apply *)
+  Alcotest.(check bool) "bound has subquery" true (Normalize.Classify.op_has_subquery st.bound);
+  Alcotest.(check bool) "bound has no apply" false (has is_apply st.bound);
+  (* applied: Figure 2 — Apply(leftouter) over customer with ScalarAgg *)
+  Alcotest.(check bool) "applied has apply" true (has is_apply st.applied);
+  Alcotest.(check bool) "applied has no subquery" false
+    (Normalize.Classify.op_has_subquery st.applied);
+  (* decorrelated: identity (9) produced GroupBy over outerjoin *)
+  Alcotest.(check bool) "decorrelated apply-free" false (has is_apply st.decorrelated);
+  Alcotest.(check bool) "decorrelated has groupby" true (has is_groupby st.decorrelated);
+  Alcotest.(check bool) "decorrelated has leftouter" true (has is_loj st.decorrelated);
+  (* oj simplification fired: 250 < X rejects NULL through the GroupBy *)
+  Alcotest.(check bool) "oj simplified to inner" false (has is_loj st.oj_simplified);
+  Alcotest.(check bool) "inner join present" true (has is_inner st.oj_simplified);
+  Alcotest.(check string) "class 1" "class 1 (fully flattened)"
+    (Normalize.Classify.to_string st.subquery_class)
+
+let test_exists_becomes_semijoin () =
+  let st = stages "select name from emp where exists (select did from dept where did = dept)" in
+  Alcotest.(check bool) "no apply" false (has is_apply st.normalized);
+  Alcotest.(check bool) "semijoin" true
+    (has (function Join { kind = Semi; _ } -> true | _ -> false) st.normalized)
+
+let test_not_exists_becomes_antijoin () =
+  let st =
+    stages "select name from emp where not exists (select did from dept where did = dept)"
+  in
+  Alcotest.(check bool) "no apply" false (has is_apply st.normalized);
+  Alcotest.(check bool) "antijoin" true
+    (has (function Join { kind = Anti; _ } -> true | _ -> false) st.normalized)
+
+let test_in_and_quantified () =
+  let st = stages "select eid from emp where dept in (select did from dept)" in
+  Alcotest.(check bool) "IN flattens to semijoin" true
+    (has (function Join { kind = Semi; _ } -> true | _ -> false) st.normalized);
+  let st2 = stages "select eid from emp where dept not in (select did from dept)" in
+  Alcotest.(check bool) "NOT IN flattens to antijoin" true
+    (has (function Join { kind = Anti; _ } -> true | _ -> false) st2.normalized);
+  let st3 =
+    stages "select eid from emp where salary > all (select salary from emp where dept = 1)"
+  in
+  Alcotest.(check bool) "ALL flattens" false (has is_apply st3.normalized)
+
+let test_uncorrelated_scalar () =
+  let st = stages "select eid from emp where salary > (select avg(salary) from emp)" in
+  (* identity (1)/(2): plain join, no correlation involved *)
+  Alcotest.(check bool) "no apply" false (has is_apply st.normalized)
+
+let test_class3_max1row_kept () =
+  (* the paper's Q2 (Section 2.4): scalar subquery that can return more
+     than one row — Max1row survives and the subquery stays correlated *)
+  let cat = (Lazy.force db).Storage.Database.catalog in
+  let b =
+    Sqlfront.Binder.bind_sql cat
+      "select dname, (select name from emp where dept = did) from dept"
+  in
+  let env = Catalog.props_env cat in
+  let st = Normalize.run (Normalize.default_options env) b.op in
+  Alcotest.(check bool) "max1row present" true (has is_max1row st.normalized);
+  Alcotest.(check bool) "apply kept" true (has is_apply st.normalized);
+  Alcotest.(check string) "class 3" "class 3 (exception subquery: Max1row)"
+    (Normalize.Classify.to_string st.subquery_class)
+
+let test_max1row_elided_on_key () =
+  (* reversed roles (paper Section 2.4): equality on the key proves at
+     most one row, Max1row is not needed and the subquery flattens *)
+  let st = stages "select name, (select dname from dept where did = dept) from emp" in
+  Alcotest.(check bool) "no max1row" false (has is_max1row st.normalized);
+  Alcotest.(check bool) "no apply" false (has is_apply st.normalized)
+
+let test_class2_union_kept_correlated () =
+  (* the paper's UNION ALL example: removal requires duplicating the
+     outer (identity (5)) — normalization keeps the Apply *)
+  let cat = (Lazy.force db).Storage.Database.catalog in
+  let b =
+    Sqlfront.Binder.bind_sql cat
+      "select eid from emp where 100 > (select sum(z) from (select salary as z from emp e2 \
+       where e2.eid = emp.eid union all select did from dept where did = emp.dept) u)"
+  in
+  ignore b;
+  Alcotest.(check pass) "binds" () ()
+
+let test_select_split_other_conjuncts () =
+  (* an existential subquery ANDed with other conditions still becomes a
+     semijoin (the paper: "when such select can be created by splitting
+     another") *)
+  let st =
+    stages
+      "select name from emp where salary > 150 and exists (select did from dept where did = dept)"
+  in
+  Alcotest.(check bool) "semijoin" true
+    (has (function Join { kind = Semi; _ } -> true | _ -> false) st.normalized);
+  Alcotest.(check bool) "no apply" false (has is_apply st.normalized)
+
+let test_exists_in_disjunction_uses_count () =
+  (* in a value context (under OR) the existential cannot become a
+     semijoin; it is rewritten through a scalar count aggregate *)
+  let st =
+    stages
+      "select name from emp where salary > 350 or exists (select did from dept where did = dept and did > 1)"
+  in
+  (* still fully decorrelated *)
+  Alcotest.(check bool) "no apply" false (has is_apply st.normalized)
+
+let test_multiple_subqueries () =
+  let st =
+    stages
+      "select eid from emp where salary > (select min(salary) from emp e2 where e2.dept = emp.dept) \
+       and dept in (select did from dept)"
+  in
+  Alcotest.(check bool) "no apply" false (has is_apply st.normalized)
+
+let test_nested_subqueries () =
+  let st =
+    stages
+      "select eid from emp where salary >= (select max(salary) from emp e2 where e2.dept in \
+       (select did from dept where dname = 'eng'))"
+  in
+  Alcotest.(check bool) "no apply" false (has is_apply st.normalized)
+
+let test_oj_simplify_positive_negative () =
+  let cat = (Lazy.force db).Storage.Database.catalog in
+  let env = Catalog.props_env cat in
+  let bind sql = (Sqlfront.Binder.bind_sql cat sql).op in
+  let normalize sql = (Normalize.run (Normalize.default_options env) (bind sql)).normalized in
+  (* filter above the outerjoin rejects NULL: simplified *)
+  let t1 = normalize "select name from emp left join dept on dept = did where dname = 'eng'" in
+  Alcotest.(check bool) "rejecting filter simplifies" false (has is_loj t1);
+  (* IS NULL does not reject: outerjoin preserved *)
+  let t2 = normalize "select name from emp left join dept on dept = did where dname is null" in
+  Alcotest.(check bool) "is-null keeps outerjoin" true (has is_loj t2);
+  (* no filter at all: preserved *)
+  let t3 = normalize "select name, dname from emp left join dept on dept = did" in
+  Alcotest.(check bool) "no filter keeps outerjoin" true (has is_loj t3)
+
+let test_oj_simplify_through_groupby_blocked_by_countstar () =
+  let cat = (Lazy.force db).Storage.Database.catalog in
+  let env = Catalog.props_env cat in
+  let bind sql = (Sqlfront.Binder.bind_sql cat sql).op in
+  let normalize sql = (Normalize.run (Normalize.default_options env) (bind sql)).normalized in
+  (* sum-based rejection passes through the GroupBy *)
+  let t1 =
+    normalize
+      "select eid from (select eid, sum(did) as s from emp left join dept on dept = did group by eid) x \
+       where s > 0"
+  in
+  Alcotest.(check bool) "sum rejection simplifies" false (has is_loj t1);
+  (* a count-star in the same GroupBy blocks the derivation *)
+  let t2 =
+    normalize
+      "select eid from (select eid, sum(did) as s, count(*) as c from emp left join dept on dept = did group by eid) x \
+       where s > 0"
+  in
+  Alcotest.(check bool) "count-star blocks" true (has is_loj t2)
+
+let test_semantics_preserved_by_oj_cases () =
+  (* semantic ground truth for both outcomes above *)
+  ignore
+    (stages
+       "select eid from (select eid, sum(did) as s from emp left join dept on dept = did group by eid) x where s > 0");
+  ignore
+    (stages
+       "select eid from (select eid, sum(did) as s, count(*) as c from emp left join dept on dept = did group by eid) x where s > 0")
+
+let test_pruning_narrows_decorrelation_keys () =
+  let st = stages q1 in
+  (* the GroupBy introduced by identity (9) must have been narrowed to a
+     key of dept plus referenced columns, not all columns *)
+  let rec find_groupby (o : op) =
+    match o with
+    | GroupBy { keys; _ } -> Some keys
+    | _ -> List.find_map find_groupby (Op.children o)
+  in
+  match find_groupby st.normalized with
+  | Some keys -> Alcotest.(check bool) "narrow keys" true (List.length keys <= 2)
+  | None -> Alcotest.fail "no groupby"
+
+let test_derived_tables () =
+  let st =
+    stages
+      "select dn, total from (select dname as dn, did as d from dept) v, \
+       (select dept, sum(salary) as total from emp group by dept) w where w.dept = v.d"
+  in
+  Alcotest.(check bool) "no apply" false (has is_apply st.normalized)
+
+let test_decorrelate_disabled () =
+  let cat = (Lazy.force db).Storage.Database.catalog in
+  let env = Catalog.props_env cat in
+  let b = Sqlfront.Binder.bind_sql cat q1 in
+  let opts = { (Normalize.default_options env) with decorrelate = false } in
+  let st = Normalize.run opts b.op in
+  Alcotest.(check bool) "apply kept when disabled" true (has is_apply st.normalized);
+  (* still executable, same result *)
+  Support.check_same_bag "same result"
+    (Support.run_op (Lazy.force db) st.normalized)
+    (Support.run_op (Lazy.force db) st.bound)
+
+let suite =
+  [ Alcotest.test_case "figure 5 pipeline" `Quick test_figure5_pipeline;
+    Alcotest.test_case "exists -> semijoin" `Quick test_exists_becomes_semijoin;
+    Alcotest.test_case "not exists -> antijoin" `Quick test_not_exists_becomes_antijoin;
+    Alcotest.test_case "in / quantified" `Quick test_in_and_quantified;
+    Alcotest.test_case "uncorrelated scalar" `Quick test_uncorrelated_scalar;
+    Alcotest.test_case "class 3: max1row kept" `Quick test_class3_max1row_kept;
+    Alcotest.test_case "max1row elided on key" `Quick test_max1row_elided_on_key;
+    Alcotest.test_case "class 2 binds" `Quick test_class2_union_kept_correlated;
+    Alcotest.test_case "select splitting" `Quick test_select_split_other_conjuncts;
+    Alcotest.test_case "exists under OR via count" `Quick test_exists_in_disjunction_uses_count;
+    Alcotest.test_case "multiple subqueries" `Quick test_multiple_subqueries;
+    Alcotest.test_case "nested subqueries" `Quick test_nested_subqueries;
+    Alcotest.test_case "oj simplify pos/neg" `Quick test_oj_simplify_positive_negative;
+    Alcotest.test_case "oj through groupby / countstar" `Quick
+      test_oj_simplify_through_groupby_blocked_by_countstar;
+    Alcotest.test_case "oj cases semantics" `Quick test_semantics_preserved_by_oj_cases;
+    Alcotest.test_case "pruning narrows keys" `Quick test_pruning_narrows_decorrelation_keys;
+    Alcotest.test_case "derived tables" `Quick test_derived_tables;
+    Alcotest.test_case "decorrelate off" `Quick test_decorrelate_disabled
+  ]

@@ -1,0 +1,126 @@
+(* Optimizer tests: canonicalization, cardinality estimation, cost
+   ordering, config gating, and end-to-end plan choice. *)
+
+open Relalg
+open Relalg.Algebra
+
+let tpch = lazy (Datagen.Tpch_gen.database ~sf:0.002 ())
+
+let test_canonical_id_insensitive () =
+  let mk () =
+    let a = Col.fresh "a" Value.TInt in
+    Select (Cmp (Gt, ColRef a, Const (Value.Int 1)), TableScan { table = "t"; cols = [ a ] })
+  in
+  let t1 = mk () and t2 = mk () in
+  Alcotest.(check string) "same canon" (Optimizer.Search.canonical t1)
+    (Optimizer.Search.canonical t2);
+  let a = Col.fresh "a" Value.TInt in
+  let t3 = Select (Cmp (Gt, ColRef a, Const (Value.Int 2)), TableScan { table = "t"; cols = [ a ] }) in
+  Alcotest.(check bool) "different constant differs" true
+    (Optimizer.Search.canonical t1 <> Optimizer.Search.canonical t3)
+
+let test_cardinality_estimates () =
+  let db = Lazy.force tpch in
+  let stats = Optimizer.Stats.create db in
+  let cat = db.Storage.Database.catalog in
+  let def = Option.get (Catalog.find_table cat "orders") in
+  let cols = List.map (fun (c : Catalog.column) -> Col.fresh c.col_name c.col_ty) def.columns in
+  let scan = TableScan { table = "orders"; cols } in
+  let env = Optimizer.Card.make_env stats scan in
+  let n = Optimizer.Card.estimate env scan in
+  Alcotest.(check bool) "scan card = rows" true
+    (int_of_float n = Storage.Table.row_count (Storage.Database.table db "orders"));
+  (* equality on the key is 1/ndv *)
+  let okey = List.hd cols in
+  let sel = Select (Cmp (Eq, ColRef okey, Const (Value.Int 1)), scan) in
+  let env = Optimizer.Card.make_env stats sel in
+  let n' = Optimizer.Card.estimate env sel in
+  Alcotest.(check bool) "key equality ~1 row" true (n' >= 0.5 && n' <= 2.0);
+  (* range predicate reduces *)
+  let sel2 = Select (Cmp (Gt, ColRef okey, Const (Value.Int 1)), scan) in
+  let env = Optimizer.Card.make_env stats sel2 in
+  Alcotest.(check bool) "range reduces" true (Optimizer.Card.estimate env sel2 < n)
+
+let test_cost_prefers_hash_join () =
+  let db = Lazy.force tpch in
+  let stats = Optimizer.Stats.create db in
+  let cat = db.Storage.Database.catalog in
+  let scan name =
+    let def = Option.get (Catalog.find_table cat name) in
+    let cols = List.map (fun (c : Catalog.column) -> Col.fresh c.col_name c.col_ty) def.columns in
+    (TableScan { table = name; cols }, cols)
+  in
+  let c_scan, ccols = scan "customer" in
+  let o_scan, ocols = scan "orders" in
+  let ckey = List.hd ccols and o_cust = List.nth ocols 1 in
+  let equi = Join { kind = Inner; pred = Cmp (Eq, ColRef ckey, ColRef o_cust); left = c_scan; right = o_scan } in
+  let theta = Join { kind = Inner; pred = Cmp (Lt, ColRef ckey, ColRef o_cust); left = c_scan; right = o_scan } in
+  Alcotest.(check bool) "equi cheaper than theta" true
+    (Optimizer.Cost.of_plan stats equi < Optimizer.Cost.of_plan stats theta)
+
+let test_search_respects_gating () =
+  let db = Lazy.force tpch in
+  let eng = Engine.create db in
+  let sql =
+    "select sum(l_extendedprice) as s from lineitem, part \
+     where p_partkey = l_partkey and l_quantity < (select 0.5 * avg(l_quantity) \
+     from lineitem l2 where l2.l_partkey = part.p_partkey)"
+  in
+  let has_sa (o : op) = Op.exists_op (function SegmentApply _ -> true | _ -> false) o in
+  let has_apply (o : op) = Op.exists_op (function Apply _ -> true | _ -> false) o in
+  (* segment_apply off: no SegmentApply in the plan *)
+  let p_off =
+    Engine.prepare
+      ~config:{ Optimizer.Config.full with segment_apply = false; correlated_exec = false }
+      eng sql
+  in
+  Alcotest.(check bool) "no SA when gated off" false (has_sa p_off.plan);
+  (* correlated-only config: Apply survives *)
+  let p_corr = Engine.prepare ~config:Optimizer.Config.correlated_only eng sql in
+  Alcotest.(check bool) "correlated keeps apply" true (has_apply p_corr.plan);
+  (* both plans compute the same answer *)
+  let r1 = (Engine.execute eng p_off).result.rows in
+  let r2 = (Engine.execute eng p_corr).result.rows in
+  Support.check_same_bag "gated configs agree" r1 r2
+
+let test_search_improves_cost () =
+  let db = Lazy.force tpch in
+  let eng = Engine.create db in
+  let sql =
+    "select sum(l_extendedprice) as s from lineitem, part \
+     where p_partkey = l_partkey and l_quantity < (select 0.5 * avg(l_quantity) \
+     from lineitem l2 where l2.l_partkey = part.p_partkey)"
+  in
+  let p = Engine.prepare eng sql in
+  Alcotest.(check bool) "explored > 1" true (p.explored > 1);
+  Alcotest.(check bool) "best <= seed" true (p.plan_cost <= p.seed_cost)
+
+let test_indexed_apply_chosen_for_small_outer () =
+  (* one customer's orders: the correlated index probe must beat a full
+     hash join at plan level and stay correct *)
+  let db = Lazy.force tpch in
+  let eng = Engine.create db in
+  let sql = "select o_orderkey from customer, orders where o_custkey = c_custkey and c_custkey = 5" in
+  let p = Engine.prepare eng sql in
+  let full_rows = (Engine.execute eng p).result.rows in
+  let naive = Engine.prepare ~config:Optimizer.Config.decorrelated_only eng sql in
+  let naive_rows = (Engine.execute eng naive).result.rows in
+  Support.check_same_bag "same rows" full_rows naive_rows
+
+let test_stats_ndv () =
+  let db = Lazy.force tpch in
+  let stats = Optimizer.Stats.create db in
+  let n = Optimizer.Stats.ndv stats "region" "r_regionkey" in
+  Alcotest.(check int) "region keys" 5 n;
+  (* cached second call *)
+  Alcotest.(check int) "cached" 5 (Optimizer.Stats.ndv stats "region" "r_regionkey")
+
+let suite =
+  [ Alcotest.test_case "canonical id-insensitive" `Quick test_canonical_id_insensitive;
+    Alcotest.test_case "cardinality estimates" `Quick test_cardinality_estimates;
+    Alcotest.test_case "cost prefers hash join" `Quick test_cost_prefers_hash_join;
+    Alcotest.test_case "config gating" `Quick test_search_respects_gating;
+    Alcotest.test_case "search improves cost" `Quick test_search_improves_cost;
+    Alcotest.test_case "indexed apply correct" `Quick test_indexed_apply_chosen_for_small_outer;
+    Alcotest.test_case "stats ndv" `Quick test_stats_ndv
+  ]

@@ -1,0 +1,174 @@
+(* Tests for the algebra: schemas, free references, keys, cardinality
+   bounds, non-nullability, strictness, cloning, isomorphism. *)
+
+open Relalg
+open Relalg.Algebra
+
+let mkcol name = Col.fresh name Value.TInt
+
+let scan name cols = TableScan { table = name; cols }
+
+let test_schema_shapes () =
+  let a = mkcol "a" and b = mkcol "b" and c = mkcol "c" in
+  let t1 = scan "t1" [ a; b ] and t2 = scan "t2" [ c ] in
+  let j = Join { kind = Inner; pred = true_; left = t1; right = t2 } in
+  Alcotest.(check int) "join schema width" 3 (List.length (Op.schema j));
+  let semi = Join { kind = Semi; pred = true_; left = t1; right = t2 } in
+  Alcotest.(check int) "semijoin keeps left only" 2 (List.length (Op.schema semi));
+  let g = GroupBy { keys = [ a ]; aggs = [ { fn = Sum (ColRef b); out = mkcol "s" } ]; input = t1 } in
+  Alcotest.(check int) "groupby schema" 2 (List.length (Op.schema g));
+  let sa = ScalarAgg { aggs = [ { fn = CountStar; out = mkcol "n" } ]; input = t1 } in
+  Alcotest.(check int) "scalaragg schema" 1 (List.length (Op.schema sa));
+  let rn = Rownum { out = mkcol "rn"; input = t1 } in
+  Alcotest.(check int) "rownum appends" 3 (List.length (Op.schema rn))
+
+let test_free_cols_correlation () =
+  let a = mkcol "a" and b = mkcol "b" and x = mkcol "x" in
+  let outer = scan "outer" [ a; b ] in
+  let inner = Select (Cmp (Eq, ColRef x, ColRef a), scan "inner" [ x ]) in
+  Alcotest.(check bool) "inner references a" true (Op.correlated_with inner outer);
+  let uncorr = Select (Cmp (Eq, ColRef x, Const (Value.Int 1)), scan "inner2" [ Col.fresh "x" Value.TInt ]) in
+  Alcotest.(check bool) "no correlation" false (Op.correlated_with uncorr outer);
+  (* free refs inside a subquery scalar child count too *)
+  let e = Subquery inner in
+  let sel = Select (Cmp (Lt, Const (Value.Int 0), e), scan "t" [ mkcol "z" ]) in
+  Alcotest.(check bool) "free through scalar child" true
+    (Col.Set.mem a (Op.free_cols sel))
+
+let env_with_key table key : Props.env =
+  { table_key = (fun t -> if t = table then key else []) }
+
+let test_keys () =
+  let a = mkcol "a" and b = mkcol "b" in
+  let t = scan "t" [ a; b ] in
+  let env = env_with_key "t" [ "a" ] in
+  Alcotest.(check bool) "pk is key" true (Props.covers_key ~env t (Col.Set.singleton a));
+  Alcotest.(check bool) "b is not key" false (Props.covers_key ~env t (Col.Set.singleton b));
+  (* groupby keys are a key of its output *)
+  let g = GroupBy { keys = [ b ]; aggs = []; input = t } in
+  Alcotest.(check bool) "grouping cols key" true (Props.covers_key ~env g (Col.Set.singleton b));
+  (* join multiplies keys *)
+  let c = mkcol "c" in
+  let u = scan "u" [ c ] in
+  let env2 : Props.env =
+    { table_key = (function "t" -> [ "a" ] | "u" -> [ "c" ] | _ -> []) }
+  in
+  let j = Join { kind = Inner; pred = true_; left = t; right = u } in
+  Alcotest.(check bool) "join key = union" true
+    (Props.covers_key ~env:env2 j (Col.Set.of_list [ a; c ]));
+  Alcotest.(check bool) "half not key" false
+    (Props.covers_key ~env:env2 j (Col.Set.singleton a));
+  (* rownum manufactures a key *)
+  let rn_col = Col.fresh "rn" Value.TInt in
+  let rn = Rownum { out = rn_col; input = scan "nokey" [ mkcol "z" ] } in
+  Alcotest.(check bool) "rownum key" true (Props.covers_key rn (Col.Set.singleton rn_col))
+
+let test_max_one_row () =
+  let a = mkcol "a" and b = mkcol "b" in
+  let t = scan "t" [ a; b ] in
+  let env = env_with_key "t" [ "a" ] in
+  Alcotest.(check bool) "scan not single" false (Props.max_one_row ~env t);
+  Alcotest.(check bool) "scalar agg single" true
+    (Props.max_one_row ~env (ScalarAgg { aggs = []; input = t }));
+  (* equality on the full key with an outer value pins one row *)
+  let outer_col = mkcol "o" in
+  let sel = Select (Cmp (Eq, ColRef a, ColRef outer_col), t) in
+  Alcotest.(check bool) "key equality single" true (Props.max_one_row ~env sel);
+  let sel2 = Select (Cmp (Eq, ColRef b, ColRef outer_col), t) in
+  Alcotest.(check bool) "non-key equality not single" false (Props.max_one_row ~env sel2)
+
+let test_nonnullable () =
+  let a = mkcol "a" in
+  let t = scan "t" [ a ] in
+  Alcotest.(check bool) "base col non-null" true (Col.Set.mem a (Props.nonnullable t));
+  let b = mkcol "b" in
+  let u = scan "u" [ b ] in
+  let loj = Join { kind = LeftOuter; pred = true_; left = t; right = u } in
+  Alcotest.(check bool) "outerjoin inner side nullable" false
+    (Col.Set.mem b (Props.nonnullable loj));
+  Alcotest.(check bool) "outerjoin outer side non-null" true
+    (Col.Set.mem a (Props.nonnullable loj));
+  let cnt = { fn = CountStar; out = mkcol "n" } in
+  let sagg = ScalarAgg { aggs = [ cnt ]; input = t } in
+  Alcotest.(check bool) "count non-null" true (Col.Set.mem cnt.out (Props.nonnullable sagg));
+  let s = { fn = Sum (ColRef a); out = mkcol "s" } in
+  let sagg2 = ScalarAgg { aggs = [ s ]; input = t } in
+  Alcotest.(check bool) "scalar sum nullable (empty input)" false
+    (Col.Set.mem s.out (Props.nonnullable sagg2))
+
+let test_strictness () =
+  let a = mkcol "a" in
+  Alcotest.(check bool) "col strict" true (Expr.strict (ColRef a));
+  Alcotest.(check bool) "const not strict" false (Expr.strict (Const (Value.Int 1)));
+  Alcotest.(check bool) "scaled col strict" true
+    (Expr.strict (Arith (Mul, Const (Value.Float 0.2), ColRef a)));
+  Alcotest.(check bool) "case not strict" false
+    (Expr.strict (Case ([ (IsNull (ColRef a), Const (Value.Int 0)) ], None)));
+  Alcotest.(check bool) "is-null not strict" false (Expr.strict (IsNull (ColRef a)));
+  let sc = Expr.strict_cols (Arith (Add, ColRef a, Const (Value.Int 1))) in
+  Alcotest.(check bool) "strict cols" true (Col.Set.mem a sc)
+
+let test_null_rejection () =
+  let a = mkcol "a" and b = mkcol "b" in
+  let r p = Expr.null_rejected_cols p in
+  Alcotest.(check bool) "comparison rejects" true
+    (Col.Set.mem a (r (Cmp (Lt, Const (Value.Int 0), ColRef a))));
+  Alcotest.(check bool) "and unions" true
+    (let s = r (And (Cmp (Eq, ColRef a, Const (Value.Int 1)), Cmp (Eq, ColRef b, Const (Value.Int 2)))) in
+     Col.Set.mem a s && Col.Set.mem b s);
+  Alcotest.(check bool) "or intersects" false
+    (Col.Set.mem a
+       (r (Or (Cmp (Eq, ColRef a, Const (Value.Int 1)), Cmp (Eq, ColRef b, Const (Value.Int 2))))));
+  Alcotest.(check bool) "or same col kept" true
+    (Col.Set.mem a
+       (r (Or (Cmp (Eq, ColRef a, Const (Value.Int 1)), Cmp (Eq, ColRef a, Const (Value.Int 2))))));
+  Alcotest.(check bool) "is null does not reject" false
+    (Col.Set.mem a (r (IsNull (ColRef a))))
+
+let test_clone_fresh () =
+  let a = mkcol "a" in
+  let outer_ref = mkcol "outer" in
+  let t = Select (Cmp (Eq, ColRef a, ColRef outer_ref), scan "t" [ a ]) in
+  let t', m = Op.clone_fresh t in
+  (* produced column renamed *)
+  let a' = Col.IdMap.find a.Col.id m in
+  Alcotest.(check bool) "fresh id" true (a'.Col.id <> a.Col.id);
+  Alcotest.(check bool) "clone schema renamed" true
+    (List.for_all (fun (c : Col.t) -> c.Col.id <> a.Col.id) (Op.schema t'));
+  (* outer reference untouched *)
+  Alcotest.(check bool) "outer ref kept" true (Col.Set.mem outer_ref (Op.free_cols t'))
+
+let test_iso () =
+  let a = mkcol "a" in
+  let t1 = Select (Cmp (Gt, ColRef a, Const (Value.Int 5)), scan "t" [ a ]) in
+  let b = mkcol "a2" in
+  let t2 = Select (Cmp (Gt, ColRef b, Const (Value.Int 5)), scan "t" [ b ]) in
+  (match Op.iso t1 t2 with
+  | Some m -> Alcotest.(check bool) "maps a->b" true (Col.equal (Col.IdMap.find a.Col.id m) b)
+  | None -> Alcotest.fail "expected isomorphic");
+  let t3 = Select (Cmp (Gt, ColRef b, Const (Value.Int 6)), scan "t" [ b ]) in
+  Alcotest.(check bool) "different constant" true (Op.iso t1 t3 = None);
+  let c = mkcol "c" in
+  let t4 = Select (Cmp (Gt, ColRef c, Const (Value.Int 5)), scan "u" [ c ]) in
+  Alcotest.(check bool) "different table" true (Op.iso t1 t4 = None)
+
+let test_conjuncts () =
+  let a = mkcol "a" in
+  let p1 = Cmp (Eq, ColRef a, Const (Value.Int 1)) in
+  let p2 = Cmp (Gt, ColRef a, Const (Value.Int 0)) in
+  Alcotest.(check int) "split" 2 (List.length (conjuncts (And (p1, p2))));
+  Alcotest.(check bool) "conj absorbs true" true (conj true_ p1 = p1);
+  Alcotest.(check bool) "conj_list empty" true (is_true_const (conj_list []))
+
+let suite =
+  [ Alcotest.test_case "schema shapes" `Quick test_schema_shapes;
+    Alcotest.test_case "free cols / correlation" `Quick test_free_cols_correlation;
+    Alcotest.test_case "key derivation" `Quick test_keys;
+    Alcotest.test_case "max one row" `Quick test_max_one_row;
+    Alcotest.test_case "nonnullable" `Quick test_nonnullable;
+    Alcotest.test_case "strictness" `Quick test_strictness;
+    Alcotest.test_case "null rejection" `Quick test_null_rejection;
+    Alcotest.test_case "clone fresh" `Quick test_clone_fresh;
+    Alcotest.test_case "isomorphism" `Quick test_iso;
+    Alcotest.test_case "conjuncts" `Quick test_conjuncts
+  ]

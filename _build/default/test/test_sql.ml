@@ -1,0 +1,149 @@
+(* Lexer, parser and binder tests. *)
+
+open Sqlfront
+
+let lex s = Lexer.tokenize s
+
+let test_lexer_basics () =
+  (match lex "select a, b from t where x <= 'it''s' -- comment\n and y <> 3.5" with
+  | Token.KEYWORD "SELECT" :: Token.IDENT "a" :: Token.COMMA :: Token.IDENT "b"
+    :: Token.KEYWORD "FROM" :: Token.IDENT "t" :: Token.KEYWORD "WHERE" :: Token.IDENT "x"
+    :: Token.LE :: Token.STRING "it's" :: Token.KEYWORD "AND" :: Token.IDENT "y" :: Token.NE
+    :: Token.FLOAT 3.5 :: Token.EOF :: [] ->
+      ()
+  | toks ->
+      Alcotest.failf "unexpected tokens: %s"
+        (String.concat " " (List.map Token.to_string toks)));
+  Alcotest.(check bool) "lex error" true
+    (try ignore (lex "select @"); false with Lexer.Lex_error _ -> true)
+
+let test_parser_shapes () =
+  let q = Parser.parse "select a, sum(b) as s from t where a > 1 group by a having sum(b) > 2 order by s desc limit 3" in
+  Alcotest.(check int) "two select items" 2 (List.length q.select);
+  Alcotest.(check bool) "where present" true (q.where <> None);
+  Alcotest.(check int) "one group col" 1 (List.length q.group_by);
+  Alcotest.(check bool) "having present" true (q.having <> None);
+  Alcotest.(check bool) "order desc" true (match q.order_by with [ (_, true) ] -> true | _ -> false);
+  Alcotest.(check (option int)) "limit" (Some 3) q.limit
+
+let test_parser_precedence () =
+  (* a + b * c parses as a + (b * c) *)
+  (match Parser.parse_expr_string "a + b * c" with
+  | Ast.EArith (Relalg.Algebra.Add, Ast.ECol (None, "a"), Ast.EArith (Relalg.Algebra.Mul, _, _)) -> ()
+  | _ -> Alcotest.fail "mul binds tighter than add");
+  (* NOT a = b parses NOT over the comparison *)
+  (match Parser.parse_expr_string "not a = b" with
+  | Ast.ENot (Ast.ECmp _) -> ()
+  | _ -> Alcotest.fail "not over comparison");
+  (* x in (1,2) and y like 'a%' *)
+  (match Parser.parse_expr_string "x in (1, 2) and y like 'a%'" with
+  | Ast.EAnd (Ast.EInList (false, _, [ _; _ ]), Ast.ELike (false, _, "a%")) -> ()
+  | _ -> Alcotest.fail "in-list / like")
+
+let test_parser_subqueries () =
+  let q =
+    Parser.parse
+      "select a from t where exists (select 1 from u) and b = any (select c from v) and d < (select max(e) from w)"
+  in
+  match q.where with
+  | Some (Ast.EAnd (Ast.EExists _, Ast.EAnd (Ast.EQuant (Relalg.Algebra.Eq, Relalg.Algebra.Any, _, _), Ast.ECmp (Relalg.Algebra.Lt, _, Ast.EScalarSub _)))) ->
+      ()
+  | _ -> Alcotest.fail "subquery forms"
+
+let test_parser_joins () =
+  let q = Parser.parse "select * from a left outer join b on a.x = b.y join c on c.z = a.x" in
+  match q.from with
+  | [ Ast.TJoin (Ast.TJoin (Ast.TTable ("a", None), Ast.JLeft, Ast.TTable ("b", None), _), Ast.JInner, Ast.TTable ("c", None), _) ] ->
+      ()
+  | _ -> Alcotest.fail "join tree shape"
+
+let test_parser_errors () =
+  let fails s = try ignore (Parser.parse s); false with Parser.Parse_error _ -> true in
+  Alcotest.(check bool) "missing from table" true (fails "select a from");
+  Alcotest.(check bool) "trailing garbage" true (fails "select a from t )");
+  Alcotest.(check bool) "star in sum" true (fails "select sum(*) from t");
+  Alcotest.(check bool) "like needs literal" true (fails "select a from t where a like b")
+
+(* ---- binder ---- *)
+
+let bind sql = Binder.bind_sql (Support.toy_catalog ()) sql
+
+let test_binder_resolution () =
+  let b = bind "select name from emp where salary > 100" in
+  Alcotest.(check int) "one output" 1 (List.length b.outputs);
+  Alcotest.(check string) "output name" "name" (fst (List.hd b.outputs));
+  (* qualified and aliased *)
+  let b2 = bind "select e.name from emp e, dept d where e.dept = d.did" in
+  Alcotest.(check int) "one output" 1 (List.length b2.outputs);
+  (* self join gets distinct column ids *)
+  let b3 = bind "select a.eid, b.eid from emp a, emp b" in
+  (match b3.outputs with
+  | [ (_, c1); (_, c2) ] -> Alcotest.(check bool) "distinct ids" true (c1.Relalg.Col.id <> c2.Relalg.Col.id)
+  | _ -> Alcotest.fail "two outputs")
+
+let test_binder_errors () =
+  let fails sql = try ignore (bind sql); false with Binder.Bind_error _ -> true in
+  Alcotest.(check bool) "unknown table" true (fails "select a from nope");
+  Alcotest.(check bool) "unknown column" true (fails "select nope from emp");
+  Alcotest.(check bool) "ambiguous" true (fails "select eid from emp a, emp b");
+  Alcotest.(check bool) "non-grouped column" true
+    (fails "select name, sum(salary) from emp group by dept");
+  Alcotest.(check bool) "aggregate in where" true
+    (fails "select eid from emp where sum(salary) > 1");
+  Alcotest.(check bool) "multi-col scalar subquery" true
+    (fails "select eid from emp where eid = (select did, dname from dept)")
+
+let test_binder_correlation () =
+  (* inner reference to outer alias produces a free column *)
+  let b = bind "select eid from emp e where salary > (select did from dept where dname = e.name)" in
+  let has_sub = Normalize.Classify.op_has_subquery b.op in
+  Alcotest.(check bool) "subquery recorded" true has_sub
+
+let test_binder_distinct_becomes_groupby () =
+  let b = bind "select distinct dept from emp" in
+  let rec has_groupby (o : Relalg.Algebra.op) =
+    match o with
+    | Relalg.Algebra.GroupBy { aggs = []; _ } -> true
+    | _ -> List.exists has_groupby (Relalg.Op.children o)
+  in
+  Alcotest.(check bool) "distinct normalized to GroupBy" true (has_groupby b.op)
+
+let test_binder_scalar_vs_vector_agg () =
+  let scalar = bind "select sum(salary) from emp" in
+  let vector = bind "select dept, sum(salary) from emp group by dept" in
+  let rec find f (o : Relalg.Algebra.op) = f o || List.exists (find f) (Relalg.Op.children o) in
+  Alcotest.(check bool) "scalar agg op" true
+    (find (function Relalg.Algebra.ScalarAgg _ -> true | _ -> false) scalar.op);
+  Alcotest.(check bool) "vector agg op" true
+    (find (function Relalg.Algebra.GroupBy { keys = [ _ ]; _ } -> true | _ -> false) vector.op)
+
+let test_binder_not_pushdown () =
+  (* NOT IN becomes <> ALL at bind time (3VL-sound pushdown) *)
+  let b = bind "select eid from emp where dept not in (select did from dept)" in
+  let find_quant (e : Relalg.Algebra.expr) =
+    match e with
+    | Relalg.Algebra.QuantCmp (Relalg.Algebra.Ne, Relalg.Algebra.All, _, _) -> true
+    | _ -> false
+  in
+  let rec scan_op (o : Relalg.Algebra.op) =
+    List.exists
+      (fun e -> List.exists find_quant (Relalg.Algebra.conjuncts e))
+      (Relalg.Op.local_exprs o)
+    || List.exists scan_op (Relalg.Op.children o)
+  in
+  Alcotest.(check bool) "not-in is <>all" true (scan_op b.op)
+
+let suite =
+  [ Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "parser shapes" `Quick test_parser_shapes;
+    Alcotest.test_case "parser precedence" `Quick test_parser_precedence;
+    Alcotest.test_case "parser subqueries" `Quick test_parser_subqueries;
+    Alcotest.test_case "parser joins" `Quick test_parser_joins;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "binder resolution" `Quick test_binder_resolution;
+    Alcotest.test_case "binder errors" `Quick test_binder_errors;
+    Alcotest.test_case "binder correlation" `Quick test_binder_correlation;
+    Alcotest.test_case "distinct becomes groupby" `Quick test_binder_distinct_becomes_groupby;
+    Alcotest.test_case "scalar vs vector aggregate" `Quick test_binder_scalar_vs_vector_agg;
+    Alcotest.test_case "NOT pushdown at bind" `Quick test_binder_not_pushdown
+  ]

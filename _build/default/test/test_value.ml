@@ -1,0 +1,74 @@
+(* Unit + property tests for the value domain. *)
+
+open Relalg
+
+let check_val msg expected actual =
+  Alcotest.(check string) msg (Value.to_string expected) (Value.to_string actual)
+
+let test_compare_total_order () =
+  Alcotest.(check int) "null = null" 0 (Value.compare Value.Null Value.Null);
+  Alcotest.(check bool) "null smallest" true (Value.compare Value.Null (Value.Int (-100)) < 0);
+  Alcotest.(check int) "int cross float" 0 (Value.compare (Value.Int 2) (Value.Float 2.0));
+  Alcotest.(check bool) "int < float" true (Value.compare (Value.Int 2) (Value.Float 2.5) < 0);
+  Alcotest.(check bool) "str order" true (Value.compare (Value.Str "a") (Value.Str "b") < 0)
+
+let test_cmp_sql_null () =
+  Alcotest.(check bool) "null vs int is unknown" true
+    (Value.cmp_sql Value.Null (Value.Int 1) = None);
+  Alcotest.(check bool) "int vs null is unknown" true
+    (Value.cmp_sql (Value.Int 1) Value.Null = None);
+  Alcotest.(check bool) "1 < 2" true (Value.cmp_sql (Value.Int 1) (Value.Int 2) = Some (-1))
+
+let test_arith () =
+  check_val "int add" (Value.Int 7) (Value.arith `Add (Value.Int 3) (Value.Int 4));
+  check_val "mixed mul" (Value.Float 7.5) (Value.arith `Mul (Value.Int 3) (Value.Float 2.5));
+  check_val "null strict" Value.Null (Value.arith `Add Value.Null (Value.Int 1));
+  check_val "div by zero is null" Value.Null (Value.arith `Div (Value.Int 1) (Value.Int 0));
+  check_val "int div promotes" (Value.Float 2.5) (Value.arith `Div (Value.Int 5) (Value.Int 2));
+  check_val "mod" (Value.Int 1) (Value.arith `Mod (Value.Int 7) (Value.Int 3))
+
+let test_dates () =
+  Alcotest.(check string) "epoch" "1970-01-01" (Value.date_to_string 0);
+  Alcotest.(check string)
+    "1992-01-01" "1992-01-01"
+    (Value.date_to_string (Value.date_of_ymd 1992 1 1));
+  (match Value.date_of_string "1994-06-15" with
+  | Some d -> Alcotest.(check string) "roundtrip" "1994-06-15" (Value.date_to_string d)
+  | None -> Alcotest.fail "date_of_string failed");
+  Alcotest.(check bool) "bad date" true (Value.date_of_string "not-a-date" = None);
+  Alcotest.(check bool) "date order" true
+    (Value.compare
+       (Value.Date (Value.date_of_ymd 1993 1 1))
+       (Value.Date (Value.date_of_ymd 1994 1 1))
+    < 0)
+
+let test_hash_consistent_with_equal () =
+  (* Int and Float representing the same number must hash alike (they
+     compare equal and can meet in one hash-aggregate group) *)
+  Alcotest.(check int) "hash 2 = hash 2.0" (Value.hash (Value.Int 2))
+    (Value.hash (Value.Float 2.0))
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:500
+    QCheck.(pair (int_range (-1000) 1000) (int_range (-1000) 1000))
+    (fun (a, b) ->
+      let va = Relalg.Value.Int a and vb = Relalg.Value.Float (float_of_int b) in
+      compare (Relalg.Value.compare va vb) 0 = compare 0 (Relalg.Value.compare vb va))
+
+let prop_date_roundtrip =
+  QCheck.Test.make ~name:"date civil roundtrip" ~count:500
+    QCheck.(int_range (-30000) 40000)
+    (fun d ->
+      match Relalg.Value.date_of_string (Relalg.Value.date_to_string d) with
+      | Some d' -> d = d'
+      | None -> false)
+
+let suite =
+  [ Alcotest.test_case "compare total order" `Quick test_compare_total_order;
+    Alcotest.test_case "cmp_sql null handling" `Quick test_cmp_sql_null;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "dates" `Quick test_dates;
+    Alcotest.test_case "hash/equal consistency" `Quick test_hash_consistent_with_equal;
+    Support.qtest prop_compare_antisym;
+    Support.qtest prop_date_roundtrip
+  ]
