@@ -1,0 +1,22 @@
+# Convenience targets; `make verify` is the tier-1 gate.
+
+.PHONY: all verify test faults bench clean
+
+all:
+	dune build
+
+verify:
+	dune build && dune runtest
+
+test:
+	dune runtest
+
+# fault-injection sweep across several seeds (see test/faults_main.ml)
+faults:
+	dune build @faults
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -75,9 +75,10 @@ let check_consistent (runs : run list) =
   | first :: rest ->
       List.iter
         (fun r ->
-          if r.result <> first.result then
-            failwith
-              (Printf.sprintf "INCONSISTENT RESULTS between %s and %s" first.label r.label))
+          if r.result <> first.result then begin
+            Printf.eprintf "INCONSISTENT RESULTS between %s and %s\n%!" first.label r.label;
+            exit 2
+          end)
         rest
 
 let print_table header rows =

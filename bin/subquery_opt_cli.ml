@@ -40,23 +40,124 @@ let sql_arg =
   let doc = "The SQL query." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
 
+(* --- resource budgets and fault injection --------------------------- *)
+
+let timeout_arg =
+  let doc = "Wall-clock budget in seconds; the query is cancelled when it trips." in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS" ~doc)
+
+let max_rows_arg =
+  let doc = "Budget on rows processed by executor operators." in
+  Arg.(value & opt (some int) None & info [ "max-rows" ] ~docv:"N" ~doc)
+
+let max_apply_arg =
+  let doc = "Budget on Apply invocations (correlated work)." in
+  Arg.(value & opt (some int) None & info [ "max-apply" ] ~docv:"N" ~doc)
+
+let budget_of timeout max_rows max_apply =
+  let b = Exec.Budget.make ?max_rows ?max_apply ?timeout_s:timeout () in
+  if Exec.Budget.is_unlimited b then None else Some b
+
+let fault_conv =
+  let parse s =
+    match Exec.Faults.parse s with Ok spec -> Ok spec | Error m -> Error (`Msg m)
+  in
+  let print fmtr s = Format.pp_print_string fmtr (Exec.Faults.spec_to_string s) in
+  Arg.conv (parse, print)
+
+let fault_arg =
+  let doc =
+    "Inject executor faults, e.g. join:nth:3 (fail the 3rd join evaluation), \
+     any:p:0.01:seed:7 (1% per-operator failure, seeded), groupby:every:10."
+  in
+  Arg.(value & opt (some fault_conv) None & info [ "fault" ] ~docv:"SPEC" ~doc)
+
+let resilient_arg =
+  let doc =
+    "On a recoverable failure (runtime error, budget trip, injected fault), retry \
+     the query on the correlated-execution fallback plan."
+  in
+  Arg.(value & flag & info [ "resilient" ] ~doc)
+
 let with_engine sf seed f =
   Printf.eprintf "loading TPC-H at SF %.3f (seed %d)...\n%!" sf seed;
   let db = Datagen.Tpch_gen.database ~seed ~sf () in
   f (Engine.create db)
 
+(* Typed-diagnostic wrapper: pipeline failures print structured errors
+   and exit 1 instead of dumping a raw OCaml exception. *)
+let or_die sql f =
+  match Engine.Errors.protect ~sql f with
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "%s\n%!" (Engine.Errors.to_string e);
+      exit 1
+
 let run_cmd =
-  let action sf seed config sql =
+  let action sf seed config timeout max_rows max_apply fault resilient sql =
     with_engine sf seed (fun eng ->
-        let p = Engine.prepare ~config eng sql in
-        let e = Engine.execute eng p in
-        print_endline (Engine.format_result e.result);
-        Printf.printf "\nelapsed: %.3fs   plan cost: %.0f   alternatives: %d\n"
-          e.elapsed_s p.plan_cost p.explored)
+        let budget = budget_of timeout max_rows max_apply in
+        let faults = Option.map Exec.Faults.create fault in
+        or_die sql (fun () ->
+            if resilient then begin
+              let r = Engine.query_resilient ~config ?budget ?faults eng sql in
+              print_endline (Engine.format_result r.execution.result);
+              (match r.primary_error with
+              | Some err ->
+                  Printf.printf "\ndegraded: primary plan failed (%s); served by %s\n"
+                    (Engine.Errors.to_string err) r.served_by
+              | None -> Printf.printf "\nserved by %s\n" r.served_by);
+              Printf.printf "elapsed: %.3fs\n" r.execution.elapsed_s
+            end
+            else begin
+              let p = Engine.prepare ~config eng sql in
+              let e = Engine.execute ?budget ?faults eng p in
+              print_endline (Engine.format_result e.result);
+              Printf.printf "\nelapsed: %.3fs   plan cost: %.0f   alternatives: %d\n"
+                e.elapsed_s p.plan_cost p.explored
+            end))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a SQL query and print the result.")
-    Term.(const action $ sf_arg $ seed_arg $ level_arg $ sql_arg)
+    Term.(
+      const action $ sf_arg $ seed_arg $ level_arg $ timeout_arg $ max_rows_arg
+      $ max_apply_arg $ fault_arg $ resilient_arg $ sql_arg)
+
+let check_cmd =
+  let sql_opt_arg =
+    let doc = "The SQL query to check; omit to check the built-in TPC-H workloads." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+  in
+  let action sf seed config timeout max_rows max_apply sql =
+    with_engine sf seed (fun eng ->
+        let budget = budget_of timeout max_rows max_apply in
+        let queries =
+          match sql with
+          | Some sql -> [ ("query", sql) ]
+          | None -> Workloads.all_named
+        in
+        let failed = ref 0 in
+        List.iter
+          (fun (name, sql) ->
+            let report =
+              or_die sql (fun () -> Engine.check ~candidate:config ?budget eng sql)
+            in
+            if not report.Engine.agree then incr failed;
+            Printf.printf "%-14s %s" name (Engine.format_check_report report))
+          queries;
+        if !failed > 0 then begin
+          Printf.eprintf "%d of %d checks FAILED\n%!" !failed (List.length queries);
+          exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differential check: run the query under the chosen level and under \
+          correlated execution (the semantic oracle) and compare result bags.")
+    Term.(
+      const action $ sf_arg $ seed_arg $ level_arg $ timeout_arg $ max_rows_arg
+      $ max_apply_arg $ sql_opt_arg)
 
 let explain_cmd =
   let stages_arg =
@@ -97,10 +198,10 @@ let repl_cmd =
                        (Engine.explain ~config eng
                           (String.sub sql 8 (String.length sql - 8)))
                    else print_endline (Engine.format_result (Engine.query ~config eng sql))
-                 with
-                 | Sqlfront.Parser.Parse_error m -> Printf.printf "parse error: %s\n" m
-                 | Sqlfront.Binder.Bind_error m -> Printf.printf "bind error: %s\n" m
-                 | Exec.Executor.Runtime_error m -> Printf.printf "runtime error: %s\n" m
+                 with e -> (
+                   match Engine.Errors.of_exn ~sql e with
+                   | Some err -> print_endline (Engine.Errors.to_string err)
+                   | None -> raise e)
                end);
               loop ()
         in
@@ -117,4 +218,4 @@ let () =
         "A query processor reproducing 'Orthogonal Optimization of Subqueries and \
          Aggregation' (Galindo-Legaria & Joshi, SIGMOD 2001)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; explain_cmd; repl_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; explain_cmd; repl_cmd; check_cmd ]))

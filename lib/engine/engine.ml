@@ -4,6 +4,10 @@
 
 open Relalg
 
+(* [engine.ml] is the library root; submodules are reachable only
+   through these aliases. *)
+module Errors = Errors
+
 type t = {
   db : Storage.Database.t;
   stats : Optimizer.Stats.t;
@@ -27,6 +31,17 @@ type prepared = {
   config : Optimizer.Config.t;
 }
 
+(* Convert untyped escapes (failwith, Invalid_argument, Not_found) from
+   a pipeline stage into a typed [Errors.Error] tagged with the stage's
+   phase.  Typed exceptions pass through untouched and are classified
+   later by [Errors.of_exn]. *)
+let stage_guard (phase : Errors.phase) (sql : string) (f : unit -> 'a) : 'a =
+  try f () with
+  | Failure m -> raise (Errors.Error (Errors.make ~sql phase m))
+  | Invalid_argument m ->
+      raise (Errors.Error (Errors.make ~sql phase ("invalid argument: " ^ m)))
+  | Not_found -> raise (Errors.Error (Errors.make ~sql phase "internal lookup failed"))
+
 let prepare ?(config = Optimizer.Config.full) ?must (t : t) (sql : string) : prepared =
   let bound = Sqlfront.Binder.bind_sql t.db.Storage.Database.catalog sql in
   let opts =
@@ -36,15 +51,16 @@ let prepare ?(config = Optimizer.Config.full) ?must (t : t) (sql : string) : pre
       class2 = config.class2;
     }
   in
-  let stages = Normalize.run opts bound.op in
+  let stages = stage_guard Errors.Normalize sql (fun () -> Normalize.run opts bound.op) in
   let outcome =
-    if config.max_rounds = 0 then
-      { Optimizer.Search.best = stages.normalized;
-        best_cost = Optimizer.Cost.of_plan t.stats stages.normalized;
-        explored = 1;
-        seed_cost = Optimizer.Cost.of_plan t.stats stages.normalized;
-      }
-    else Optimizer.Search.optimize ?must config t.stats ~env:t.props_env stages.normalized
+    stage_guard Errors.Plan sql (fun () ->
+        if config.max_rounds = 0 then
+          { Optimizer.Search.best = stages.normalized;
+            best_cost = Optimizer.Cost.of_plan t.stats stages.normalized;
+            explored = 1;
+            seed_cost = Optimizer.Cost.of_plan t.stats stages.normalized;
+          }
+        else Optimizer.Search.optimize ?must config t.stats ~env:t.props_env stages.normalized)
   in
   { sql;
     bound;
@@ -65,8 +81,8 @@ type execution = {
   elapsed_s : float;
 }
 
-let execute (t : t) (p : prepared) : execution =
-  let ctx = Exec.Executor.make_ctx t.db in
+let execute ?budget ?faults (t : t) (p : prepared) : execution =
+  let ctx = Exec.Executor.make_ctx ?budget ?faults t.db in
   let t0 = Unix.gettimeofday () in
   let rows = Exec.Executor.run ctx Exec.Executor.empty_lookup p.plan in
   let schema = Op.schema p.plan in
@@ -84,8 +100,133 @@ let execute (t : t) (p : prepared) : execution =
     elapsed_s = t1 -. t0;
   }
 
-let query ?config (t : t) (sql : string) : Exec.Executor.result =
-  (execute t (prepare ?config t sql)).result
+let query ?config ?budget ?faults (t : t) (sql : string) : Exec.Executor.result =
+  (execute ?budget ?faults t (prepare ?config t sql)).result
+
+(* ------------------------------------------------------------------ *)
+(* Checked entry points: typed diagnostics instead of exceptions.     *)
+(* ------------------------------------------------------------------ *)
+
+let prepare_checked ?config ?must (t : t) (sql : string) : (prepared, Errors.t) result =
+  Errors.protect ~sql (fun () -> prepare ?config ?must t sql)
+
+let execute_checked ?budget ?faults (t : t) (p : prepared) : (execution, Errors.t) result =
+  Errors.protect ~sql:p.sql (fun () -> execute ?budget ?faults t p)
+
+let query_checked ?config ?budget ?faults (t : t) (sql : string) :
+    (Exec.Executor.result, Errors.t) result =
+  Errors.protect ~sql (fun () -> query ?config ?budget ?faults t sql)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation: the correlated plan as a fallback replica.   *)
+(* ------------------------------------------------------------------ *)
+
+(* The correlated (Apply-as-written) plan is a built-in semantic twin
+   of every decorrelated plan — the orthogonality of the paper.  When
+   the optimized plan dies at runtime (executor error, budget trip,
+   injected fault) or fails to normalize/plan, retry the same SQL under
+   [fallback] and report which path served the result. *)
+type resilient = {
+  execution : execution;
+  served_by : string;  (** config name that produced the result *)
+  degraded : bool;  (** true when the fallback path served *)
+  primary_error : Errors.t option;  (** why the primary path failed *)
+}
+
+let query_resilient ?(config = Optimizer.Config.full)
+    ?(fallback = Optimizer.Config.correlated_only) ?budget ?faults (t : t) (sql : string) :
+    resilient =
+  let attempt config = execute ?budget ?faults t (prepare ~config t sql) in
+  match Errors.protect ~sql (fun () -> attempt config) with
+  | Ok e ->
+      { execution = e;
+        served_by = Optimizer.Config.name_of config;
+        degraded = false;
+        primary_error = None;
+      }
+  | Result.Error err when Errors.recoverable err && config <> fallback -> (
+      match Errors.protect ~sql (fun () -> attempt fallback) with
+      | Ok e ->
+          { execution = e;
+            served_by = Optimizer.Config.name_of fallback;
+            degraded = true;
+            primary_error = Some err;
+          }
+      | Result.Error err2 -> raise (Errors.Error err2))
+  | Result.Error err -> raise (Errors.Error err)
+
+let query_resilient_checked ?config ?fallback ?budget ?faults (t : t) (sql : string) :
+    (resilient, Errors.t) result =
+  Errors.protect ~sql (fun () -> query_resilient ?config ?fallback ?budget ?faults t sql)
+
+(* ------------------------------------------------------------------ *)
+(* Differential checking: candidate plan vs the correlated oracle.    *)
+(* ------------------------------------------------------------------ *)
+
+type check_report = {
+  check_sql : string;
+  candidate : string;  (** config name of the plan under test *)
+  reference : string;  (** config name of the oracle *)
+  agree : bool;
+  candidate_rows : int;
+  reference_rows : int;
+  only_candidate : string list;  (** sample rows missing from the reference (≤ 5) *)
+  only_reference : string list;  (** sample rows missing from the candidate (≤ 5) *)
+}
+
+let render_row (r : Exec.Executor.row) : string =
+  String.concat "|" (Array.to_list (Array.map Value.to_string r))
+
+(* multiset difference of two sorted string lists: elements of [a] not
+   matched by an occurrence in [b] *)
+let rec bag_diff (a : string list) (b : string list) : string list =
+  match (a, b) with
+  | [], _ -> []
+  | a, [] -> a
+  | x :: a', y :: b' ->
+      if x = y then bag_diff a' b'
+      else if x < y then x :: bag_diff a' b
+      else bag_diff a b'
+
+let take n l =
+  let rec go k = function x :: rest when k > 0 -> x :: go (k - 1) rest | _ -> [] in
+  go n l
+
+(* Run the same SQL under both configurations and compare result bags.
+   Used by the CLI `check` subcommand and the differential tests: any
+   disagreement is a semantic bug in normalization or optimization. *)
+let check ?(candidate = Optimizer.Config.full)
+    ?(reference = Optimizer.Config.correlated_only) ?budget (t : t) (sql : string) :
+    check_report =
+  let run config = (execute ?budget t (prepare ~config t sql)).result in
+  let c = run candidate and r = run reference in
+  let cb = List.sort compare (List.map render_row c.rows) in
+  let rb = List.sort compare (List.map render_row r.rows) in
+  { check_sql = sql;
+    candidate = Optimizer.Config.name_of candidate;
+    reference = Optimizer.Config.name_of reference;
+    agree = cb = rb;
+    candidate_rows = List.length cb;
+    reference_rows = List.length rb;
+    only_candidate = take 5 (bag_diff cb rb);
+    only_reference = take 5 (bag_diff rb cb);
+  }
+
+let format_check_report (r : check_report) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%s: %s (%d rows) vs %s (%d rows): %s\n" r.check_sql r.candidate
+       r.candidate_rows r.reference r.reference_rows
+       (if r.agree then "AGREE" else "MISMATCH"));
+  if not r.agree then begin
+    List.iter
+      (fun row -> Buffer.add_string b (Printf.sprintf "  only in %s: %s\n" r.candidate row))
+      r.only_candidate;
+    List.iter
+      (fun row -> Buffer.add_string b (Printf.sprintf "  only in %s: %s\n" r.reference row))
+      r.only_reference
+  end;
+  Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
 

@@ -4,6 +4,10 @@
 
 open Relalg
 
+(** Typed pipeline errors (see {!Errors.t}); the checked entry points
+    below return them instead of raising. *)
+module Errors = Errors
+
 type t
 
 val create : Storage.Database.t -> t
@@ -32,11 +36,102 @@ type execution = {
   elapsed_s : float;
 }
 
-(** @raise Exec.Executor.Runtime_error for Max1row violations. *)
-val execute : t -> prepared -> execution
+(** @raise Exec.Executor.Runtime_error for Max1row violations.
+    @raise Exec.Budget.Exceeded when a budget limit trips.
+    @raise Exec.Faults.Injected under an armed fault plan. *)
+val execute : ?budget:Exec.Budget.t -> ?faults:Exec.Faults.t -> t -> prepared -> execution
 
 (** [prepare] + [execute]. *)
-val query : ?config:Optimizer.Config.t -> t -> string -> Exec.Executor.result
+val query :
+  ?config:Optimizer.Config.t ->
+  ?budget:Exec.Budget.t ->
+  ?faults:Exec.Faults.t ->
+  t ->
+  string ->
+  Exec.Executor.result
+
+(** {2 Checked entry points}
+
+    Same pipeline, but every failure the pipeline vocabulary knows
+    about (lex/parse/bind/normalize/plan/runtime/budget/fault) comes
+    back as a structured {!Errors.t} instead of an exception. *)
+
+val prepare_checked :
+  ?config:Optimizer.Config.t ->
+  ?must:(Algebra.op -> bool) ->
+  t ->
+  string ->
+  (prepared, Errors.t) result
+
+val execute_checked :
+  ?budget:Exec.Budget.t -> ?faults:Exec.Faults.t -> t -> prepared -> (execution, Errors.t) result
+
+val query_checked :
+  ?config:Optimizer.Config.t ->
+  ?budget:Exec.Budget.t ->
+  ?faults:Exec.Faults.t ->
+  t ->
+  string ->
+  (Exec.Executor.result, Errors.t) result
+
+(** {2 Graceful degradation}
+
+    The correlated (Apply-as-written) plan is a built-in semantic twin
+    of every optimized plan; when the optimized plan fails recoverably
+    (runtime error, budget trip, injected fault, normalize/plan bug)
+    the same SQL is retried under [fallback]. *)
+
+type resilient = {
+  execution : execution;
+  served_by : string;  (** config name that produced the result *)
+  degraded : bool;  (** true when the fallback path served *)
+  primary_error : Errors.t option;  (** why the primary path failed *)
+}
+
+(** @raise Errors.Error when the primary failure is unrecoverable or
+    the fallback fails too. *)
+val query_resilient :
+  ?config:Optimizer.Config.t ->
+  ?fallback:Optimizer.Config.t ->
+  ?budget:Exec.Budget.t ->
+  ?faults:Exec.Faults.t ->
+  t ->
+  string ->
+  resilient
+
+val query_resilient_checked :
+  ?config:Optimizer.Config.t ->
+  ?fallback:Optimizer.Config.t ->
+  ?budget:Exec.Budget.t ->
+  ?faults:Exec.Faults.t ->
+  t ->
+  string ->
+  (resilient, Errors.t) result
+
+(** {2 Differential checking} *)
+
+type check_report = {
+  check_sql : string;
+  candidate : string;  (** config name of the plan under test *)
+  reference : string;  (** config name of the oracle *)
+  agree : bool;  (** bag-equality of the two result sets *)
+  candidate_rows : int;
+  reference_rows : int;
+  only_candidate : string list;  (** sample rows missing from the reference (≤ 5) *)
+  only_reference : string list;  (** sample rows missing from the candidate (≤ 5) *)
+}
+
+(** Run the same SQL under [candidate] (default full) and [reference]
+    (default correlated-only) and compare result bags. *)
+val check :
+  ?candidate:Optimizer.Config.t ->
+  ?reference:Optimizer.Config.t ->
+  ?budget:Exec.Budget.t ->
+  t ->
+  string ->
+  check_report
+
+val format_check_report : check_report -> string
 
 (** Normalized tree, chosen plan, costs and subquery class. *)
 val explain : ?config:Optimizer.Config.t -> t -> string -> string

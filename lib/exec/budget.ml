@@ -1,0 +1,67 @@
+(* Query budgets: cooperative resource limits checked inside the
+   executor's row loops.
+
+   A budget bounds three resources that runaway plans consume —
+   rows flowing through operators, Apply invocations (the unit of
+   correlated work), and wall-clock time.  The executor checks the
+   budget at every operator boundary and raises [Exceeded] with the
+   progress counters accumulated so far, so callers can report how far
+   a query got before it was cut off (and, via
+   [Engine.query_resilient], retry on a cheaper plan shape). *)
+
+type t = {
+  max_rows : int option;  (** cap on total rows processed by operators *)
+  max_apply : int option;  (** cap on Apply invocations (correlated work) *)
+  timeout_s : float option;  (** wall-clock limit in seconds *)
+}
+
+let unlimited = { max_rows = None; max_apply = None; timeout_s = None }
+
+let make ?max_rows ?max_apply ?timeout_s () = { max_rows; max_apply; timeout_s }
+
+let is_unlimited b = b.max_rows = None && b.max_apply = None && b.timeout_s = None
+
+(* Which resource tripped. *)
+type trip = Rows | Applies | Timeout
+
+(* Partial-progress counters at the moment the budget tripped. *)
+type progress = {
+  rows_processed : int;
+  apply_invocations : int;
+  elapsed_s : float;
+}
+
+exception Exceeded of trip * progress
+
+let trip_to_string = function
+  | Rows -> "row budget"
+  | Applies -> "apply budget"
+  | Timeout -> "timeout"
+
+let to_string (t : trip) (p : progress) =
+  Printf.sprintf "%s exceeded after %d rows, %d apply invocations, %.3fs"
+    (trip_to_string t) p.rows_processed p.apply_invocations p.elapsed_s
+
+(* Cooperative check.  [started] is the Unix time at executor start;
+   counters are the executor's running totals. *)
+let check (b : t) ~started ~rows_processed ~apply_invocations =
+  let progress trip =
+    raise
+      (Exceeded
+         ( trip,
+           { rows_processed;
+             apply_invocations;
+             elapsed_s = Unix.gettimeofday () -. started;
+           } ))
+  in
+  (match b.max_rows with
+  | Some n when rows_processed > n -> progress Rows
+  | _ -> ());
+  (match b.max_apply with
+  | Some n when apply_invocations > n -> progress Applies
+  | _ -> ());
+  (* [>=] so a zero timeout means "trip at the first check" even when
+     the clock has not advanced a full microsecond yet *)
+  match b.timeout_s with
+  | Some limit when Unix.gettimeofday () -. started >= limit -> progress Timeout
+  | _ -> ()

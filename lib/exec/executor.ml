@@ -35,9 +35,46 @@ type ctx = {
       (** current SegmentApply segment: outer layout and segment rows *)
   mutable apply_invocations : int;  (** statistics for tests/benches *)
   mutable rows_processed : int;
+  budget : Budget.t option;  (** cooperative resource limits *)
+  faults : Faults.t option;  (** fault-injection plan (tests/harness) *)
+  started : float;  (** Unix time at context creation, for timeouts *)
 }
 
-let make_ctx db = { db; seg = None; apply_invocations = 0; rows_processed = 0 }
+let make_ctx ?budget ?faults db =
+  let budget = match budget with Some b when Budget.is_unlimited b -> None | b -> b in
+  { db;
+    seg = None;
+    apply_invocations = 0;
+    rows_processed = 0;
+    budget;
+    faults;
+    started = Unix.gettimeofday ();
+  }
+
+(* Cooperative budget check — called wherever the counters advance and
+   at every operator evaluation (which bounds timeout drift). *)
+let check_budget (ctx : ctx) =
+  match ctx.budget with
+  | None -> ()
+  | Some b ->
+      Budget.check b ~started:ctx.started ~rows_processed:ctx.rows_processed
+        ~apply_invocations:ctx.apply_invocations
+
+let op_fault_kind : op -> Faults.op_kind = function
+  | TableScan _ -> Faults.Scan
+  | ConstTable _ -> Faults.ConstTable
+  | SegmentHole _ -> Faults.SegmentHole
+  | Select _ -> Faults.Select
+  | Project _ -> Faults.Project
+  | Join _ -> Faults.Join
+  | Apply _ -> Faults.Apply
+  | SegmentApply _ -> Faults.SegmentApply
+  | GroupBy _ | LocalGroupBy _ -> Faults.GroupBy
+  | ScalarAgg _ -> Faults.ScalarAgg
+  | UnionAll _ -> Faults.UnionAll
+  | Except _ -> Faults.Except
+  | Max1row _ -> Faults.Max1row
+  | Rownum _ -> Faults.Rownum
 
 (* position map for a schema *)
 let positions (schema : Col.t list) : (int, int) Hashtbl.t =
@@ -214,6 +251,8 @@ and eval_pred ctx env e = eval ctx env e = Value.Bool true
 (* ------------------------------------------------------------------ *)
 
 and run (ctx : ctx) (env : lookup) (o : op) : row list =
+  (match ctx.faults with None -> () | Some f -> Faults.tick f (op_fault_kind o));
+  check_budget ctx;
   match o with
   | TableScan { table; _ } ->
       let tb = Storage.Database.table ctx.db table in
@@ -222,6 +261,7 @@ and run (ctx : ctx) (env : lookup) (o : op) : row list =
         out := tb.rows.(i) :: !out
       done;
       ctx.rows_processed <- ctx.rows_processed + Array.length tb.rows;
+      check_budget ctx;
       !out
   | ConstTable { rows; _ } -> rows
   | SegmentHole { src; _ } -> (
@@ -360,6 +400,7 @@ and exec_join ctx env kind pred left right =
   let lset = Col.Set.of_list lschema and rset = Col.Set.of_list rschema in
   let rarity = List.length rschema in
   ctx.rows_processed <- ctx.rows_processed + List.length lrows + List.length rrows;
+  check_budget ctx;
   let equi, residual = split_equi_conjuncts pred lset rset in
   let emit_combined l r = Array.append l r in
   let nulls = Array.make rarity Value.Null in
@@ -488,6 +529,8 @@ and exec_apply ctx env kind pred left right =
   List.iter
     (fun (l : row) ->
       ctx.apply_invocations <- ctx.apply_invocations + 1;
+      ctx.rows_processed <- ctx.rows_processed + 1;
+      check_budget ctx;
       let lenv = row_lookup lpos l env in
       let rrows = match fast with Some f -> f lenv | None -> run ctx lenv right in
       let matches =
@@ -594,9 +637,10 @@ let truncate limit rows =
 
 (* Execute a query end to end: run, sort, limit, project away the hidden
    order-by columns ([outputs] lists the visible ones). *)
-let run_query (db : Storage.Database.t) ~(op : op) ~(outputs : (string * Col.t) list)
-    ~(order : (Col.t * bool) list) ~(limit : int option) : result =
-  let ctx = make_ctx db in
+let run_query ?budget ?faults (db : Storage.Database.t) ~(op : op)
+    ~(outputs : (string * Col.t) list) ~(order : (Col.t * bool) list)
+    ~(limit : int option) : result =
+  let ctx = make_ctx ?budget ?faults db in
   let rows = run ctx empty_lookup op in
   let schema = Op.schema op in
   let rows = sort_rows schema order rows in

@@ -27,9 +27,15 @@ type ctx = {
       (** current SegmentApply segment (outer layout, rows) *)
   mutable apply_invocations : int;  (** statistics for benches/tests *)
   mutable rows_processed : int;
+  budget : Budget.t option;  (** cooperative resource limits *)
+  faults : Faults.t option;  (** fault-injection plan (tests/harness) *)
+  started : float;  (** Unix time at context creation, for timeouts *)
 }
 
-val make_ctx : Storage.Database.t -> ctx
+(** [make_ctx ?budget ?faults db] — a budget makes the executor raise
+    {!Budget.Exceeded} mid-query when a limit trips; a fault plan makes
+    it raise {!Faults.Injected} per the plan's schedule. *)
+val make_ctx : ?budget:Budget.t -> ?faults:Faults.t -> Storage.Database.t -> ctx
 
 (** Scalar evaluation under 3-valued logic; UNKNOWN is [Value.Null].
     Subquery expression nodes recurse into {!run} (mutual recursion). *)
@@ -48,6 +54,8 @@ val truncate : int option -> row list -> row list
 
 (** Run, sort, limit and project away hidden order-by columns. *)
 val run_query :
+  ?budget:Budget.t ->
+  ?faults:Faults.t ->
   Storage.Database.t ->
   op:op ->
   outputs:(string * Col.t) list ->

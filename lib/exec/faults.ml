@@ -1,0 +1,151 @@
+(* Fault injection for the executor.
+
+   A fault plan decides, at every operator evaluation, whether to kill
+   the query with [Injected].  Plans are deterministic given their
+   specification: nth-call and every-nth modes count matching operator
+   evaluations, and the probabilistic mode draws from a splitmix64
+   stream seeded by [seed], so a failing run is always reproducible.
+
+   Targeting by operator kind is what makes the harness useful for the
+   degradation logic: injecting into [Join] (or [GroupBy]) kills
+   decorrelated plans while leaving the Apply-shaped correlated plan
+   untouched, which is exactly the situation [Engine.query_resilient]
+   must survive. *)
+
+(* Operator kinds, mirroring [Relalg.Algebra.op] constructors. *)
+type op_kind =
+  | Scan
+  | ConstTable
+  | SegmentHole
+  | Select
+  | Project
+  | Join
+  | Apply
+  | SegmentApply
+  | GroupBy
+  | ScalarAgg
+  | UnionAll
+  | Except
+  | Max1row
+  | Rownum
+
+let op_kind_to_string = function
+  | Scan -> "scan"
+  | ConstTable -> "const"
+  | SegmentHole -> "hole"
+  | Select -> "select"
+  | Project -> "project"
+  | Join -> "join"
+  | Apply -> "apply"
+  | SegmentApply -> "segment-apply"
+  | GroupBy -> "groupby"
+  | ScalarAgg -> "scalar-agg"
+  | UnionAll -> "union"
+  | Except -> "except"
+  | Max1row -> "max1row"
+  | Rownum -> "rownum"
+
+let op_kind_of_string = function
+  | "scan" -> Some Scan
+  | "const" -> Some ConstTable
+  | "hole" -> Some SegmentHole
+  | "select" -> Some Select
+  | "project" -> Some Project
+  | "join" -> Some Join
+  | "apply" -> Some Apply
+  | "segment-apply" -> Some SegmentApply
+  | "groupby" -> Some GroupBy
+  | "scalar-agg" -> Some ScalarAgg
+  | "union" -> Some UnionAll
+  | "except" -> Some Except
+  | "max1row" -> Some Max1row
+  | "rownum" -> Some Rownum
+  | _ -> None
+
+type target = Any | Kind of op_kind
+
+type mode =
+  | Nth of int  (** fail exactly on the nth matching evaluation (1-based) *)
+  | Every of int  (** fail on every nth matching evaluation *)
+  | Probabilistic of float  (** per-evaluation failure probability *)
+
+type spec = { target : target; mode : mode; seed : int }
+
+exception Injected of { kind : op_kind; call : int }
+
+let injected_to_string (kind : op_kind) (call : int) =
+  Printf.sprintf "injected fault at %s evaluation #%d" (op_kind_to_string kind) call
+
+(* Mutable plan state: matching-call counter and PRNG stream. *)
+type t = { spec : spec; mutable calls : int; mutable state : int64 }
+
+let create (spec : spec) : t =
+  { spec; calls = 0; state = Int64.of_int ((spec.seed * 2) + 1) }
+
+(* splitmix64 step → uniform float in [0, 1) *)
+let next_float (f : t) : float =
+  let open Int64 in
+  f.state <- add f.state 0x9E3779B97F4A7C15L;
+  let z = f.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  Int64.to_float (shift_right_logical z 11) /. 9007199254740992.0
+
+let matches (f : t) (kind : op_kind) =
+  match f.spec.target with Any -> true | Kind k -> k = kind
+
+(* Called by the executor at each operator evaluation; raises [Injected]
+   when the plan says this evaluation dies. *)
+let tick (f : t) (kind : op_kind) : unit =
+  if matches f kind then begin
+    f.calls <- f.calls + 1;
+    let die =
+      match f.spec.mode with
+      | Nth n -> f.calls = n
+      | Every n -> n > 0 && f.calls mod n = 0
+      | Probabilistic p -> next_float f < p
+    in
+    if die then raise (Injected { kind; call = f.calls })
+  end
+
+(* "join:nth:3", "any:p:0.01:seed:7", "groupby:every:10" — the CLI and
+   test-harness surface syntax. *)
+let parse (s : string) : (spec, string) result =
+  let parts = String.split_on_char ':' s in
+  let target_of k =
+    if k = "any" then Ok Any
+    else
+      match op_kind_of_string k with
+      | Some kind -> Ok (Kind kind)
+      | None -> Error ("unknown operator kind: " ^ k)
+  in
+  let int_of v = try Ok (int_of_string v) with _ -> Error ("bad integer: " ^ v) in
+  let float_of v = try Ok (float_of_string v) with _ -> Error ("bad float: " ^ v) in
+  let ( let* ) = Result.bind in
+  match parts with
+  | [ k; "nth"; n ] ->
+      let* target = target_of k in
+      let* n = int_of n in
+      Ok { target; mode = Nth n; seed = 0 }
+  | [ k; "every"; n ] ->
+      let* target = target_of k in
+      let* n = int_of n in
+      Ok { target; mode = Every n; seed = 0 }
+  | [ k; "p"; p ] ->
+      let* target = target_of k in
+      let* p = float_of p in
+      Ok { target; mode = Probabilistic p; seed = 0 }
+  | [ k; "p"; p; "seed"; seed ] ->
+      let* target = target_of k in
+      let* p = float_of p in
+      let* seed = int_of seed in
+      Ok { target; mode = Probabilistic p; seed }
+  | _ -> Error ("cannot parse fault spec: " ^ s)
+
+let spec_to_string (s : spec) =
+  let k = match s.target with Any -> "any" | Kind k -> op_kind_to_string k in
+  match s.mode with
+  | Nth n -> Printf.sprintf "%s:nth:%d" k n
+  | Every n -> Printf.sprintf "%s:every:%d" k n
+  | Probabilistic p -> Printf.sprintf "%s:p:%g:seed:%d" k p s.seed

@@ -354,8 +354,17 @@ and parse_primary st =
 
 (* ------------------------------------------------------------------ *)
 
+(* Lexer rejections surface as [Parse_error] with position context —
+   callers that handle parse failures handle lex failures for free. *)
+let tokenize (src : string) : Token.t list =
+  try Lexer.tokenize src
+  with Lexer.Lex_error (msg, pos) ->
+    let n = String.length src in
+    let from = max 0 (pos - 20) and upto = min n (pos + 20) in
+    fail "%s at position %d: ...%s..." msg pos (String.sub src from (upto - from))
+
 let parse (src : string) : Ast.query =
-  let st = { toks = Lexer.tokenize src } in
+  let st = { toks = tokenize src } in
   let q = parse_query st in
   (if peek st = Token.SEMI then advance st);
   (match peek st with
@@ -364,7 +373,7 @@ let parse (src : string) : Ast.query =
   q
 
 let parse_expr_string (src : string) : Ast.expr =
-  let st = { toks = Lexer.tokenize src } in
+  let st = { toks = tokenize src } in
   let e = parse_expr st in
   (match peek st with
   | Token.EOF -> ()

@@ -13,6 +13,7 @@ let () =
       ("optimizer", Test_optimizer.suite);
       ("engine", Test_engine.suite);
       ("datagen", Test_datagen.suite);
+      ("resilience", Test_resilience.suite);
       ("property", Test_property.suite);
       ("property-analysis", Test_property_analysis.suite)
     ]
