@@ -1,12 +1,12 @@
 # Convenience targets; `make verify` is the tier-1 gate.
 
-.PHONY: all verify test faults bench clean
+.PHONY: all verify test faults bench bench-smoke clean
 
 all:
 	dune build
 
 verify:
-	dune build && dune runtest
+	dune build && dune runtest && $(MAKE) bench-smoke
 
 test:
 	dune runtest
@@ -17,6 +17,10 @@ faults:
 
 bench:
 	dune exec bench/main.exe
+
+# tiny-scale sweep of every workload x config; writes BENCH_2.json
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
 
 clean:
 	dune clean

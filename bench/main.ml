@@ -16,6 +16,7 @@
      bench/main.exe            -- run everything, paper-style tables
      bench/main.exe e5 e6      -- selected experiments
      bench/main.exe --bechamel -- statistically robust timings (Bechamel)
+     bench/main.exe --smoke    -- tiny-scale CI sweep, writes BENCH_2.json
 *)
 
 let fmt = Printf.printf
@@ -308,6 +309,63 @@ let e8 () =
       [ ""; "off"; seconds c_off.elapsed ]
     ]
 
+(* --- smoke mode: BENCH_2.json ------------------------------------------ *)
+
+(* CI artifact: run every named workload under every configuration at a
+   tiny scale factor and dump per-run counters as JSON, plus a
+   metrics-enabled re-run of the full configuration to measure the
+   observability layer's overhead (the tentpole's <5% budget refers to
+   metrics *disabled*; the enabled figure is recorded for context). *)
+
+let smoke ?(out = "BENCH_2.json") () =
+  let sf = 0.01 in
+  let db = database sf in
+  let eng = Engine.create db in
+  let repeat = 3 in
+  let time_execute ?collect_metrics p =
+    (* fastest of [repeat]: warm caches, less scheduler noise *)
+    let best = ref (Engine.execute ?collect_metrics eng p) in
+    for _ = 2 to repeat do
+      let e = Engine.execute ?collect_metrics eng p in
+      if e.Engine.elapsed_s < !best.Engine.elapsed_s then best := e
+    done;
+    !best
+  in
+  let entries =
+    List.concat_map
+      (fun (qname, sql) ->
+        List.map
+          (fun (cname, config) ->
+            let p = Engine.prepare ~config eng sql in
+            let e = time_execute p in
+            let metrics_elapsed =
+              (* overhead probe only on the plan we actually ship *)
+              if cname = "full" then
+                Printf.sprintf ",\"elapsed_s_with_metrics\":%.6f"
+                  (time_execute ~collect_metrics:true p).Engine.elapsed_s
+              else ""
+            in
+            Printf.sprintf
+              "  {\"query\":%s,\"config\":%s,\"elapsed_s\":%.6f,\"rows\":%d,\
+               \"apply_invocations\":%d,\"rows_processed\":%d,\"plan_cost\":%.2f%s}"
+              (Exec.Metrics.json_string qname)
+              (Exec.Metrics.json_string cname)
+              e.Engine.elapsed_s (List.length e.Engine.result.rows)
+              e.Engine.apply_invocations e.Engine.rows_processed p.Engine.plan_cost
+              metrics_elapsed)
+          configs)
+      Workloads.all_named
+  in
+  let json =
+    Printf.sprintf "{\"sf\":%.3f,\"repeat\":%d,\"runs\":[\n%s\n]}\n" sf repeat
+      (String.concat ",\n" entries)
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  fmt "wrote %s (%d runs: %d workloads x %d configs, SF %.3f)\n" out
+    (List.length entries) (List.length Workloads.all_named) (List.length configs) sf
+
 (* --- Bechamel mode ----------------------------------------------------- *)
 
 let run_bechamel () =
@@ -357,7 +415,8 @@ let all_experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  if List.mem "--bechamel" args then run_bechamel ()
+  if List.mem "--smoke" args then smoke ()
+  else if List.mem "--bechamel" args then run_bechamel ()
   else begin
     let selected =
       match List.filter (fun a -> List.mem_assoc a all_experiments) args with

@@ -164,14 +164,76 @@ let explain_cmd =
     let doc = "Show every normalization stage (Figures 2/3/5 of the paper)." in
     Arg.(value & flag & info [ "stages" ] ~doc)
   in
-  let action sf seed config stages sql =
+  let analyze_arg =
+    let doc =
+      "Execute the chosen plan and annotate every operator with invocations, rows \
+       in/out, wall time, Apply fast-path hits and hash-build sizes; includes the \
+       optimizer's rule-firing trace."
+    in
+    Arg.(value & flag & info [ "analyze" ] ~doc)
+  in
+  let trace_arg =
+    let doc = "Show the optimizer's per-round rule-firing trace (without executing)." in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit machine-readable JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let sql_opt_arg =
+    let doc = "The SQL query; omit to explain the built-in TPC-H bench workloads." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+  in
+  let action sf seed config stages analyze trace json sql =
     with_engine sf seed (fun eng ->
-        if stages then print_string (Engine.explain_stages ~config eng sql)
-        else print_string (Engine.explain ~config eng sql))
+        let queries =
+          match sql with Some s -> [ ("query", s) ] | None -> Workloads.all_named
+        in
+        if json then begin
+          match sql with
+          | Some s ->
+              print_endline (or_die s (fun () -> Engine.explain_json ~config ~analyze eng s))
+          | None ->
+              let objs =
+                List.map
+                  (fun (name, sql) ->
+                    or_die sql (fun () ->
+                        Printf.sprintf "{\"workload\":%s,\"explain\":%s}"
+                          (Exec.Metrics.json_string name)
+                          (Engine.explain_json ~config ~analyze eng sql)))
+                  queries
+              in
+              print_endline ("[" ^ String.concat ",\n" objs ^ "]")
+        end
+        else
+          List.iter
+            (fun (name, sql) ->
+              if List.length queries > 1 then Printf.printf "=== %s ===\n" name;
+              or_die sql (fun () ->
+                  if analyze then print_string (Engine.explain_analyze ~config eng sql)
+                  else begin
+                    if stages then print_string (Engine.explain_stages ~config eng sql)
+                    else print_string (Engine.explain ~config eng sql);
+                    if trace then begin
+                      let p = Engine.prepare ~config ~record_trace:true eng sql in
+                      print_string "== optimizer trace ==\n";
+                      match p.Engine.trace with
+                      | Some tr -> print_string (Optimizer.Search.trace_to_string tr)
+                      | None -> print_string "(cost-based search disabled)\n"
+                    end
+                  end);
+              if List.length queries > 1 then print_newline ())
+            queries)
   in
   Cmd.v
-    (Cmd.info "explain" ~doc:"Show the normalized tree and the chosen plan.")
-    Term.(const action $ sf_arg $ seed_arg $ level_arg $ stages_arg $ sql_arg)
+    (Cmd.info "explain"
+       ~doc:
+         "Show the normalized tree and the chosen plan; --analyze executes it with \
+          per-operator metrics (EXPLAIN ANALYZE), --trace shows the rule-firing \
+          trace, --json emits machine-readable output.")
+    Term.(
+      const action $ sf_arg $ seed_arg $ level_arg $ stages_arg $ analyze_arg $ trace_arg
+      $ json_arg $ sql_opt_arg)
 
 let repl_cmd =
   let action sf seed config =

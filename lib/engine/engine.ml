@@ -29,6 +29,7 @@ type prepared = {
   seed_cost : float;
   explored : int;
   config : Optimizer.Config.t;
+  trace : Optimizer.Search.trace option;  (** rule firings, when requested *)
 }
 
 (* Convert untyped escapes (failwith, Invalid_argument, Not_found) from
@@ -42,7 +43,8 @@ let stage_guard (phase : Errors.phase) (sql : string) (f : unit -> 'a) : 'a =
       raise (Errors.Error (Errors.make ~sql phase ("invalid argument: " ^ m)))
   | Not_found -> raise (Errors.Error (Errors.make ~sql phase "internal lookup failed"))
 
-let prepare ?(config = Optimizer.Config.full) ?must (t : t) (sql : string) : prepared =
+let prepare ?(config = Optimizer.Config.full) ?must ?(record_trace = false) (t : t)
+    (sql : string) : prepared =
   let bound = Sqlfront.Binder.bind_sql t.db.Storage.Database.catalog sql in
   let opts =
     { Normalize.env = t.props_env;
@@ -59,8 +61,11 @@ let prepare ?(config = Optimizer.Config.full) ?must (t : t) (sql : string) : pre
             best_cost = Optimizer.Cost.of_plan t.stats stages.normalized;
             explored = 1;
             seed_cost = Optimizer.Cost.of_plan t.stats stages.normalized;
+            trace = None;
           }
-        else Optimizer.Search.optimize ?must config t.stats ~env:t.props_env stages.normalized)
+        else
+          Optimizer.Search.optimize ?must ~record_trace config t.stats ~env:t.props_env
+            stages.normalized)
   in
   { sql;
     bound;
@@ -70,6 +75,7 @@ let prepare ?(config = Optimizer.Config.full) ?must (t : t) (sql : string) : pre
     seed_cost = outcome.seed_cost;
     explored = outcome.explored;
     config;
+    trace = outcome.trace;
   }
 
 (* Execute a prepared query.  Returns the rows plus execution counters
@@ -79,10 +85,12 @@ type execution = {
   apply_invocations : int;
   rows_processed : int;
   elapsed_s : float;
+  metrics : Exec.Metrics.node option;  (** per-operator tree, when collected *)
 }
 
-let execute ?budget ?faults (t : t) (p : prepared) : execution =
-  let ctx = Exec.Executor.make_ctx ?budget ?faults t.db in
+let execute ?budget ?faults ?(collect_metrics = false) (t : t) (p : prepared) : execution =
+  let metrics = if collect_metrics then Some (Exec.Metrics.create p.plan) else None in
+  let ctx = Exec.Executor.make_ctx ?budget ?faults ?metrics t.db in
   let t0 = Unix.gettimeofday () in
   let rows = Exec.Executor.run ctx Exec.Executor.empty_lookup p.plan in
   let schema = Op.schema p.plan in
@@ -98,6 +106,7 @@ let execute ?budget ?faults (t : t) (p : prepared) : execution =
     apply_invocations = ctx.apply_invocations;
     rows_processed = ctx.rows_processed;
     elapsed_s = t1 -. t0;
+    metrics = Option.map Exec.Metrics.root metrics;
   }
 
 let query ?config ?budget ?faults (t : t) (sql : string) : Exec.Executor.result =
@@ -241,6 +250,69 @@ let explain ?config (t : t) (sql : string) : string =
     (Printf.sprintf "== chosen plan (cost %.0f, seed %.0f, %d alternatives) ==\n"
        p.plan_cost p.seed_cost p.explored);
   Buffer.add_string b (Pp.to_string p.plan);
+  Buffer.contents b
+
+(* EXPLAIN ANALYZE: compile with the search trace on, execute with the
+   per-operator metrics tree, and render both.  [times:false] drops
+   wall-clock figures so tests can compare output verbatim. *)
+let explain_analyze ?config ?budget ?(times = true) (t : t) (sql : string) : string =
+  let p = prepare ?config ~record_trace:true t sql in
+  let e = execute ?budget ~collect_metrics:true t p in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "== subquery class ==\n";
+  Buffer.add_string b (Normalize.Classify.to_string p.stages.subquery_class);
+  Buffer.add_string b
+    (Printf.sprintf "\n== chosen plan, analyzed (cost %.0f, seed %.0f, %d alternatives) ==\n"
+       p.plan_cost p.seed_cost p.explored);
+  (match e.metrics with
+  | Some m -> Buffer.add_string b (Exec.Metrics.render ~times m)
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf "\n%d rows, %d rows processed, %d apply invocations%s\n"
+       (List.length e.result.rows)
+       e.rows_processed e.apply_invocations
+       (if times then Printf.sprintf ", %.3fs" e.elapsed_s else ""));
+  Buffer.add_string b "\n== optimizer trace ==\n";
+  (match p.trace with
+  | Some tr -> Buffer.add_string b (Optimizer.Search.trace_to_string tr)
+  | None -> Buffer.add_string b "(cost-based search disabled)\n");
+  Buffer.contents b
+
+(* Machine-readable EXPLAIN: plan, costs and trace; with [analyze] also
+   the execution counters and the per-operator metrics tree. *)
+let explain_json ?config ?budget ?(analyze = false) (t : t) (sql : string) : string =
+  let p = prepare ?config ~record_trace:true t sql in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{";
+  Buffer.add_string b (Printf.sprintf "\"sql\":%s," (Exec.Metrics.json_string sql));
+  Buffer.add_string b
+    (Printf.sprintf "\"config\":%s,"
+       (Exec.Metrics.json_string (Optimizer.Config.name_of p.config)));
+  Buffer.add_string b
+    (Printf.sprintf "\"subquery_class\":%s,"
+       (Exec.Metrics.json_string (Normalize.Classify.to_string p.stages.subquery_class)));
+  Buffer.add_string b
+    (Printf.sprintf "\"plan_cost\":%.2f,\"seed_cost\":%.2f,\"explored\":%d," p.plan_cost
+       p.seed_cost p.explored);
+  Buffer.add_string b
+    (Printf.sprintf "\"plan\":%s," (Exec.Metrics.json_string (Pp.to_string p.plan)));
+  Buffer.add_string b
+    (Printf.sprintf "\"trace\":%s,"
+       (match p.trace with
+       | Some tr -> Optimizer.Search.trace_to_json tr
+       | None -> "null"));
+  (if analyze then begin
+     let e = execute ?budget ~collect_metrics:true t p in
+     Buffer.add_string b
+       (Printf.sprintf
+          "\"execution\":{\"elapsed_s\":%.6f,\"rows\":%d,\"rows_processed\":%d,\"apply_invocations\":%d,\"metrics\":%s}"
+          e.elapsed_s
+          (List.length e.result.rows)
+          e.rows_processed e.apply_invocations
+          (match e.metrics with Some m -> Exec.Metrics.to_json m | None -> "null"))
+   end
+   else Buffer.add_string b "\"execution\":null");
+  Buffer.add_string b "}";
   Buffer.contents b
 
 let explain_stages ?config (t : t) (sql : string) : string =

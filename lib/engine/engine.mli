@@ -21,25 +21,42 @@ type prepared = {
   seed_cost : float;
   explored : int;  (** alternatives considered by the search *)
   config : Optimizer.Config.t;
+  trace : Optimizer.Search.trace option;  (** rule firings, when requested *)
 }
 
 (** Compile a SQL string.  [config] selects the optimizer technology
     level (default {!Optimizer.Config.full}); [must] restricts the
-    chosen plan (see {!Optimizer.Search.optimize}).
+    chosen plan (see {!Optimizer.Search.optimize}); [record_trace]
+    keeps the per-round rule-firing trace of the search.
     @raise Sqlfront.Parser.Parse_error / Sqlfront.Binder.Bind_error *)
-val prepare : ?config:Optimizer.Config.t -> ?must:(Algebra.op -> bool) -> t -> string -> prepared
+val prepare :
+  ?config:Optimizer.Config.t ->
+  ?must:(Algebra.op -> bool) ->
+  ?record_trace:bool ->
+  t ->
+  string ->
+  prepared
 
 type execution = {
   result : Exec.Executor.result;
   apply_invocations : int;  (** correlated inner evaluations performed *)
   rows_processed : int;
   elapsed_s : float;
+  metrics : Exec.Metrics.node option;  (** per-operator tree, when collected *)
 }
 
-(** @raise Exec.Executor.Runtime_error for Max1row violations.
+(** [collect_metrics] attributes invocations, rows and wall time to a
+    per-operator metrics tree returned in {!execution.metrics}.
+    @raise Exec.Executor.Runtime_error for Max1row violations.
     @raise Exec.Budget.Exceeded when a budget limit trips.
     @raise Exec.Faults.Injected under an armed fault plan. *)
-val execute : ?budget:Exec.Budget.t -> ?faults:Exec.Faults.t -> t -> prepared -> execution
+val execute :
+  ?budget:Exec.Budget.t ->
+  ?faults:Exec.Faults.t ->
+  ?collect_metrics:bool ->
+  t ->
+  prepared ->
+  execution
 
 (** [prepare] + [execute]. *)
 val query :
@@ -135,6 +152,19 @@ val format_check_report : check_report -> string
 
 (** Normalized tree, chosen plan, costs and subquery class. *)
 val explain : ?config:Optimizer.Config.t -> t -> string -> string
+
+(** EXPLAIN ANALYZE: execute the chosen plan with per-operator metrics
+    and render the annotated plan, execution counters and the
+    optimizer's rule-firing trace.  [times:false] omits wall-clock
+    figures (stable output for golden tests). *)
+val explain_analyze :
+  ?config:Optimizer.Config.t -> ?budget:Exec.Budget.t -> ?times:bool -> t -> string -> string
+
+(** Machine-readable EXPLAIN as a JSON object: plan, costs, search
+    trace, and (with [analyze]) execution counters plus the
+    per-operator metrics tree. *)
+val explain_json :
+  ?config:Optimizer.Config.t -> ?budget:Exec.Budget.t -> ?analyze:bool -> t -> string -> string
 
 (** Every pipeline stage (the paper's Figures 2/3/5 for the query). *)
 val explain_stages : ?config:Optimizer.Config.t -> t -> string -> string

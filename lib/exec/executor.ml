@@ -38,9 +38,16 @@ type ctx = {
   budget : Budget.t option;  (** cooperative resource limits *)
   faults : Faults.t option;  (** fault-injection plan (tests/harness) *)
   started : float;  (** Unix time at context creation, for timeouts *)
+  metrics : Metrics.t option;  (** per-operator metrics tree (EXPLAIN ANALYZE) *)
+  mutable mnode : Metrics.node option;
+      (** metrics node of the operator currently being evaluated *)
+  pos_cache : (int, int) Hashtbl.t Metrics.PhysTbl.t;
+      (** schema position tables, memoized per plan node *)
+  probe_cache : (lookup -> row list) option Metrics.PhysTbl.t;
+      (** Apply index fast paths, memoized per inner tree *)
 }
 
-let make_ctx ?budget ?faults db =
+let make_ctx ?budget ?faults ?metrics db =
   let budget = match budget with Some b when Budget.is_unlimited b -> None | b -> b in
   { db;
     seg = None;
@@ -49,6 +56,10 @@ let make_ctx ?budget ?faults db =
     budget;
     faults;
     started = Unix.gettimeofday ();
+    metrics;
+    mnode = None;
+    pos_cache = Metrics.PhysTbl.create 64;
+    probe_cache = Metrics.PhysTbl.create 16;
   }
 
 (* Cooperative budget check — called wherever the counters advance and
@@ -59,6 +70,16 @@ let check_budget (ctx : ctx) =
   | Some b ->
       Budget.check b ~started:ctx.started ~rows_processed:ctx.rows_processed
         ~apply_invocations:ctx.apply_invocations
+
+(* Every operator accounts the rows it consumes (TableScan: the rows it
+   produces) and re-checks the budget, so [max_rows] trips no matter
+   which operator the bulk of the work hides in. *)
+let account_rows (ctx : ctx) (n : int) =
+  ctx.rows_processed <- ctx.rows_processed + n;
+  check_budget ctx
+
+let note_rows_in (ctx : ctx) (n : int) =
+  match ctx.mnode with None -> () | Some node -> Metrics.add_rows_in node n
 
 let op_fault_kind : op -> Faults.op_kind = function
   | TableScan _ -> Faults.Scan
@@ -81,6 +102,18 @@ let positions (schema : Col.t list) : (int, int) Hashtbl.t =
   let h = Hashtbl.create (List.length schema * 2) in
   List.iteri (fun i (c : Col.t) -> if not (Hashtbl.mem h c.id) then Hashtbl.add h c.id i) schema;
   h
+
+(* Memoized [positions (Op.schema o)] keyed on physical node identity.
+   Apply re-executes its inner tree once per outer row; rebuilding the
+   schema position tables of every inner operator on every invocation
+   dominated the correlated slow path. *)
+let pos_of (ctx : ctx) (o : op) : (int, int) Hashtbl.t =
+  match Metrics.PhysTbl.find_opt ctx.pos_cache o with
+  | Some h -> h
+  | None ->
+      let h = positions (Op.schema o) in
+      Metrics.PhysTbl.replace ctx.pos_cache o h;
+      h
 
 let row_lookup (pos : (int, int) Hashtbl.t) (r : row) (outer : lookup) : lookup =
  fun id ->
@@ -169,20 +202,29 @@ let rec eval (ctx : ctx) (env : lookup) (e : expr) : Value.t =
             | Le -> c <= 0
             | Gt -> c > 0
             | Ge -> c >= 0))
+  (* Kleene AND/OR over {TRUE, FALSE, UNKNOWN}; like [Not], any other
+     operand type is a runtime type error (a FALSE/TRUE left operand
+     still short-circuits without evaluating the right). *)
   | And (a, b) -> (
       match eval ctx env a with
       | Value.Bool false -> Value.Bool false
-      | va -> (
+      | (Value.Bool true | Value.Null) as va -> (
           match eval ctx env b with
           | Value.Bool false -> Value.Bool false
-          | vb -> if Value.is_null va || Value.is_null vb then Value.Null else Value.Bool true))
+          | Value.Bool true -> va
+          | Value.Null -> Value.Null
+          | v -> raise (Runtime_error ("AND applied to non-boolean " ^ Value.to_string v)))
+      | v -> raise (Runtime_error ("AND applied to non-boolean " ^ Value.to_string v)))
   | Or (a, b) -> (
       match eval ctx env a with
       | Value.Bool true -> Value.Bool true
-      | va -> (
+      | (Value.Bool false | Value.Null) as va -> (
           match eval ctx env b with
           | Value.Bool true -> Value.Bool true
-          | vb -> if Value.is_null va || Value.is_null vb then Value.Null else Value.Bool false))
+          | Value.Bool false -> va
+          | Value.Null -> Value.Null
+          | v -> raise (Runtime_error ("OR applied to non-boolean " ^ Value.to_string v)))
+      | v -> raise (Runtime_error ("OR applied to non-boolean " ^ Value.to_string v)))
   | Not a -> (
       match eval ctx env a with
       | Value.Bool b -> Value.Bool (not b)
@@ -253,6 +295,29 @@ and eval_pred ctx env e = eval ctx env e = Value.Bool true
 and run (ctx : ctx) (env : lookup) (o : op) : row list =
   (match ctx.faults with None -> () | Some f -> Faults.tick f (op_fault_kind o));
   check_budget ctx;
+  match ctx.metrics with
+  | None -> run_node ctx env o
+  | Some m -> (
+      match Metrics.find m o with
+      | None -> run_node ctx env o
+      | Some node ->
+          let saved = ctx.mnode in
+          ctx.mnode <- Some node;
+          let t0 = Unix.gettimeofday () in
+          let out =
+            try run_node ctx env o
+            with e ->
+              ctx.mnode <- saved;
+              Metrics.record node ~elapsed_s:(Unix.gettimeofday () -. t0) ~rows_out:0;
+              raise e
+          in
+          ctx.mnode <- saved;
+          Metrics.record node
+            ~elapsed_s:(Unix.gettimeofday () -. t0)
+            ~rows_out:(List.length out);
+          out)
+
+and run_node (ctx : ctx) (env : lookup) (o : op) : row list =
   match o with
   | TableScan { table; _ } ->
       let tb = Storage.Database.table ctx.db table in
@@ -260,8 +325,7 @@ and run (ctx : ctx) (env : lookup) (o : op) : row list =
       for i = Array.length tb.rows - 1 downto 0 do
         out := tb.rows.(i) :: !out
       done;
-      ctx.rows_processed <- ctx.rows_processed + Array.length tb.rows;
-      check_budget ctx;
+      account_rows ctx (Array.length tb.rows);
       !out
   | ConstTable { rows; _ } -> rows
   | SegmentHole { src; _ } -> (
@@ -280,11 +344,17 @@ and run (ctx : ctx) (env : lookup) (o : op) : row list =
           List.map (fun r -> Array.of_list (List.map (fun i -> r.(i)) idx)) rows)
   | Select (p, i) ->
       let child = run ctx env i in
-      let pos = positions (Op.schema i) in
+      let n = List.length child in
+      account_rows ctx n;
+      note_rows_in ctx n;
+      let pos = pos_of ctx i in
       List.filter (fun r -> eval_pred ctx (row_lookup pos r env) p) child
   | Project (projs, i) ->
       let child = run ctx env i in
-      let pos = positions (Op.schema i) in
+      let n = List.length child in
+      account_rows ctx n;
+      note_rows_in ctx n;
+      let pos = pos_of ctx i in
       List.map
         (fun r ->
           let l = row_lookup pos r env in
@@ -297,7 +367,10 @@ and run (ctx : ctx) (env : lookup) (o : op) : row list =
       exec_group_by ctx env keys aggs input
   | ScalarAgg { aggs; input } ->
       let child = run ctx env input in
-      let pos = positions (Op.schema input) in
+      let n = List.length child in
+      account_rows ctx n;
+      note_rows_in ctx n;
+      let pos = pos_of ctx input in
       let accs = List.map (fun _ -> fresh_acc ()) aggs in
       List.iter
         (fun r ->
@@ -311,15 +384,26 @@ and run (ctx : ctx) (env : lookup) (o : op) : row list =
         child;
       if child = [] then [ Array.of_list (List.map (fun (a : agg) -> agg_on_empty a.fn) aggs) ]
       else [ Array.of_list (List.map2 (fun (a : agg) acc -> acc_result a.fn acc) aggs accs) ]
-  | UnionAll (l, r) -> run ctx env l @ run ctx env r
+  | UnionAll (l, r) ->
+      let lrows = run ctx env l in
+      let rrows = run ctx env r in
+      let n = List.length lrows + List.length rrows in
+      account_rows ctx n;
+      note_rows_in ctx n;
+      lrows @ rrows
   | Except (l, r) ->
       (* bag difference: remove one left occurrence per right occurrence *)
+      let rrows = run ctx env r in
+      account_rows ctx (List.length rrows);
       let counts = VTbl.create 64 in
       List.iter
         (fun (r : row) ->
           let k = Array.to_list r in
           VTbl.replace counts k (1 + try VTbl.find counts k with Not_found -> 0))
-        (run ctx env r);
+        rrows;
+      let lrows = run ctx env l in
+      account_rows ctx (List.length lrows);
+      note_rows_in ctx (List.length lrows + List.length rrows);
       List.filter
         (fun (r : row) ->
           let k = Array.to_list r in
@@ -328,19 +412,27 @@ and run (ctx : ctx) (env : lookup) (o : op) : row list =
               VTbl.replace counts k (n - 1);
               false
           | _ -> true)
-        (run ctx env l)
+        lrows
   | Max1row i -> (
       match run ctx env i with
       | ([] | [ _ ]) as rows -> rows
       | _ -> raise (Runtime_error "subquery returned more than one row (Max1row)"))
   | Rownum { input; _ } ->
-      List.mapi (fun i r -> Array.append r [| Value.Int (i + 1) |]) (run ctx env input)
+      let child = run ctx env input in
+      let n = List.length child in
+      account_rows ctx n;
+      note_rows_in ctx n;
+      List.mapi (fun i r -> Array.append r [| Value.Int (i + 1) |]) child
 
 (* --- hash aggregation ------------------------------------------------ *)
 
 and exec_group_by ctx env (keys : Col.t list) (aggs : agg list) (input : op) : row list =
+  let mnode = ctx.mnode in
   let child = run ctx env input in
-  let pos = positions (Op.schema input) in
+  let n = List.length child in
+  account_rows ctx n;
+  note_rows_in ctx n;
+  let pos = pos_of ctx input in
   let key_idx =
     List.map
       (fun (c : Col.t) ->
@@ -371,6 +463,9 @@ and exec_group_by ctx env (keys : Col.t list) (aggs : agg list) (input : op) : r
           | Some e -> acc_add acc (eval ctx l e))
         aggs accs)
     child;
+  (match mnode with
+  | Some node -> Metrics.add_hash_build node (VTbl.length groups)
+  | None -> ());
   List.rev_map
     (fun k ->
       let accs = VTbl.find groups k in
@@ -394,13 +489,15 @@ and split_equi_conjuncts pred (lcols : Col.Set.t) (rcols : Col.Set.t) =
   (equi, residual)
 
 and exec_join ctx env kind pred left right =
+  let mnode = ctx.mnode in
   let lrows = run ctx env left and rrows = run ctx env right in
   let lschema = Op.schema left and rschema = Op.schema right in
-  let lpos = positions lschema and rpos = positions rschema in
+  let lpos = pos_of ctx left and rpos = pos_of ctx right in
   let lset = Col.Set.of_list lschema and rset = Col.Set.of_list rschema in
   let rarity = List.length rschema in
-  ctx.rows_processed <- ctx.rows_processed + List.length lrows + List.length rrows;
-  check_budget ctx;
+  let nin = List.length lrows + List.length rrows in
+  account_rows ctx nin;
+  note_rows_in ctx nin;
   let equi, residual = split_equi_conjuncts pred lset rset in
   let emit_combined l r = Array.append l r in
   let nulls = Array.make rarity Value.Null in
@@ -408,13 +505,17 @@ and exec_join ctx env kind pred left right =
     (* hash join; NULL keys never match *)
     let res_pred = conj_list residual in
     let build = VTbl.create (List.length rrows * 2) in
+    let built = ref 0 in
     List.iter
       (fun (r : row) ->
         let lk = row_lookup rpos r env in
         let key = List.map (fun (_, be) -> eval ctx lk be) equi in
-        if not (List.exists Value.is_null key) then
-          VTbl.replace build key (r :: (try VTbl.find build key with Not_found -> [])))
+        if not (List.exists Value.is_null key) then begin
+          incr built;
+          VTbl.replace build key (r :: (try VTbl.find build key with Not_found -> []))
+        end)
       rrows;
+    (match mnode with Some node -> Metrics.add_hash_build node !built | None -> ());
     let out = ref [] in
     List.iter
       (fun (l : row) ->
@@ -519,12 +620,23 @@ and index_probe_path ctx (right : op) :
   | _ -> None
 
 and exec_apply ctx env kind pred left right =
+  let mnode = ctx.mnode in
   let lrows = run ctx env left in
-  let lschema = Op.schema left and rschema = Op.schema right in
-  let lpos = positions lschema and rpos = positions rschema in
+  note_rows_in ctx (List.length lrows);
+  let rschema = Op.schema right in
+  let lpos = pos_of ctx left and rpos = pos_of ctx right in
   let rarity = List.length rschema in
   let nulls = Array.make rarity Value.Null in
-  let fast = index_probe_path ctx right in
+  (* the index fast path is a pure function of the inner tree: detect
+     it once per plan node, not once per Apply evaluation *)
+  let fast =
+    match Metrics.PhysTbl.find_opt ctx.probe_cache right with
+    | Some f -> f
+    | None ->
+        let f = index_probe_path ctx right in
+        Metrics.PhysTbl.replace ctx.probe_cache right f;
+        f
+  in
   let out = ref [] in
   List.iter
     (fun (l : row) ->
@@ -532,7 +644,13 @@ and exec_apply ctx env kind pred left right =
       ctx.rows_processed <- ctx.rows_processed + 1;
       check_budget ctx;
       let lenv = row_lookup lpos l env in
-      let rrows = match fast with Some f -> f lenv | None -> run ctx lenv right in
+      let rrows =
+        match fast with
+        | Some f ->
+            (match mnode with Some node -> Metrics.add_fast_hit node | None -> ());
+            f lenv
+        | None -> run ctx lenv right
+      in
       let matches =
         if is_true_const pred then rrows
         else List.filter (fun r -> eval_pred ctx (rows_lookup lpos l rpos r env) pred) rrows
@@ -551,8 +669,11 @@ and exec_apply ctx env kind pred left right =
 
 and exec_segment_apply ctx env seg_cols outer inner =
   let orows = run ctx env outer in
+  let n = List.length orows in
+  account_rows ctx n;
+  note_rows_in ctx n;
   let oschema = Op.schema outer in
-  let opos = positions oschema in
+  let opos = pos_of ctx outer in
   let seg_idx =
     List.map
       (fun (c : Col.t) ->
@@ -637,10 +758,10 @@ let truncate limit rows =
 
 (* Execute a query end to end: run, sort, limit, project away the hidden
    order-by columns ([outputs] lists the visible ones). *)
-let run_query ?budget ?faults (db : Storage.Database.t) ~(op : op)
+let run_query ?budget ?faults ?metrics (db : Storage.Database.t) ~(op : op)
     ~(outputs : (string * Col.t) list) ~(order : (Col.t * bool) list)
     ~(limit : int option) : result =
-  let ctx = make_ctx ?budget ?faults db in
+  let ctx = make_ctx ?budget ?faults ?metrics db in
   let rows = run ctx empty_lookup op in
   let schema = Op.schema op in
   let rows = sort_rows schema order rows in

@@ -30,12 +30,23 @@ type ctx = {
   budget : Budget.t option;  (** cooperative resource limits *)
   faults : Faults.t option;  (** fault-injection plan (tests/harness) *)
   started : float;  (** Unix time at context creation, for timeouts *)
+  metrics : Metrics.t option;  (** per-operator metrics tree (EXPLAIN ANALYZE) *)
+  mutable mnode : Metrics.node option;
+      (** metrics node of the operator currently being evaluated *)
+  pos_cache : (int, int) Hashtbl.t Metrics.PhysTbl.t;
+      (** schema position tables, memoized per plan node *)
+  probe_cache : (lookup -> row list) option Metrics.PhysTbl.t;
+      (** Apply index fast paths, memoized per inner tree *)
 }
 
-(** [make_ctx ?budget ?faults db] — a budget makes the executor raise
-    {!Budget.Exceeded} mid-query when a limit trips; a fault plan makes
-    it raise {!Faults.Injected} per the plan's schedule. *)
-val make_ctx : ?budget:Budget.t -> ?faults:Faults.t -> Storage.Database.t -> ctx
+(** [make_ctx ?budget ?faults ?metrics db] — a budget makes the
+    executor raise {!Budget.Exceeded} mid-query when a limit trips; a
+    fault plan makes it raise {!Faults.Injected} per the plan's
+    schedule; a metrics tree (built with {!Metrics.create} from the
+    plan about to run) makes every operator evaluation attribute
+    invocations, rows and wall time to its node. *)
+val make_ctx :
+  ?budget:Budget.t -> ?faults:Faults.t -> ?metrics:Metrics.t -> Storage.Database.t -> ctx
 
 (** Scalar evaluation under 3-valued logic; UNKNOWN is [Value.Null].
     Subquery expression nodes recurse into {!run} (mutual recursion). *)
@@ -56,6 +67,7 @@ val truncate : int option -> row list -> row list
 val run_query :
   ?budget:Budget.t ->
   ?faults:Faults.t ->
+  ?metrics:Metrics.t ->
   Storage.Database.t ->
   op:op ->
   outputs:(string * Col.t) list ->

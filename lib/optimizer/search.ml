@@ -115,12 +115,78 @@ let apply_everywhere (rule : rule) (t : op) : op list =
   go t (fun x -> x);
   !results
 
+(* --- search trace ---------------------------------------------------- *)
+
+(* What the beam search did, round by round: which rules fired (and how
+   many of their products the memo rejected as duplicates), how many
+   survivors the beam kept, and how the best cost moved.  Recorded only
+   when requested — the hot path pays one [match] per rule firing. *)
+
+type rule_stat = {
+  rule : string;
+  fired : int;  (** trees the rule produced this round *)
+  kept : int;  (** accepted into the memo (new alternatives) *)
+  dups : int;  (** rejected as duplicates of memoized trees *)
+}
+
+type round_trace = {
+  round : int;
+  stats : rule_stat list;  (** per-rule counts; rules that never fired omitted *)
+  survivors : int;  (** beam width actually kept for the next round *)
+  best_cost_after : float;
+}
+
+type trace = {
+  rounds : round_trace list;
+  total_fired : int;
+  total_duplicates : int;
+  exhausted : bool;  (** the [max_alternatives] budget stopped the search *)
+}
+
 type outcome = {
   best : op;
   best_cost : float;
   explored : int;  (** number of distinct alternatives considered *)
   seed_cost : float;
+  trace : trace option;  (** present when [optimize ~record_trace:true] *)
 }
+
+let trace_to_string (t : trace) : string =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "search trace: %d rounds, %d firings, %d duplicates%s\n"
+       (List.length t.rounds) t.total_fired t.total_duplicates
+       (if t.exhausted then " (alternatives budget exhausted)" else ""));
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "  round %d: %d survivors, best cost %.0f\n" r.round r.survivors
+           r.best_cost_after);
+      List.iter
+        (fun s ->
+          Buffer.add_string b
+            (Printf.sprintf "    %-32s fired=%-4d kept=%-4d dup=%d\n" s.rule s.fired
+               s.kept s.dups))
+        r.stats)
+    t.rounds;
+  Buffer.contents b
+
+let trace_to_json (t : trace) : string =
+  let round_json (r : round_trace) =
+    Printf.sprintf
+      "{\"round\":%d,\"survivors\":%d,\"best_cost_after\":%.2f,\"rules\":[%s]}" r.round
+      r.survivors r.best_cost_after
+      (String.concat ","
+         (List.map
+            (fun s ->
+              Printf.sprintf "{\"rule\":\"%s\",\"fired\":%d,\"kept\":%d,\"dups\":%d}"
+                s.rule s.fired s.kept s.dups)
+            r.stats))
+  in
+  Printf.sprintf
+    "{\"rounds\":[%s],\"total_fired\":%d,\"total_duplicates\":%d,\"exhausted\":%b}"
+    (String.concat "," (List.map round_json t.rounds))
+    t.total_fired t.total_duplicates t.exhausted
 
 (* Beam-directed transformation closure: every candidate is
    cleanup-normalized (merging/eliding trivial projections, so
@@ -129,8 +195,8 @@ type outcome = {
    [beam_width] trees of each round are expanded further. *)
 let beam_width = 64
 
-let optimize ?(must = fun (_ : op) -> true) (cfg : Config.t) (stats : Stats.t)
-    ~(env : Props.env) (seed : op) : outcome =
+let optimize ?(must = fun (_ : op) -> true) ?(record_trace = false) (cfg : Config.t)
+    (stats : Stats.t) ~(env : Props.env) (seed : op) : outcome =
   (* [must]: restrict the final choice to plans satisfying a predicate
      (used by the benches to force one strategy of the lattice);
      exploration itself is unrestricted.  Falls back to the seed when no
@@ -159,6 +225,35 @@ let optimize ?(must = fun (_ : op) -> true) (cfg : Config.t) (stats : Stats.t)
   in
   let frontier = ref [ (seed_cost, seed) ] in
   let round = ref 0 in
+  (* trace accumulation; all of it is dead weight unless [record_trace] *)
+  let rounds = ref [] in
+  let total_fired = ref 0 in
+  let total_dups = ref 0 in
+  let exhausted = ref false in
+  let round_stats : (string, rule_stat) Hashtbl.t = Hashtbl.create 16 in
+  let bump name ~fired ~kept ~dups =
+    let s =
+      match Hashtbl.find_opt round_stats name with
+      | Some s -> s
+      | None -> { rule = name; fired = 0; kept = 0; dups = 0 }
+    in
+    Hashtbl.replace round_stats name
+      { s with fired = s.fired + fired; kept = s.kept + kept; dups = s.dups + dups };
+    total_fired := !total_fired + fired;
+    total_dups := !total_dups + dups
+  in
+  let close_round survivors =
+    if record_trace then begin
+      let stats =
+        List.sort
+          (fun a b -> compare a.rule b.rule)
+          (Hashtbl.fold (fun _ s acc -> s :: acc) round_stats [])
+      in
+      let best_cost_after = if !best_cost = infinity then seed_cost else !best_cost in
+      rounds := { round = !round; stats; survivors; best_cost_after } :: !rounds;
+      Hashtbl.reset round_stats
+    end
+  in
   let exception Budget_exhausted in
   (try
      while !round < cfg.max_rounds && !frontier <> [] do
@@ -173,14 +268,29 @@ let optimize ?(must = fun (_ : op) -> true) (cfg : Config.t) (stats : Stats.t)
                    if Hashtbl.length seen >= cfg.max_alternatives then
                      raise Budget_exhausted;
                    match add t' with
-                   | Some entry -> next := entry :: !next
-                   | None -> ())
+                   | Some entry ->
+                       next := entry :: !next;
+                       if record_trace then bump rule.name ~fired:1 ~kept:1 ~dups:0
+                   | None -> if record_trace then bump rule.name ~fired:1 ~kept:0 ~dups:1)
                  (apply_everywhere rule t))
              rules)
          !frontier;
        let ranked = List.sort (fun (a, _) (b, _) -> Float.compare a b) !next in
-       frontier := List.filteri (fun i _ -> i < beam_width) ranked
+       frontier := List.filteri (fun i _ -> i < beam_width) ranked;
+       close_round (List.length !frontier)
      done
-   with Budget_exhausted -> ());
+   with Budget_exhausted ->
+     exhausted := true;
+     close_round 0);
   let best_cost = if !best_cost = infinity then Cost.of_plan stats seed else !best_cost in
-  { best = !best; best_cost; explored = Hashtbl.length seen; seed_cost }
+  let trace =
+    if record_trace then
+      Some
+        { rounds = List.rev !rounds;
+          total_fired = !total_fired;
+          total_duplicates = !total_dups;
+          exhausted = !exhausted;
+        }
+    else None
+  in
+  { best = !best; best_cost; explored = Hashtbl.length seen; seed_cost; trace }

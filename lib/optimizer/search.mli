@@ -21,16 +21,56 @@ val canonical : op -> string
 (** Fire a rule at every node, returning one whole tree per firing. *)
 val apply_everywhere : rule -> op -> op list
 
+(** {2 Search trace}
+
+    What the beam search did, round by round — which rules fired, how
+    many products the memo rejected as duplicates, how many survivors
+    the beam kept, and how the best cost moved.  Recorded only under
+    [optimize ~record_trace:true]. *)
+
+type rule_stat = {
+  rule : string;
+  fired : int;  (** trees the rule produced this round *)
+  kept : int;  (** accepted into the memo (new alternatives) *)
+  dups : int;  (** rejected as duplicates of memoized trees *)
+}
+
+type round_trace = {
+  round : int;
+  stats : rule_stat list;  (** per-rule counts; rules that never fired omitted *)
+  survivors : int;  (** beam width actually kept for the next round *)
+  best_cost_after : float;
+}
+
+type trace = {
+  rounds : round_trace list;
+  total_fired : int;
+  total_duplicates : int;
+  exhausted : bool;  (** the [max_alternatives] budget stopped the search *)
+}
+
+val trace_to_string : trace -> string
+val trace_to_json : trace -> string
+
 type outcome = {
   best : op;
   best_cost : float;
   explored : int;  (** number of distinct alternatives considered *)
   seed_cost : float;
+  trace : trace option;  (** present when [optimize ~record_trace:true] *)
 }
 
 (** Explore from [seed] and return the cheapest plan.  [must] restricts
     the final choice (not the exploration) to plans satisfying a
     predicate — benches use it to force one strategy of the paper's
-    lattice; falls back to the seed if nothing qualifies. *)
+    lattice; falls back to the seed if nothing qualifies.
+    [record_trace] additionally returns the per-round rule-firing
+    trace. *)
 val optimize :
-  ?must:(op -> bool) -> Config.t -> Stats.t -> env:Props.env -> op -> outcome
+  ?must:(op -> bool) ->
+  ?record_trace:bool ->
+  Config.t ->
+  Stats.t ->
+  env:Props.env ->
+  op ->
+  outcome
