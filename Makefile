@@ -1,12 +1,12 @@
 # Convenience targets; `make verify` is the tier-1 gate.
 
-.PHONY: all verify test faults bench bench-smoke clean
+.PHONY: all verify test faults fuzz fuzz-smoke bench bench-smoke clean
 
 all:
 	dune build
 
 verify:
-	dune build && dune runtest && $(MAKE) bench-smoke
+	dune build && dune runtest && $(MAKE) fuzz-smoke && $(MAKE) bench-smoke
 
 test:
 	dune runtest
@@ -14,6 +14,17 @@ test:
 # fault-injection sweep across several seeds (see test/faults_main.ml)
 faults:
 	dune build @faults
+
+# differential fuzzing: random correlated-subquery SQL, full optimizer
+# vs. the correlated oracle (see test/fuzz_main.ml and lib/testgen/)
+# 200 cases over 5 fixed seeds; replay one with
+#   dune exec bin/subquery_opt_cli.exe -- fuzz --seed N --case M -v
+fuzz-smoke:
+	dune exec test/fuzz_main.exe -- 40 1 2 3 4 5
+
+# the larger sweep behind the @fuzz alias (2000 cases, 10 seeds)
+fuzz:
+	dune build @fuzz
 
 bench:
 	dune exec bench/main.exe

@@ -123,24 +123,52 @@ let run_cmd =
       const action $ sf_arg $ seed_arg $ level_arg $ timeout_arg $ max_rows_arg
       $ max_apply_arg $ fault_arg $ resilient_arg $ sql_arg)
 
+let fuzz_seed_arg =
+  let doc =
+    "Check the generated fuzz query with this generator seed instead of a SQL \
+     argument (replay a fuzz failure; combine with --case)."
+  in
+  Arg.(value & opt (some int) None & info [ "fuzz-seed" ] ~docv:"SEED" ~doc)
+
+let case_arg =
+  let doc = "Fuzz case number within the seed's stream." in
+  Arg.(value & opt int 0 & info [ "case" ] ~docv:"N" ~doc)
+
+let float_digits_arg =
+  let doc =
+    "Round floats to $(docv) significant digits before comparing result bags \
+     (plans that join in a different order sum floats in a different order).  \
+     Defaults to exact comparison, or to 6 when replaying with --fuzz-seed."
+  in
+  Arg.(value & opt (some int) None & info [ "float-digits" ] ~docv:"N" ~doc)
+
 let check_cmd =
   let sql_opt_arg =
     let doc = "The SQL query to check; omit to check the built-in TPC-H workloads." in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
   in
-  let action sf seed config timeout max_rows max_apply sql =
+  let action sf seed config timeout max_rows max_apply fuzz_seed case float_digits sql =
     with_engine sf seed (fun eng ->
         let budget = budget_of timeout max_rows max_apply in
         let queries =
-          match sql with
-          | Some sql -> [ ("query", sql) ]
-          | None -> Workloads.all_named
+          match (fuzz_seed, sql) with
+          | Some fs, _ ->
+              [ (Printf.sprintf "fuzz %d:%d" fs case, Testgen.Qgen.sql_of ~seed:fs ~case) ]
+          | None, Some sql -> [ ("query", sql) ]
+          | None, None -> Workloads.all_named
+        in
+        let float_digits =
+          match (float_digits, fuzz_seed) with
+          | (Some _ as d), _ -> d
+          | None, Some _ -> Some Testgen.Fuzz.float_digits
+          | None, None -> None
         in
         let failed = ref 0 in
         List.iter
           (fun (name, sql) ->
             let report =
-              or_die sql (fun () -> Engine.check ~candidate:config ?budget eng sql)
+              or_die sql (fun () ->
+                  Engine.check ~candidate:config ?budget ?float_digits eng sql)
             in
             if not report.Engine.agree then incr failed;
             Printf.printf "%-14s %s" name (Engine.format_check_report report))
@@ -157,7 +185,64 @@ let check_cmd =
           correlated execution (the semantic oracle) and compare result bags.")
     Term.(
       const action $ sf_arg $ seed_arg $ level_arg $ timeout_arg $ max_rows_arg
-      $ max_apply_arg $ sql_opt_arg)
+      $ max_apply_arg $ fuzz_seed_arg $ case_arg $ float_digits_arg $ sql_opt_arg)
+
+let fuzz_cmd =
+  let seeds_arg =
+    let doc = "Generator seeds to sweep (one stream of cases per seed)." in
+    Arg.(value & pos_all int [ 1; 2; 3; 4; 5 ] & info [] ~docv:"SEED" ~doc)
+  in
+  let cases_arg =
+    let doc = "Cases to generate per seed." in
+    Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let replay_arg =
+    let doc = "Replay a single case number instead of sweeping (use one SEED)." in
+    Arg.(value & opt (some int) None & info [ "case" ] ~docv:"N" ~doc)
+  in
+  let verbose_arg =
+    let doc = "Print every case, not just failures." in
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+  in
+  let action sf seed cases replay verbose timeout max_rows max_apply fault seeds =
+    with_engine sf seed (fun eng ->
+        let budget = budget_of timeout max_rows max_apply in
+        let failures = ref 0 in
+        List.iter
+          (fun fuzz_seed ->
+            let cfg =
+              { (Testgen.Fuzz.default_config ~seed:fuzz_seed ~cases) with
+                Testgen.Fuzz.only_case = replay;
+                budget;
+                fault;
+              }
+            in
+            let summary =
+              Testgen.Fuzz.run
+                ~on_case:(fun r ->
+                  if verbose || Testgen.Fuzz.is_failure r.outcome then
+                    print_string (Testgen.Fuzz.format_case r))
+                cfg eng
+            in
+            failures := !failures + List.length summary.Testgen.Fuzz.failures;
+            Printf.printf "seed %d: %s\n%!" fuzz_seed (Testgen.Fuzz.format_summary summary))
+          seeds;
+        if !failures > 0 then begin
+          Printf.eprintf "fuzz: %d failing cases\n%!" !failures;
+          exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate seeded random correlated-subquery queries, \
+          run each under the full optimizer and the correlated oracle, and compare \
+          result bags.  Failures shrink to a minimal reproducer; replay one with \
+          --case (or `check --fuzz-seed`).  With --fault, checks the resilience \
+          contract instead: agree with the clean oracle or die with a typed error.")
+    Term.(
+      const action $ sf_arg $ seed_arg $ cases_arg $ replay_arg $ verbose_arg
+      $ timeout_arg $ max_rows_arg $ max_apply_arg $ fault_arg $ seeds_arg)
 
 let explain_cmd =
   let stages_arg =
@@ -280,4 +365,4 @@ let () =
         "A query processor reproducing 'Orthogonal Optimization of Subqueries and \
          Aggregation' (Galindo-Legaria & Joshi, SIGMOD 2001)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; explain_cmd; repl_cmd; check_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; explain_cmd; repl_cmd; check_cmd; fuzz_cmd ]))

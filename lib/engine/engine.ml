@@ -30,7 +30,25 @@ type prepared = {
   explored : int;
   config : Optimizer.Config.t;
   trace : Optimizer.Search.trace option;  (** rule firings, when requested *)
+  quarantined : (string * string) list;
+      (** rules the verifier disabled during the search (rule, violation) *)
 }
+
+(* Raise a typed [Invalid_plan] error for the first violation, with the
+   offending subtree rendered.  [query_resilient] classifies it as
+   recoverable, so a plan the verifier rejects degrades to the
+   correlated fallback instead of executing a broken tree. *)
+let reject_invalid ~(what : string) (sql : string) (vs : Verify.violation list) : unit =
+  match vs with
+  | [] -> ()
+  | v :: _ ->
+      let n = List.length vs in
+      let msg =
+        Printf.sprintf "%s failed integrity verification (%d violation%s)\n%s" what n
+          (if n = 1 then "" else "s")
+          (Verify.violation_to_string v)
+      in
+      raise (Errors.Error (Errors.make ~sql Errors.Invalid_plan msg))
 
 (* Convert untyped escapes (failwith, Invalid_argument, Not_found) from
    a pipeline stage into a typed [Errors.Error] tagged with the stage's
@@ -43,8 +61,8 @@ let stage_guard (phase : Errors.phase) (sql : string) (f : unit -> 'a) : 'a =
       raise (Errors.Error (Errors.make ~sql phase ("invalid argument: " ^ m)))
   | Not_found -> raise (Errors.Error (Errors.make ~sql phase "internal lookup failed"))
 
-let prepare ?(config = Optimizer.Config.full) ?must ?(record_trace = false) (t : t)
-    (sql : string) : prepared =
+let prepare ?(config = Optimizer.Config.full) ?must ?(record_trace = false)
+    ?(verify = true) (t : t) (sql : string) : prepared =
   let bound = Sqlfront.Binder.bind_sql t.db.Storage.Database.catalog sql in
   let opts =
     { Normalize.env = t.props_env;
@@ -54,6 +72,12 @@ let prepare ?(config = Optimizer.Config.full) ?must ?(record_trace = false) (t :
     }
   in
   let stages = stage_guard Errors.Normalize sql (fun () -> Normalize.run opts bound.op) in
+  if verify then begin
+    reject_invalid ~what:"normalized plan" sql (Verify.check stages.normalized);
+    reject_invalid ~what:"outerjoin simplification" sql
+      (Verify.check_oj_simplification ~before:stages.decorrelated
+         ~after:stages.oj_simplified)
+  end;
   let outcome =
     stage_guard Errors.Plan sql (fun () ->
         if config.max_rounds = 0 then
@@ -62,11 +86,19 @@ let prepare ?(config = Optimizer.Config.full) ?must ?(record_trace = false) (t :
             explored = 1;
             seed_cost = Optimizer.Cost.of_plan t.stats stages.normalized;
             trace = None;
+            quarantined = [];
           }
         else
-          Optimizer.Search.optimize ?must ~record_trace config t.stats ~env:t.props_env
-            stages.normalized)
+          Optimizer.Search.optimize ?must ~record_trace ~verify config t.stats
+            ~env:t.props_env stages.normalized)
   in
+  (* The search verifies each candidate as it is produced, but the final
+     choice is re-checked against the normalized schema: the executor
+     slices result rows positionally, so a schema drift in the chosen
+     plan would silently return wrong columns. *)
+  if verify then
+    reject_invalid ~what:"chosen plan" sql
+      (Verify.check ~expect_schema:(Op.schema stages.normalized) outcome.best);
   { sql;
     bound;
     stages;
@@ -76,6 +108,7 @@ let prepare ?(config = Optimizer.Config.full) ?must ?(record_trace = false) (t :
     explored = outcome.explored;
     config;
     trace = outcome.trace;
+    quarantined = outcome.quarantined;
   }
 
 (* Execute a prepared query.  Returns the rows plus execution counters
@@ -183,8 +216,17 @@ type check_report = {
   only_reference : string list;  (** sample rows missing from the candidate (≤ 5) *)
 }
 
-let render_row (r : Exec.Executor.row) : string =
-  String.concat "|" (Array.to_list (Array.map Value.to_string r))
+(* [float_digits] rounds floats to that many significant digits before
+   comparison: plans that differ in join order sum floats in different
+   orders, and bit-exact equality would flag the resulting last-ulp
+   drift as a semantic disagreement. *)
+let render_row ?float_digits (r : Exec.Executor.row) : string =
+  let value_to_string v =
+    match (v, float_digits) with
+    | Value.Float f, Some d -> Printf.sprintf "%.*g" d f
+    | _ -> Value.to_string v
+  in
+  String.concat "|" (Array.to_list (Array.map value_to_string r))
 
 (* multiset difference of two sorted string lists: elements of [a] not
    matched by an occurrence in [b] *)
@@ -205,12 +247,12 @@ let take n l =
    Used by the CLI `check` subcommand and the differential tests: any
    disagreement is a semantic bug in normalization or optimization. *)
 let check ?(candidate = Optimizer.Config.full)
-    ?(reference = Optimizer.Config.correlated_only) ?budget (t : t) (sql : string) :
-    check_report =
+    ?(reference = Optimizer.Config.correlated_only) ?budget ?float_digits (t : t)
+    (sql : string) : check_report =
   let run config = (execute ?budget t (prepare ~config t sql)).result in
   let c = run candidate and r = run reference in
-  let cb = List.sort compare (List.map render_row c.rows) in
-  let rb = List.sort compare (List.map render_row r.rows) in
+  let cb = List.sort compare (List.map (render_row ?float_digits) c.rows) in
+  let rb = List.sort compare (List.map (render_row ?float_digits) r.rows) in
   { check_sql = sql;
     candidate = Optimizer.Config.name_of candidate;
     reference = Optimizer.Config.name_of reference;

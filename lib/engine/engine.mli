@@ -22,17 +22,29 @@ type prepared = {
   explored : int;  (** alternatives considered by the search *)
   config : Optimizer.Config.t;
   trace : Optimizer.Search.trace option;  (** rule firings, when requested *)
+  quarantined : (string * string) list;
+      (** rules the verifier disabled during the search (rule, violation) *)
 }
 
 (** Compile a SQL string.  [config] selects the optimizer technology
     level (default {!Optimizer.Config.full}); [must] restricts the
     chosen plan (see {!Optimizer.Search.optimize}); [record_trace]
     keeps the per-round rule-firing trace of the search.
+
+    [verify] (default [true]) runs the {!Relalg.Verify} integrity
+    checker at three points: on the normalized plan, across the
+    outerjoin-simplification step, and on the final chosen plan (against
+    the normalized schema).  Each rule-emitted search candidate is also
+    verified (see {!Optimizer.Search.optimize}).  A failure raises a
+    typed {!Errors.t} with phase [Invalid_plan] — recoverable, so
+    [query_resilient] degrades to the correlated fallback plan instead
+    of executing a broken tree.
     @raise Sqlfront.Parser.Parse_error / Sqlfront.Binder.Bind_error *)
 val prepare :
   ?config:Optimizer.Config.t ->
   ?must:(Algebra.op -> bool) ->
   ?record_trace:bool ->
+  ?verify:bool ->
   t ->
   string ->
   prepared
@@ -139,11 +151,17 @@ type check_report = {
 }
 
 (** Run the same SQL under [candidate] (default full) and [reference]
-    (default correlated-only) and compare result bags. *)
+    (default correlated-only) and compare result bags.
+
+    [float_digits] rounds floats to that many significant digits before
+    comparing (differently-ordered plans sum floats in different orders;
+    bit-exact comparison would report the last-ulp drift as a
+    disagreement).  Omitted = exact comparison. *)
 val check :
   ?candidate:Optimizer.Config.t ->
   ?reference:Optimizer.Config.t ->
   ?budget:Exec.Budget.t ->
+  ?float_digits:int ->
   t ->
   string ->
   check_report

@@ -19,6 +19,8 @@ type phase =
   | Bind  (** name resolution / typing *)
   | Normalize  (** Apply introduction / removal, simplification *)
   | Plan  (** cost-based search *)
+  | Invalid_plan
+      (** a plan failed the integrity verifier ({!Relalg.Verify}) *)
   | Runtime  (** executor error (e.g. Max1row violation) *)
   | Budget  (** budget exhausted mid-execution *)
   | Fault  (** injected fault (testing harness) *)
@@ -40,6 +42,7 @@ let phase_to_string = function
   | Bind -> "bind"
   | Normalize -> "normalize"
   | Plan -> "plan"
+  | Invalid_plan -> "invalid-plan"
   | Runtime -> "runtime"
   | Budget -> "budget"
   | Fault -> "fault"
@@ -64,7 +67,7 @@ let to_string (e : t) : string =
    SQL; an unrecoverable one is wrong however it is planned. *)
 let recoverable (e : t) : bool =
   match e.phase with
-  | Runtime | Budget | Fault | Normalize | Plan -> true
+  | Runtime | Budget | Fault | Normalize | Plan | Invalid_plan -> true
   | Lex | Parse | Bind -> false
 
 (* Classify any exception the pipeline can raise.  [sql] enriches the
@@ -75,6 +78,7 @@ let of_exn ?sql (exn : exn) : t option =
   | Sqlfront.Lexer.Lex_error (m, pos) -> Some (make ~position:pos ?sql Lex m)
   | Sqlfront.Parser.Parse_error m -> Some (make ?sql Parse m)
   | Sqlfront.Binder.Bind_error m -> Some (make ?sql Bind m)
+  | Normalize.Decorrelate.Internal_error m -> Some (make ?sql Normalize m)
   | Exec.Executor.Runtime_error m -> Some (make ?sql Runtime m)
   | Exec.Budget.Exceeded (trip, progress) ->
       Some (make ?sql Budget (Exec.Budget.to_string trip progress))

@@ -76,21 +76,43 @@ exception Injected of { kind : op_kind; call : int }
 let injected_to_string (kind : op_kind) (call : int) =
   Printf.sprintf "injected fault at %s evaluation #%d" (op_kind_to_string kind) call
 
+(* Seeded splitmix64 stream, shared by the probabilistic fault mode and
+   the query fuzzer (lib/testgen): one generator, one reproducibility
+   story. *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let create (seed : int) : t = { state = Int64.of_int ((seed * 2) + 1) }
+
+  (* one splitmix64 step *)
+  let next (g : t) : int64 =
+    let open Int64 in
+    g.state <- add g.state 0x9E3779B97F4A7C15L;
+    let z = g.state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  (* uniform float in [0, 1) *)
+  let float (g : t) : float =
+    Int64.to_float (Int64.shift_right_logical (next g) 11) /. 9007199254740992.0
+
+  (* uniform-enough int in [0, bound); bound <= 0 yields 0 *)
+  let int (g : t) (bound : int) : int =
+    if bound <= 0 then 0
+    else Int64.to_int (Int64.rem (Int64.shift_right_logical (next g) 1) (Int64.of_int bound))
+
+  let pick (g : t) (l : 'a list) : 'a = List.nth l (int g (List.length l))
+
+  let bool (g : t) (p : float) : bool = float g < p
+end
+
 (* Mutable plan state: matching-call counter and PRNG stream. *)
-type t = { spec : spec; mutable calls : int; mutable state : int64 }
+type t = { spec : spec; mutable calls : int; rng : Rng.t }
 
-let create (spec : spec) : t =
-  { spec; calls = 0; state = Int64.of_int ((spec.seed * 2) + 1) }
+let create (spec : spec) : t = { spec; calls = 0; rng = Rng.create spec.seed }
 
-(* splitmix64 step → uniform float in [0, 1) *)
-let next_float (f : t) : float =
-  let open Int64 in
-  f.state <- add f.state 0x9E3779B97F4A7C15L;
-  let z = f.state in
-  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-  let z = logxor z (shift_right_logical z 31) in
-  Int64.to_float (shift_right_logical z 11) /. 9007199254740992.0
+let next_float (f : t) : float = Rng.float f.rng
 
 let matches (f : t) (kind : op_kind) =
   match f.spec.target with Any -> true | Kind k -> k = kind

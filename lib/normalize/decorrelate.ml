@@ -38,6 +38,14 @@ open Relalg.Algebra
 
 type config = { env : Props.env; class2 : bool }
 
+(* A broken internal invariant (a route reached with an impossible
+   Apply flavor, a keyed subtree without a key) — typed so that
+   fuzzer-found crashes are diagnosable instead of anonymous asserts.
+   Classified by [Engine.Errors.of_exn] into the Normalize phase. *)
+exception Internal_error of string
+
+let internal fmt = Format.kasprintf (fun s -> raise (Internal_error s)) fmt
+
 let contains_apply o =
   Op.exists_op (function Apply _ -> true | _ -> false) o
 
@@ -329,7 +337,10 @@ and push_scalar_agg_plain cfg kind pred r aggs input =
           match kind with
           | Semi -> pred
           | Anti -> Or (Not pred, IsNull pred)
-          | _ -> assert false
+          | Inner | LeftOuter ->
+              internal
+                "push_scalar_agg: %s Apply reached the semi/anti route (pred %s over %s)"
+                (join_kind_name kind) (Expr.to_string pred) (Pp.label r)
         in
         project_to (Op.schema r) (Select (cond, cross))
 
@@ -381,7 +392,9 @@ and push_inner_join cfg pred r jk q e1 e2 =
         let key =
           match Props.keys ~env:cfg.env r' with
           | k :: _ -> Col.Set.elements k
-          | [] -> assert false
+          | [] ->
+              internal "identity (7): with_key produced a keyless outer:\n%s"
+                (Pp.to_string r')
         in
         let b1 = push cfg Inner true_ r' e1 in
         let r2, m = Op.clone_fresh r' in
@@ -469,7 +482,10 @@ and push_semi_anti_generic cfg kind pred r e =
             match kind with
             | Semi -> Cmp (Gt, ColRef cnt.out, Const (Value.Int 0))
             | Anti -> Cmp (Eq, ColRef cnt.out, Const (Value.Int 0))
-            | _ -> assert false
+            | Inner | LeftOuter ->
+                internal
+                  "push_semi_anti: %s Apply reached the count route (pred %s over %s)"
+                  (join_kind_name kind) (Expr.to_string pred) (Pp.label e)
           in
           Some (project_to (Op.schema r) (Select (cond, g)))
         end

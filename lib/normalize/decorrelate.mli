@@ -12,6 +12,12 @@ open Relalg.Algebra
 
 type config = { env : Props.env; class2 : bool }
 
+(** A broken internal invariant of the pass, with the offending
+    expression/plan rendered — diagnosable instead of an anonymous
+    assert.  Classified by [Engine.Errors.of_exn] (Normalize phase,
+    recoverable: the correlated fallback plan skips the pass). *)
+exception Internal_error of string
+
 val contains_apply : op -> bool
 
 (** Rewrite every decorrelatable Apply in the tree. *)

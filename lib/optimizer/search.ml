@@ -95,12 +95,20 @@ let canonical (o : op) : string =
   done;
   Buffer.contents buf
 
-(* apply [rule] at every node of [t], producing one whole tree per
-   firing position *)
-let apply_everywhere (rule : rule) (t : op) : op list =
+(* One rule firing: the matched subtree, what the rule turned it into,
+   and the whole rebuilt tree.  The verifier needs the site pair (to
+   re-derive rule preconditions) and the result (to check global
+   invariants). *)
+type firing = { site_before : op; site_after : op; result : op }
+
+(* apply [rule] at every node of [t], producing one firing per position *)
+let apply_everywhere_sites (rule : rule) (t : op) : firing list =
   let results = ref [] in
   let rec go (node : op) (rebuild : op -> op) =
-    List.iter (fun node' -> results := rebuild node' :: !results) (rule.apply node);
+    List.iter
+      (fun node' ->
+        results := { site_before = node; site_after = node'; result = rebuild node' } :: !results)
+      (rule.apply node);
     let children = Op.children node in
     List.iteri
       (fun idx child ->
@@ -115,6 +123,9 @@ let apply_everywhere (rule : rule) (t : op) : op list =
   go t (fun x -> x);
   !results
 
+let apply_everywhere (rule : rule) (t : op) : op list =
+  List.map (fun f -> f.result) (apply_everywhere_sites rule t)
+
 (* --- search trace ---------------------------------------------------- *)
 
 (* What the beam search did, round by round: which rules fired (and how
@@ -127,6 +138,7 @@ type rule_stat = {
   fired : int;  (** trees the rule produced this round *)
   kept : int;  (** accepted into the memo (new alternatives) *)
   dups : int;  (** rejected as duplicates of memoized trees *)
+  invalid : int;  (** rejected by the plan integrity verifier *)
 }
 
 type round_trace = {
@@ -140,6 +152,9 @@ type trace = {
   rounds : round_trace list;
   total_fired : int;
   total_duplicates : int;
+  total_invalid : int;  (** candidates dropped by the integrity verifier *)
+  quarantined : (string * string) list;
+      (** rules disabled mid-search: (rule, first violation) *)
   exhausted : bool;  (** the [max_alternatives] budget stopped the search *)
 }
 
@@ -149,14 +164,21 @@ type outcome = {
   explored : int;  (** number of distinct alternatives considered *)
   seed_cost : float;
   trace : trace option;  (** present when [optimize ~record_trace:true] *)
+  quarantined : (string * string) list;
+      (** rules the verifier disabled this search: (rule, first violation) *)
 }
 
 let trace_to_string (t : trace) : string =
   let b = Buffer.create 512 in
   Buffer.add_string b
-    (Printf.sprintf "search trace: %d rounds, %d firings, %d duplicates%s\n"
+    (Printf.sprintf "search trace: %d rounds, %d firings, %d duplicates%s%s\n"
        (List.length t.rounds) t.total_fired t.total_duplicates
+       (if t.total_invalid > 0 then Printf.sprintf ", %d invalid" t.total_invalid else "")
        (if t.exhausted then " (alternatives budget exhausted)" else ""));
+  List.iter
+    (fun (rule, why) ->
+      Buffer.add_string b (Printf.sprintf "  QUARANTINED %s: %s\n" rule why))
+    t.quarantined;
   List.iter
     (fun r ->
       Buffer.add_string b
@@ -165,10 +187,24 @@ let trace_to_string (t : trace) : string =
       List.iter
         (fun s ->
           Buffer.add_string b
-            (Printf.sprintf "    %-32s fired=%-4d kept=%-4d dup=%d\n" s.rule s.fired
-               s.kept s.dups))
+            (Printf.sprintf "    %-32s fired=%-4d kept=%-4d dup=%d%s\n" s.rule s.fired
+               s.kept s.dups
+               (if s.invalid > 0 then Printf.sprintf " invalid=%d" s.invalid else "")))
         r.stats)
     t.rounds;
+  Buffer.contents b
+
+let json_escape (s : string) : string =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
   Buffer.contents b
 
 let trace_to_json (t : trace) : string =
@@ -179,14 +215,22 @@ let trace_to_json (t : trace) : string =
       (String.concat ","
          (List.map
             (fun s ->
-              Printf.sprintf "{\"rule\":\"%s\",\"fired\":%d,\"kept\":%d,\"dups\":%d}"
-                s.rule s.fired s.kept s.dups)
+              Printf.sprintf
+                "{\"rule\":\"%s\",\"fired\":%d,\"kept\":%d,\"dups\":%d,\"invalid\":%d}"
+                s.rule s.fired s.kept s.dups s.invalid)
             r.stats))
   in
   Printf.sprintf
-    "{\"rounds\":[%s],\"total_fired\":%d,\"total_duplicates\":%d,\"exhausted\":%b}"
+    "{\"rounds\":[%s],\"total_fired\":%d,\"total_duplicates\":%d,\"total_invalid\":%d,\"quarantined\":[%s],\"exhausted\":%b}"
     (String.concat "," (List.map round_json t.rounds))
-    t.total_fired t.total_duplicates t.exhausted
+    t.total_fired t.total_duplicates t.total_invalid
+    (String.concat ","
+       (List.map
+          (fun (rule, why) ->
+            Printf.sprintf "{\"rule\":\"%s\",\"violation\":\"%s\"}" (json_escape rule)
+              (json_escape why))
+          t.quarantined))
+    t.exhausted
 
 (* Beam-directed transformation closure: every candidate is
    cleanup-normalized (merging/eliding trivial projections, so
@@ -195,14 +239,28 @@ let trace_to_json (t : trace) : string =
    [beam_width] trees of each round are expanded further. *)
 let beam_width = 64
 
-let optimize ?(must = fun (_ : op) -> true) ?(record_trace = false) (cfg : Config.t)
-    (stats : Stats.t) ~(env : Props.env) (seed : op) : outcome =
+let optimize ?(must = fun (_ : op) -> true) ?(record_trace = false) ?(verify = true)
+    ?(extra_rules = []) (cfg : Config.t) (stats : Stats.t) ~(env : Props.env) (seed : op) :
+    outcome =
   (* [must]: restrict the final choice to plans satisfying a predicate
      (used by the benches to force one strategy of the lattice);
      exploration itself is unrestricted.  Falls back to the seed when no
-     explored plan qualifies. *)
+     explored plan qualifies.
+     [verify]: run every candidate a rule emits through the plan
+     integrity verifier; invalid candidates are dropped (never costed)
+     and the offending rule is quarantined for the rest of this search,
+     so one bad rule degrades plan quality instead of correctness.
+     [extra_rules] extends the configured rule set (tests use it to
+     inject deliberately broken rules). *)
   let cat = Stats.catalog stats in
-  let rules = rules_for cfg ~env ~cat in
+  let rules = rules_for cfg ~env ~cat @ extra_rules in
+  (* rule name -> first violation summary; consulted before every firing *)
+  let quarantine : (string, string) Hashtbl.t = Hashtbl.create 4 in
+  (* all rules preserve the root schema (interior rewrites are rebuilt
+     into the same context; root rewrites restore their output), so
+     every candidate must produce the seed's schema — the executor
+     slices result rows positionally *)
+  let expect_schema = Op.schema seed in
   let seen = Hashtbl.create 128 in
   let best = ref seed in
   let best_cost = ref infinity in
@@ -229,16 +287,22 @@ let optimize ?(must = fun (_ : op) -> true) ?(record_trace = false) (cfg : Confi
   let rounds = ref [] in
   let total_fired = ref 0 in
   let total_dups = ref 0 in
+  let total_invalid = ref 0 in
   let exhausted = ref false in
   let round_stats : (string, rule_stat) Hashtbl.t = Hashtbl.create 16 in
-  let bump name ~fired ~kept ~dups =
+  let bump name ~fired ~kept ~dups ~invalid =
     let s =
       match Hashtbl.find_opt round_stats name with
       | Some s -> s
-      | None -> { rule = name; fired = 0; kept = 0; dups = 0 }
+      | None -> { rule = name; fired = 0; kept = 0; dups = 0; invalid = 0 }
     in
     Hashtbl.replace round_stats name
-      { s with fired = s.fired + fired; kept = s.kept + kept; dups = s.dups + dups };
+      { s with
+        fired = s.fired + fired;
+        kept = s.kept + kept;
+        dups = s.dups + dups;
+        invalid = s.invalid + invalid
+      };
     total_fired := !total_fired + fired;
     total_dups := !total_dups + dups
   in
@@ -263,16 +327,41 @@ let optimize ?(must = fun (_ : op) -> true) ?(record_trace = false) (cfg : Confi
          (fun (_, t) ->
            List.iter
              (fun rule ->
-               List.iter
-                 (fun t' ->
-                   if Hashtbl.length seen >= cfg.max_alternatives then
-                     raise Budget_exhausted;
-                   match add t' with
-                   | Some entry ->
-                       next := entry :: !next;
-                       if record_trace then bump rule.name ~fired:1 ~kept:1 ~dups:0
-                   | None -> if record_trace then bump rule.name ~fired:1 ~kept:0 ~dups:1)
-                 (apply_everywhere rule t))
+               if not (Hashtbl.mem quarantine rule.name) then
+                 List.iter
+                   (fun (f : firing) ->
+                     if Hashtbl.length seen >= cfg.max_alternatives then
+                       raise Budget_exhausted;
+                     (* a firing earlier in this list may have just
+                        quarantined the rule: skip its remaining output *)
+                     if not (Hashtbl.mem quarantine rule.name) then begin
+                       let violations =
+                         if verify then
+                           match Verify.check ~expect_schema f.result with
+                           | [] ->
+                               Verify.check_rewrite ~env ~rule:rule.name
+                                 ~before:f.site_before ~after:f.site_after
+                           | vs -> vs
+                         else []
+                       in
+                       match violations with
+                       | v :: _ ->
+                           Hashtbl.replace quarantine rule.name
+                             (Verify.violation_summary v);
+                           incr total_invalid;
+                           if record_trace then
+                             bump rule.name ~fired:1 ~kept:0 ~dups:0 ~invalid:1
+                       | [] -> (
+                           match add f.result with
+                           | Some entry ->
+                               next := entry :: !next;
+                               if record_trace then
+                                 bump rule.name ~fired:1 ~kept:1 ~dups:0 ~invalid:0
+                           | None ->
+                               if record_trace then
+                                 bump rule.name ~fired:1 ~kept:0 ~dups:1 ~invalid:0)
+                     end)
+                   (apply_everywhere_sites rule t))
              rules)
          !frontier;
        let ranked = List.sort (fun (a, _) (b, _) -> Float.compare a b) !next in
@@ -283,14 +372,19 @@ let optimize ?(must = fun (_ : op) -> true) ?(record_trace = false) (cfg : Confi
      exhausted := true;
      close_round 0);
   let best_cost = if !best_cost = infinity then Cost.of_plan stats seed else !best_cost in
+  let quarantined =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) quarantine [])
+  in
   let trace =
     if record_trace then
       Some
         { rounds = List.rev !rounds;
           total_fired = !total_fired;
           total_duplicates = !total_dups;
+          total_invalid = !total_invalid;
+          quarantined;
           exhausted = !exhausted;
         }
     else None
   in
-  { best = !best; best_cost; explored = Hashtbl.length seen; seed_cost; trace }
+  { best = !best; best_cost; explored = Hashtbl.length seen; seed_cost; trace; quarantined }

@@ -21,6 +21,18 @@ val canonical : op -> string
 (** Fire a rule at every node, returning one whole tree per firing. *)
 val apply_everywhere : rule -> op -> op list
 
+(** One rule firing, with the local subtrees it rewrote — the evidence
+    the integrity verifier needs to re-check the rewrite's side
+    conditions ({!Relalg.Verify.check_rewrite}). *)
+type firing = {
+  site_before : op;  (** the subtree the rule matched *)
+  site_after : op;  (** what the rule put in its place *)
+  result : op;  (** the whole tree with the site replaced *)
+}
+
+(** Like {!apply_everywhere}, but keeps the rewrite sites. *)
+val apply_everywhere_sites : rule -> op -> firing list
+
 (** {2 Search trace}
 
     What the beam search did, round by round — which rules fired, how
@@ -33,6 +45,7 @@ type rule_stat = {
   fired : int;  (** trees the rule produced this round *)
   kept : int;  (** accepted into the memo (new alternatives) *)
   dups : int;  (** rejected as duplicates of memoized trees *)
+  invalid : int;  (** rejected by the plan integrity verifier *)
 }
 
 type round_trace = {
@@ -46,6 +59,9 @@ type trace = {
   rounds : round_trace list;
   total_fired : int;
   total_duplicates : int;
+  total_invalid : int;  (** candidates dropped by the integrity verifier *)
+  quarantined : (string * string) list;
+      (** rules disabled mid-search, with the violation that disabled them *)
   exhausted : bool;  (** the [max_alternatives] budget stopped the search *)
 }
 
@@ -58,6 +74,10 @@ type outcome = {
   explored : int;  (** number of distinct alternatives considered *)
   seed_cost : float;
   trace : trace option;  (** present when [optimize ~record_trace:true] *)
+  quarantined : (string * string) list;
+      (** rules the verifier disabled mid-search (rule, violation) —
+          non-empty means a transformation emitted a broken plan and was
+          cut off; always populated, trace or not *)
 }
 
 (** Explore from [seed] and return the cheapest plan.  [must] restricts
@@ -65,10 +85,22 @@ type outcome = {
     predicate — benches use it to force one strategy of the paper's
     lattice; falls back to the seed if nothing qualifies.
     [record_trace] additionally returns the per-round rule-firing
-    trace. *)
+    trace.
+
+    [verify] (default [true]) runs {!Relalg.Verify} over every
+    rule-emitted candidate: structural/semantic invariants on the whole
+    tree plus rewrite-specific side conditions at the firing site.  A
+    candidate with violations is dropped before it is ever costed, and
+    the offending rule is quarantined — skipped for the rest of this
+    search — so one broken transformation cannot poison the plan space.
+    [extra_rules] appends caller-supplied rules to the configured set
+    (tests use it to exercise quarantine with a deliberately unsound
+    rule). *)
 val optimize :
   ?must:(op -> bool) ->
   ?record_trace:bool ->
+  ?verify:bool ->
+  ?extra_rules:rule list ->
   Config.t ->
   Stats.t ->
   env:Props.env ->

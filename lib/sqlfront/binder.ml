@@ -381,7 +381,10 @@ and bind_query (cat : Catalog.t) (outer : scope list) (q : Ast.query) : bound =
            over nothing *)
         grouped_op
     | Some keys, Some aggs -> GroupBy { keys; aggs = !aggs; input = grouped_op }
-    | Some _, None -> assert false
+    | Some keys, None ->
+        fail "internal: GROUP BY %s bound without an aggregate collector (query: %s)"
+          (String.concat ", " (List.map (fun (c : Col.t) -> c.name) keys))
+          (String.concat ", " (List.map (function Ast.SStar -> "*" | Ast.SExpr _ -> "expr") q.select))
   in
   let op_after_having =
     match having_bound with

@@ -1,0 +1,189 @@
+(* Differential fuzzing driver.
+
+   Each case: generate a correlated-subquery query ({!Qgen}), run it
+   under the full optimizer and under the correlated-only oracle, and
+   compare result bags ({!Engine.check}).  The properties checked are
+   the paper's orthogonality claim (every decorrelated plan computes
+   the correlated plan's bag) and the robustness contract of this
+   codebase (no untyped exception ever escapes the pipeline).
+
+   Under fault injection the differential check is replaced by the
+   resilience property of the fault sweep: a fault-injected query
+   either agrees with the clean correlated oracle (possibly after
+   degrading) or dies with a typed error.
+
+   Every case is identified by its (seed, case) pair; failures shrink
+   to a structurally minimal reproducer before reporting. *)
+
+type outcome =
+  | Agree  (** bags matched (or, under faults, the contract held) *)
+  | Mismatch of string  (** differential disagreement; formatted report *)
+  | Skipped of string  (** budget trip / injected fault — no verdict *)
+  | Failed of string  (** generator bug, invalid plan, or untyped crash *)
+
+type case_result = {
+  seed : int;
+  case : int;
+  sql : string;
+  outcome : outcome;
+  minimized : string option;  (** shrunken reproducer, for failures *)
+}
+
+type summary = {
+  total : int;
+  agreed : int;
+  skipped : int;
+  failures : case_result list;  (** mismatches, pipeline failures, crashes *)
+}
+
+type config = {
+  seed : int;
+  cases : int;  (** run cases 0 .. cases-1 *)
+  only_case : int option;  (** replay a single case *)
+  budget : Exec.Budget.t option;
+  fault : Exec.Faults.spec option;
+  shrink : bool;
+}
+
+let default_config ~seed ~cases =
+  { seed; cases; only_case = None; budget = None; fault = None; shrink = true }
+
+(* ------------------------------------------------------------------ *)
+
+(* Floats rendered to 6 significant digits: plans that join in a
+   different order sum floats in a different order, and the fuzzer must
+   not report that last-ulp drift as a semantic disagreement. *)
+let float_digits = 6
+
+let bag rows =
+  let value_to_string = function
+    | Relalg.Value.Float f -> Printf.sprintf "%.*g" float_digits f
+    | v -> Relalg.Value.to_string v
+  in
+  List.sort compare
+    (List.map
+       (fun r -> String.concat "|" (Array.to_list (Array.map value_to_string r)))
+       rows)
+
+(* Differential classification.  Budget and fault trips carry no
+   verdict; everything else that is not agreement is a failure — in a
+   fuzzer, even a Bind error is a bug (the generator emitted SQL the
+   front end rejects). *)
+let classify ?budget (eng : Engine.t) (sql : string) : outcome =
+  match
+    try
+      `R (Engine.Errors.protect ~sql (fun () -> Engine.check ?budget ~float_digits eng sql))
+    with exn -> `Exn exn
+  with
+  | `R (Ok r) when r.Engine.agree -> Agree
+  | `R (Ok r) -> Mismatch (Engine.format_check_report r)
+  | `R (Error e) -> (
+      match e.Engine.Errors.phase with
+      | Budget | Fault -> Skipped (Engine.Errors.phase_to_string e.phase)
+      | _ -> Failed (Engine.Errors.to_string e))
+  | `Exn exn -> Failed ("untyped exception: " ^ Printexc.to_string exn)
+
+(* Resilience classification under an armed fault plan: the result must
+   match the clean correlated oracle or die typed. *)
+let classify_fault ?budget ~(fspec : Exec.Faults.spec) (eng : Engine.t) (sql : string) :
+    outcome =
+  match
+    Engine.query_checked ~config:Optimizer.Config.correlated_only ?budget eng sql
+  with
+  | Error e -> (
+      match e.Engine.Errors.phase with
+      | Budget -> Skipped "budget"
+      | _ -> Failed ("oracle: " ^ Engine.Errors.to_string e))
+  | Ok oracle -> (
+      match
+        try
+          `R
+            (Engine.query_resilient_checked ?budget
+               ~faults:(Exec.Faults.create fspec) eng sql)
+        with exn -> `Exn exn
+      with
+      | `R (Ok r) ->
+          if bag r.Engine.execution.result.rows = bag oracle.rows then Agree
+          else
+            Mismatch
+              (Printf.sprintf "under fault %s: %d rows vs oracle %d (served by %s)"
+                 (Exec.Faults.spec_to_string fspec)
+                 (List.length r.Engine.execution.result.rows)
+                 (List.length oracle.rows) r.Engine.served_by)
+      | `R (Error e) ->
+          (* both paths killed: acceptable, but must be typed *)
+          Skipped ("killed: " ^ Engine.Errors.phase_to_string e.Engine.Errors.phase)
+      | `Exn exn -> Failed ("untyped exception: " ^ Printexc.to_string exn))
+
+let classify_spec (cfg : config) (eng : Engine.t) (spec : Qgen.spec) : outcome =
+  let sql = Qgen.render spec in
+  match cfg.fault with
+  | None -> classify ?budget:cfg.budget eng sql
+  | Some fspec -> classify_fault ?budget:cfg.budget ~fspec eng sql
+
+let is_failure = function Mismatch _ | Failed _ -> true | Agree | Skipped _ -> false
+
+let run_case (cfg : config) (eng : Engine.t) ~(case : int) : case_result =
+  let spec = Qgen.spec_of ~seed:cfg.seed ~case in
+  let sql = Qgen.render spec in
+  let outcome = classify_spec cfg eng spec in
+  let minimized =
+    if is_failure outcome && cfg.shrink then begin
+      let still_failing s = is_failure (classify_spec cfg eng s) in
+      let small = Qgen.minimize still_failing spec in
+      let msql = Qgen.render small in
+      if msql = sql then None else Some msql
+    end
+    else None
+  in
+  { seed = cfg.seed; case; sql; outcome; minimized }
+
+let outcome_label = function
+  | Agree -> "agree"
+  | Mismatch _ -> "MISMATCH"
+  | Skipped s -> "skipped (" ^ s ^ ")"
+  | Failed _ -> "FAILED"
+
+let format_case (r : case_result) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "[%d:%d] %s\n  %s\n" r.seed r.case (outcome_label r.outcome) r.sql);
+  (match r.outcome with
+  | Mismatch d | Failed d -> Buffer.add_string b ("  " ^ d ^ "\n")
+  | _ -> ());
+  (match r.minimized with
+  | Some m ->
+      Buffer.add_string b
+        (Printf.sprintf "  minimized: %s\n  replay: fuzz %d --case %d\n" m r.seed r.case)
+  | None ->
+      if is_failure r.outcome then
+        Buffer.add_string b (Printf.sprintf "  replay: fuzz %d --case %d\n" r.seed r.case));
+  Buffer.contents b
+
+(* Run the configured sweep.  [on_case] observes each result as it
+   lands (progress reporting); the summary aggregates at the end. *)
+let run ?(on_case = fun (_ : case_result) -> ()) (cfg : config) (eng : Engine.t) : summary =
+  let cases =
+    match cfg.only_case with
+    | Some c -> [ c ]
+    | None -> List.init cfg.cases (fun i -> i)
+  in
+  let agreed = ref 0 and skipped = ref 0 and failures = ref [] in
+  List.iter
+    (fun case ->
+      let r = run_case cfg eng ~case in
+      (match r.outcome with
+      | Agree -> incr agreed
+      | Skipped _ -> incr skipped
+      | Mismatch _ | Failed _ -> failures := r :: !failures);
+      on_case r)
+    cases;
+  { total = List.length cases;
+    agreed = !agreed;
+    skipped = !skipped;
+    failures = List.rev !failures;
+  }
+
+let format_summary (s : summary) : string =
+  Printf.sprintf "%d cases: %d agree, %d skipped, %d failures" s.total s.agreed s.skipped
+    (List.length s.failures)

@@ -1,0 +1,432 @@
+(* Seeded random generation of correlated-subquery SQL.
+
+   The generator walks the TPC-H foreign-key graph to produce queries
+   in the paper's territory: nested EXISTS / NOT EXISTS, IN, scalar
+   aggregate comparisons, LEFT OUTER JOINs and GROUP BY/HAVING — with
+   correlation always along a real FK link, so every query is
+   semantically meaningful against the bench catalog.
+
+   Everything is derived from a splitmix64 stream ({!Exec.Faults.Rng},
+   the same generator the fault-injection harness uses), so a failing
+   case is identified by its (seed, case) pair alone and replays
+   bit-identically.  Specs are a small IR first, SQL second: shrinking
+   works on the IR (delete a predicate, a subquery, a join, a grouping)
+   and re-renders, which keeps every shrink candidate well-formed. *)
+
+module Rng = Exec.Faults.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Catalog model: numeric columns with plausible constant ranges, and  *)
+(* the FK links correlation can ride on.                               *)
+(* ------------------------------------------------------------------ *)
+
+type tmodel = {
+  tname : string;
+  key : string;  (** representative key column (first of the primary key) *)
+  nums : (string * bool * float * float) list;
+      (** (column, integer?, low, high) — constants for predicates are
+          drawn from \[low, high\] *)
+}
+
+let model : tmodel list =
+  [ { tname = "customer";
+      key = "c_custkey";
+      nums = [ ("c_acctbal", false, -999., 9999.); ("c_custkey", true, 1., 300.) ]
+    };
+    { tname = "orders";
+      key = "o_orderkey";
+      nums = [ ("o_totalprice", false, 1000., 450000.); ("o_orderkey", true, 1., 3000.) ]
+    };
+    { tname = "lineitem";
+      key = "l_orderkey";
+      nums =
+        [ ("l_quantity", false, 1., 50.);
+          ("l_extendedprice", false, 900., 100000.);
+          ("l_discount", false, 0., 0.1)
+        ]
+    };
+    { tname = "part";
+      key = "p_partkey";
+      nums = [ ("p_size", true, 1., 50.); ("p_retailprice", false, 900., 2000.) ]
+    };
+    { tname = "supplier"; key = "s_suppkey"; nums = [ ("s_acctbal", false, -999., 9999.) ] };
+    { tname = "partsupp";
+      key = "ps_partkey";
+      nums = [ ("ps_availqty", true, 1., 9999.); ("ps_supplycost", false, 1., 1000.) ]
+    };
+    { tname = "nation"; key = "n_nationkey"; nums = [ ("n_nationkey", true, 0., 24.) ] };
+    { tname = "region"; key = "r_regionkey"; nums = [ ("r_regionkey", true, 0., 4.) ] }
+  ]
+
+let find_model name = List.find (fun m -> m.tname = name) model
+
+(* FK links, stated once; [neighbors] looks both directions. *)
+let links : (string * string * string * string) list =
+  [ ("orders", "o_custkey", "customer", "c_custkey");
+    ("lineitem", "l_orderkey", "orders", "o_orderkey");
+    ("lineitem", "l_partkey", "part", "p_partkey");
+    ("lineitem", "l_suppkey", "supplier", "s_suppkey");
+    ("customer", "c_nationkey", "nation", "n_nationkey");
+    ("supplier", "s_nationkey", "nation", "n_nationkey");
+    ("partsupp", "ps_partkey", "part", "p_partkey");
+    ("partsupp", "ps_suppkey", "supplier", "s_suppkey");
+    ("nation", "n_regionkey", "region", "r_regionkey")
+  ]
+
+(* tables reachable from [t] in one FK hop: (other, my column, other column) *)
+let neighbors (t : string) : (string * string * string) list =
+  List.filter_map
+    (fun (a, ca, b, cb) ->
+      if a = t then Some (b, ca, cb) else if b = t then Some (a, cb, ca) else None)
+    links
+
+(* ------------------------------------------------------------------ *)
+(* Query IR                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type cmp = Lt | Gt | Le | Ge
+
+let cmp_to_string = function Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">="
+
+type aggf = Sum | Min | Max | Avg | Count
+
+let agg_to_string = function
+  | Sum -> "sum"
+  | Min -> "min"
+  | Max -> "max"
+  | Avg -> "avg"
+  | Count -> "count"
+
+(* a numeric conjunct: <alias-qualified column> <cmp> <constant> *)
+type num_pred = { n_alias : string; n_col : string; n_cmp : cmp; n_const : float; n_int : bool }
+
+(* A subquery block.  [b_alias = ""] marks the top-level scope, whose
+   column references render unqualified (every block holds exactly one
+   table, and TPC-H column names are globally unique, so unqualified
+   references in the outer block are unambiguous; subquery blocks get a
+   fresh alias because they may repeat an outer table). *)
+type block = {
+  b_tbl : tmodel;
+  b_alias : string;
+  b_correl : (string * string) option;
+      (** (my column, rendered outer reference): the correlation equality *)
+  b_nums : num_pred list;
+  b_subs : sub list;
+}
+
+and sub =
+  | SExists of bool * block  (** negated?, subquery *)
+  | SIn of string * block * string  (** outer reference IN (select inner column …) *)
+  | SAggCmp of string * cmp * aggf * string option * block
+      (** outer reference <cmp> (select agg(col) …); [None] = count star *)
+
+type join_spec = {
+  j_tbl : tmodel;
+  j_my : string;  (** join column on the joined table *)
+  j_outer : string;  (** join column on the outer table *)
+  j_left : bool;  (** LEFT OUTER JOIN when set, plain JOIN otherwise *)
+}
+
+type group_spec = {
+  g_key : string;  (** grouping column (on the outer table) *)
+  g_agg : aggf;
+  g_agg_col : string option;  (** aggregated column (join side); [None] = count star *)
+  g_having : (cmp * float) option;
+}
+
+type spec = {
+  s_body : block;  (** outer table, its predicates and subqueries *)
+  s_join : join_spec option;
+  s_join_nums : num_pred list;  (** numeric conjuncts on the joined table *)
+  s_group : group_spec option;  (** only generated when a join is present *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ref_col (alias : string) (col : string) : string =
+  if alias = "" then col else alias ^ "." ^ col
+
+let const_to_string ~(is_int : bool) (v : float) : string =
+  if is_int then string_of_int (int_of_float v) else Printf.sprintf "%.2f" v
+
+let render_num (n : num_pred) : string =
+  Printf.sprintf "%s %s %s" (ref_col n.n_alias n.n_col) (cmp_to_string n.n_cmp)
+    (const_to_string ~is_int:n.n_int n.n_const)
+
+let rec block_conjuncts (b : block) : string list =
+  (match b.b_correl with
+  | Some (my, outer) -> [ Printf.sprintf "%s = %s" (ref_col b.b_alias my) outer ]
+  | None -> [])
+  @ List.map render_num b.b_nums
+  @ List.map render_sub b.b_subs
+
+and render_select (sel : string) (b : block) : string =
+  let cs = block_conjuncts b in
+  Printf.sprintf "select %s from %s %s%s" sel b.b_tbl.tname b.b_alias
+    (if cs = [] then "" else " where " ^ String.concat " and " cs)
+
+and render_sub = function
+  | SExists (neg, b) ->
+      Printf.sprintf "%sexists (%s)"
+        (if neg then "not " else "")
+        (render_select (ref_col b.b_alias b.b_tbl.key) b)
+  | SIn (outer_ref, b, inner_col) ->
+      Printf.sprintf "%s in (%s)" outer_ref (render_select (ref_col b.b_alias inner_col) b)
+  | SAggCmp (outer_ref, c, agg, col, b) ->
+      let agg_exp =
+        match col with
+        | None -> "count(*)"
+        | Some col -> Printf.sprintf "%s(%s)" (agg_to_string agg) (ref_col b.b_alias col)
+      in
+      Printf.sprintf "%s %s (%s)" outer_ref (cmp_to_string c) (render_select agg_exp b)
+
+let render (s : spec) : string =
+  let where =
+    List.map render_num s.s_body.b_nums
+    @ List.map render_num s.s_join_nums
+    @ List.map render_sub s.s_body.b_subs
+  in
+  let from =
+    s.s_body.b_tbl.tname
+    ^
+    match s.s_join with
+    | None -> ""
+    | Some j ->
+        Printf.sprintf " %sjoin %s on %s = %s"
+          (if j.j_left then "left outer " else "")
+          j.j_tbl.tname j.j_my j.j_outer
+  in
+  let where_s = if where = [] then "" else " where " ^ String.concat " and " where in
+  match s.s_group with
+  | None ->
+      let m = s.s_body.b_tbl in
+      let extra =
+        match m.nums with (c, _, _, _) :: _ when c <> m.key -> ", " ^ c | _ -> ""
+      in
+      Printf.sprintf "select %s%s from %s%s" m.key extra from where_s
+  | Some g ->
+      let agg_exp =
+        match g.g_agg_col with
+        | None -> "count(*)"
+        | Some c -> Printf.sprintf "%s(%s)" (agg_to_string g.g_agg) c
+      in
+      let having =
+        match g.g_having with
+        | None -> ""
+        | Some (c, v) ->
+            (* the workload-proven HAVING shape: constant <cmp> aggregate *)
+            Printf.sprintf " having %s %s %s"
+              (const_to_string ~is_int:false v)
+              (cmp_to_string c) agg_exp
+      in
+      Printf.sprintf "select %s, %s as agg0 from %s%s group by %s%s" g.g_key agg_exp from
+        where_s g.g_key having
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmp (rng : Rng.t) : cmp = Rng.pick rng [ Lt; Gt; Le; Ge ]
+
+let gen_num (rng : Rng.t) (alias : string) (m : tmodel) : num_pred =
+  let col, is_int, lo, hi = Rng.pick rng m.nums in
+  let v = lo +. (Rng.float rng *. (hi -. lo)) in
+  let v = if is_int then Float.of_int (int_of_float v) else v in
+  { n_alias = alias; n_col = col; n_cmp = gen_cmp rng; n_const = v; n_int = is_int }
+
+let rec gen_nums (rng : Rng.t) (alias : string) (m : tmodel) (n : int) : num_pred list =
+  if n <= 0 then [] else gen_num rng alias m :: gen_nums rng alias m (n - 1)
+
+(* Generate one subquery predicate against a scope of visible tables
+   ((alias, model); alias "" = the top level).  Correlation rides an FK
+   link from a visible table to the subquery's table. *)
+let rec gen_sub (rng : Rng.t) ~(fresh : unit -> string) ~(depth : int)
+    ~(scope : (string * tmodel) list) : sub option =
+  let candidates = List.filter (fun (_, m) -> neighbors m.tname <> []) scope in
+  if candidates = [] then None
+  else begin
+    let oalias, om = Rng.pick rng candidates in
+    let itname, ocol, icol = Rng.pick rng (neighbors om.tname) in
+    let im = find_model itname in
+    let alias = fresh () in
+    let correl =
+      if Rng.bool rng 0.85 then Some (icol, ref_col oalias ocol) else None
+    in
+    match Rng.int rng 4 with
+    | 0 | 1 ->
+        let b = gen_block rng ~fresh ~depth ~alias ~tbl:im ~correl in
+        Some (SExists (Rng.bool rng 0.4, b))
+    | 2 ->
+        (* IN is itself the correlation: outer link column against the
+           subquery's select column *)
+        let b = gen_block rng ~fresh ~depth ~alias ~tbl:im ~correl:None in
+        Some (SIn (ref_col oalias ocol, b, icol))
+    | _ ->
+        let ocol_n, _, _, _ = Rng.pick rng om.nums in
+        let agg = Rng.pick rng [ Sum; Min; Max; Avg; Count ] in
+        let agg_col =
+          match agg with
+          | Count -> None
+          | _ ->
+              let c, _, _, _ = Rng.pick rng im.nums in
+              Some c
+        in
+        let b = gen_block rng ~fresh ~depth ~alias ~tbl:im ~correl in
+        Some (SAggCmp (ref_col oalias ocol_n, gen_cmp rng, agg, agg_col, b))
+  end
+
+and gen_block (rng : Rng.t) ~fresh ~depth ~(alias : string) ~(tbl : tmodel)
+    ~(correl : (string * string) option) : block =
+  let nums = gen_nums rng alias tbl (Rng.int rng 3) in
+  let subs =
+    (* nest one level deeper with decaying probability; depth caps at 2 *)
+    if depth < 2 && Rng.bool rng 0.35 then
+      match gen_sub rng ~fresh ~depth:(depth + 1) ~scope:[ (alias, tbl) ] with
+      | Some s -> [ s ]
+      | None -> []
+    else []
+  in
+  { b_tbl = tbl; b_alias = alias; b_correl = correl; b_nums = nums; b_subs = subs }
+
+let outer_tables = [ "customer"; "orders"; "lineitem"; "part"; "supplier"; "partsupp" ]
+
+let gen_spec (rng : Rng.t) : spec =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "x%d" !counter
+  in
+  let body_tbl = find_model (Rng.pick rng outer_tables) in
+  let join =
+    if Rng.bool rng 0.3 then
+      match neighbors body_tbl.tname with
+      | [] -> None
+      | ns ->
+          let jt, my, other = Rng.pick rng ns in
+          Some { j_tbl = find_model jt; j_my = other; j_outer = my; j_left = Rng.bool rng 0.5 }
+    else None
+  in
+  let join_nums =
+    match join with
+    | Some j when Rng.bool rng 0.5 -> gen_nums rng "" j.j_tbl 1
+    | _ -> []
+  in
+  let group =
+    match join with
+    | Some j when Rng.bool rng 0.4 ->
+        let agg = Rng.pick rng [ Sum; Min; Max; Avg; Count ] in
+        let agg_col, lo, hi =
+          match agg with
+          | Count -> (None, 1., 10.)
+          | _ ->
+              let c, _, lo, hi = Rng.pick rng j.j_tbl.nums in
+              (Some c, lo, hi)
+        in
+        let having =
+          if Rng.bool rng 0.5 then
+            (* SUM scales with group size; stretch its range *)
+            let hi = match agg with Sum -> hi *. 10. | _ -> hi in
+            Some (gen_cmp rng, lo +. (Rng.float rng *. (hi -. lo)))
+          else None
+        in
+        Some { g_key = body_tbl.key; g_agg = agg; g_agg_col = agg_col; g_having = having }
+    | _ -> None
+  in
+  let scope =
+    ("", body_tbl) :: (match join with Some j -> [ ("", j.j_tbl) ] | None -> [])
+  in
+  let nsubs = 1 + (if Rng.bool rng 0.4 then 1 else 0) in
+  let subs =
+    List.filter_map
+      (fun _ -> gen_sub rng ~fresh ~depth:1 ~scope)
+      (List.init nsubs (fun i -> i))
+  in
+  let body =
+    { b_tbl = body_tbl;
+      b_alias = "";
+      b_correl = None;
+      b_nums = gen_nums rng "" body_tbl (Rng.int rng 3);
+      b_subs = subs;
+    }
+  in
+  { s_body = body; s_join = join; s_join_nums = join_nums; s_group = group }
+
+(* Deterministic (seed, case) → spec: one fresh stream per case, so a
+   case replays identically regardless of which cases ran before it. *)
+let spec_of ~(seed : int) ~(case : int) : spec =
+  let rng = Rng.create ((seed * 1_000_003) + case) in
+  gen_spec rng
+
+let sql_of ~(seed : int) ~(case : int) : string = render (spec_of ~seed ~case)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking: every candidate is one structural deletion away.         *)
+(* ------------------------------------------------------------------ *)
+
+let remove_nth i l = List.filteri (fun j _ -> j <> i) l
+
+let replace_nth i x l = List.mapi (fun j y -> if j = i then x else y) l
+
+let rec shrink_block (b : block) : block list =
+  List.mapi (fun i _ -> { b with b_nums = remove_nth i b.b_nums }) b.b_nums
+  @ List.mapi (fun i _ -> { b with b_subs = remove_nth i b.b_subs }) b.b_subs
+  @ List.concat
+      (List.mapi
+         (fun i s -> List.map (fun s' -> { b with b_subs = replace_nth i s' b.b_subs }) (shrink_sub s))
+         b.b_subs)
+
+and shrink_sub (s : sub) : sub list =
+  match s with
+  | SExists (neg, b) ->
+      (if neg then [ SExists (false, b) ] else [])
+      @ List.map (fun b' -> SExists (neg, b')) (shrink_block b)
+  | SIn (o, b, c) -> List.map (fun b' -> SIn (o, b', c)) (shrink_block b)
+  | SAggCmp (o, cm, a, col, b) ->
+      List.map (fun b' -> SAggCmp (o, cm, a, col, b')) (shrink_block b)
+
+(* does any top-level subquery or correlation reference a column of the
+   joined table?  (References into the top scope render as bare column
+   names; nested references carry an "xN." prefix and can never collide.) *)
+let references_join (s : spec) : bool =
+  match s.s_join with
+  | None -> false
+  | Some j ->
+      let jcols = List.map (fun (c, _, _, _) -> c) j.j_tbl.nums @ [ j.j_tbl.key; j.j_my ] in
+      let uses_ref r = List.mem r jcols in
+      let rec block_uses (b : block) =
+        (match b.b_correl with Some (_, outer) -> uses_ref outer | None -> false)
+        || List.exists sub_uses b.b_subs
+      and sub_uses = function
+        | SExists (_, b) -> block_uses b
+        | SIn (o, b, _) -> uses_ref o || block_uses b
+        | SAggCmp (o, _, _, _, b) -> uses_ref o || block_uses b
+      in
+      List.exists sub_uses s.s_body.b_subs
+
+let shrink_spec (s : spec) : spec list =
+  (* drop HAVING, then GROUP BY, then the join (with everything that
+     depends on it), then individual predicates/subqueries *)
+  (match s.s_group with
+  | Some g when g.g_having <> None -> [ { s with s_group = Some { g with g_having = None } } ]
+  | _ -> [])
+  @ (match s.s_group with Some _ -> [ { s with s_group = None } ] | None -> [])
+  @ (match s.s_join with
+    | Some _ when not (references_join s) ->
+        [ { s with s_join = None; s_join_nums = []; s_group = None } ]
+    | _ -> [])
+  @ List.mapi (fun i _ -> { s with s_join_nums = remove_nth i s.s_join_nums }) s.s_join_nums
+  @ List.map (fun b -> { s with s_body = b }) (shrink_block s.s_body)
+
+(* Greedy minimization: keep taking the first one-step shrink that
+   still satisfies [still_failing], up to a step bound. *)
+let minimize ?(max_steps = 200) (still_failing : spec -> bool) (s : spec) : spec =
+  let rec go steps s =
+    if steps >= max_steps then s
+    else
+      match List.find_opt still_failing (shrink_spec s) with
+      | Some s' -> go (steps + 1) s'
+      | None -> s
+  in
+  go 0 s

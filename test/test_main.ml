@@ -16,5 +16,6 @@ let () =
       ("resilience", Test_resilience.suite);
       ("metrics", Test_metrics.suite);
       ("property", Test_property.suite);
-      ("property-analysis", Test_property_analysis.suite)
+      ("property-analysis", Test_property_analysis.suite);
+      ("verify", Test_verify.suite)
     ]

@@ -195,7 +195,10 @@ let test_search_trace () =
     (fun (r : Optimizer.Search.round_trace) ->
       List.iter
         (fun (s : Optimizer.Search.rule_stat) ->
-          Alcotest.(check int) ("kept+dups=fired for " ^ s.rule) s.fired (s.kept + s.dups))
+          Alcotest.(check int)
+            ("kept+dups+invalid=fired for " ^ s.rule)
+            s.fired
+            (s.kept + s.dups + s.invalid))
         r.stats)
     tr.Optimizer.Search.rounds;
   Alcotest.(check bool) "text rendering" true
