@@ -258,8 +258,8 @@ let e7 () =
   print_table
     [ "formulation"; "elapsed (s)"; "plan cost"; "rows" ]
     (List.map2
-       (fun (n, p) r ->
-         [ n; seconds r.elapsed; Printf.sprintf "%.0f" p.Engine.plan_cost;
+       (fun (n, _) r ->
+         [ n; seconds r.elapsed; Printf.sprintf "%.0f" r.cost;
            string_of_int r.rows ])
        prepared runs);
   let canons =

@@ -187,6 +187,50 @@ let check_cmd =
       const action $ sf_arg $ seed_arg $ level_arg $ timeout_arg $ max_rows_arg
       $ max_apply_arg $ fuzz_seed_arg $ case_arg $ float_digits_arg $ sql_opt_arg)
 
+let lint_cmd =
+  let sql_opt_arg =
+    let doc = "The SQL query to lint; omit to sweep the built-in TPC-H workloads." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+  in
+  let strict_arg =
+    let doc = "Exit non-zero on WARNING findings too, not just ERROR." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let action sf seed config strict sql =
+    with_engine sf seed (fun eng ->
+        let queries =
+          match sql with Some s -> [ ("query", s) ] | None -> Workloads.all_named
+        in
+        let errors = ref 0 and warnings = ref 0 in
+        List.iter
+          (fun (name, sql) ->
+            let p = or_die sql (fun () -> Engine.prepare ~config eng sql) in
+            List.iter
+              (fun (f : Analysis.Lint.finding) ->
+                match f.severity with
+                | Analysis.Lint.Error -> incr errors
+                | Analysis.Lint.Warning -> incr warnings
+                | Analysis.Lint.Info -> ())
+              p.Engine.lint;
+            Printf.printf "%-14s %s\n" name (Analysis.Lint.summary p.Engine.lint);
+            List.iter
+              (fun f -> Printf.printf "  %s\n" (Analysis.Lint.finding_to_string f))
+              p.Engine.lint)
+          queries;
+        if !errors > 0 || (strict && !warnings > 0) then begin
+          Printf.eprintf "lint: %d error(s), %d warning(s)\n%!" !errors !warnings;
+          exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze optimized plans: residual correlation, simplifiable \
+          outerjoins, redundant grouping, contradictory or tautological predicates, \
+          dead columns, cross-type comparisons.  Without SQL, sweeps the built-in \
+          TPC-H workloads; exits non-zero on any ERROR finding.")
+    Term.(const action $ sf_arg $ seed_arg $ level_arg $ strict_arg $ sql_opt_arg)
+
 let fuzz_cmd =
   let seeds_arg =
     let doc = "Generator seeds to sweep (one stream of cases per seed)." in
@@ -365,4 +409,4 @@ let () =
         "A query processor reproducing 'Orthogonal Optimization of Subqueries and \
          Aggregation' (Galindo-Legaria & Joshi, SIGMOD 2001)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; explain_cmd; repl_cmd; check_cmd; fuzz_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; explain_cmd; lint_cmd; repl_cmd; check_cmd; fuzz_cmd ]))

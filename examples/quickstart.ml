@@ -10,17 +10,17 @@ let () =
   Catalog.add_table cat
     { name = "books";
       columns =
-        [ { col_name = "id"; col_ty = TInt };
-          { col_name = "title"; col_ty = TStr };
-          { col_name = "author_id"; col_ty = TInt };
-          { col_name = "price"; col_ty = TFloat }
+        [ Catalog.col "id" TInt;
+          Catalog.col "title" TStr;
+          Catalog.col "author_id" TInt;
+          Catalog.col "price" TFloat
         ];
       primary_key = [ "id" ];
       indexes = [ [ "author_id" ] ]
     };
   Catalog.add_table cat
     { name = "authors";
-      columns = [ { col_name = "aid"; col_ty = TInt }; { col_name = "name"; col_ty = TStr } ];
+      columns = [ Catalog.col "aid" TInt; Catalog.col "name" TStr ];
       primary_key = [ "aid" ];
       indexes = []
     };

@@ -1,0 +1,68 @@
+(** Bounded rule-soundness prover (small-scope checking).
+
+    For every rewrite rule registered with the optimizer, this module
+    enumerates {e all} databases with at most [k] rows per table over a
+    tiny value domain ({0, 1}, plus NULL for nullable columns), fires
+    the rule everywhere its own precondition matches on one or more
+    schema templates, and checks bag equivalence of the before/after
+    trees by direct interpretation through the executor.
+
+    Databases are visited in increasing total-row order, so the first
+    failure reported is a minimal counterexample.  A registered rule
+    with no template, or whose templates produce no valid firing, is
+    reported as a failure too — every rule must carry at least one
+    live proof obligation. *)
+
+open Relalg
+open Relalg.Algebra
+
+(** The four-table prover schema: [s(sa PK, sb NULL)], keyless
+    [r(rc NOT NULL, rd NULL)], all-nullable [t(te, tf)], and
+    [u(ug PK, uh NULL)] as an index target. *)
+val prover_catalog : unit -> Catalog.t
+
+(** Fresh-column scan of a prover table; returns the scan and its
+    columns in declaration order. *)
+val scan : Catalog.t -> string -> op * Col.t list
+
+(** Built-in templates for a registered rule name; [[]] if none. *)
+val templates_for : Catalog.t -> string -> (string * op) list
+
+type rule_spec = {
+  sp_rule : Optimizer.Search.rule;
+  sp_templates : (string * op) list;  (** (label, pattern tree) *)
+}
+
+type counterexample = {
+  cx_template : string;
+  cx_db : string;  (** the minimal database, rendered *)
+  cx_before : op;
+  cx_after : op;
+  cx_before_bag : string list;
+  cx_after_bag : string list;
+  cx_total_rows : int;
+}
+
+type report = {
+  rp_rule : string;
+  rp_templates : int;
+  rp_firings : int;  (** distinct valid rewrites proven *)
+  rp_databases : int;  (** databases interpreted *)
+  rp_counterexample : counterexample option;
+}
+
+(** No counterexample, at least one template, at least one firing. *)
+val passed_report : report -> bool
+
+(** Exhaustively check one rule at bound [k] (default 2). *)
+val check_rule : ?k:int -> Catalog.t -> rule_spec -> report
+
+(** The prover catalog plus one spec per registered optimizer rule and
+    per whole-tree normalization pass (oj-simplify, simplify). *)
+val builtin_specs : unit -> Catalog.t * rule_spec list
+
+(** Check every built-in spec. *)
+val check_all : ?k:int -> unit -> report list
+
+val report_to_string : report -> string
+val passed : report list -> bool

@@ -4,7 +4,14 @@
    Section 5); we declare the TPC-H-legal indexes: primary keys plus
    foreign-key single-column indexes. *)
 
-type column = { col_name : string; col_ty : Relalg.Value.ty }
+type column = {
+  col_name : string;
+  col_ty : Relalg.Value.ty;
+  col_nullable : bool;  (** true when the column may contain NULL *)
+}
+
+(* column constructor; columns are NOT NULL unless said otherwise *)
+let col ?(nullable = false) col_name col_ty = { col_name; col_ty; col_nullable = nullable }
 
 type table = {
   name : string;
@@ -28,7 +35,15 @@ let table_names t =
 let props_env (t : t) : Relalg.Props.env =
   { table_key =
       (fun name ->
-        match find_table t name with Some tb -> tb.primary_key | None -> [])
+        match find_table t name with Some tb -> tb.primary_key | None -> []);
+    table_nullable =
+      (fun name ->
+        match find_table t name with
+        | Some tb ->
+            List.filter_map
+              (fun c -> if c.col_nullable then Some c.col_name else None)
+              tb.columns
+        | None -> []);
   }
 
 let column_ty table cname =
@@ -43,7 +58,7 @@ let column_ty table cname =
 
 let tpch () : t =
   let open Relalg.Value in
-  let c n ty = { col_name = n; col_ty = ty } in
+  let c n ty = col n ty in
   let cat = create () in
   add_table cat
     { name = "region";

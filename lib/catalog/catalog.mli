@@ -4,7 +4,14 @@
     Section 5); {!tpch} declares the TPC-H-legal indexes: primary keys
     plus single-column foreign-key indexes. *)
 
-type column = { col_name : string; col_ty : Relalg.Value.ty }
+type column = {
+  col_name : string;
+  col_ty : Relalg.Value.ty;
+  col_nullable : bool;  (** true when the column may contain NULL *)
+}
+
+(** Column constructor; columns are NOT NULL unless [~nullable:true]. *)
+val col : ?nullable:bool -> string -> Relalg.Value.ty -> column
 
 type table = {
   name : string;

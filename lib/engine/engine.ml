@@ -32,6 +32,8 @@ type prepared = {
   trace : Optimizer.Search.trace option;  (** rule firings, when requested *)
   quarantined : (string * string) list;
       (** rules the verifier disabled during the search (rule, violation) *)
+  lint : Analysis.Lint.finding list;
+      (** static findings on the chosen plan, most severe first *)
 }
 
 (* Raise a typed [Invalid_plan] error for the first violation, with the
@@ -99,6 +101,11 @@ let prepare ?(config = Optimizer.Config.full) ?must ?(record_trace = false)
   if verify then
     reject_invalid ~what:"chosen plan" sql
       (Verify.check ~expect_schema:(Op.schema stages.normalized) outcome.best);
+  let lint =
+    Analysis.Lint.run
+      ~expect:(Analysis.Lint.of_config config)
+      ~env:t.props_env outcome.best
+  in
   { sql;
     bound;
     stages;
@@ -109,6 +116,7 @@ let prepare ?(config = Optimizer.Config.full) ?must ?(record_trace = false)
     config;
     trace = outcome.trace;
     quarantined = outcome.quarantined;
+    lint;
   }
 
 (* Execute a prepared query.  Returns the rows plus execution counters
@@ -214,6 +222,10 @@ type check_report = {
   reference_rows : int;
   only_candidate : string list;  (** sample rows missing from the reference (≤ 5) *)
   only_reference : string list;  (** sample rows missing from the candidate (≤ 5) *)
+  lint_errors : string list;
+      (** rendered ERROR-severity lint findings on the candidate plan;
+          non-empty means the plan is statically broken even if the
+          result bags agree *)
 }
 
 (* [float_digits] rounds floats to that many significant digits before
@@ -249,8 +261,9 @@ let take n l =
 let check ?(candidate = Optimizer.Config.full)
     ?(reference = Optimizer.Config.correlated_only) ?budget ?float_digits (t : t)
     (sql : string) : check_report =
-  let run config = (execute ?budget t (prepare ~config t sql)).result in
-  let c = run candidate and r = run reference in
+  let pc = prepare ~config:candidate t sql in
+  let c = (execute ?budget t pc).result in
+  let r = (execute ?budget t (prepare ~config:reference t sql)).result in
   let cb = List.sort compare (List.map (render_row ?float_digits) c.rows) in
   let rb = List.sort compare (List.map (render_row ?float_digits) r.rows) in
   { check_sql = sql;
@@ -261,6 +274,8 @@ let check ?(candidate = Optimizer.Config.full)
     reference_rows = List.length rb;
     only_candidate = take 5 (bag_diff cb rb);
     only_reference = take 5 (bag_diff rb cb);
+    lint_errors =
+      List.map Analysis.Lint.finding_to_string (Analysis.Lint.errors pc.lint);
   }
 
 let format_check_report (r : check_report) : string =
@@ -269,6 +284,9 @@ let format_check_report (r : check_report) : string =
     (Printf.sprintf "%s: %s (%d rows) vs %s (%d rows): %s\n" r.check_sql r.candidate
        r.candidate_rows r.reference r.reference_rows
        (if r.agree then "AGREE" else "MISMATCH"));
+  List.iter
+    (fun l -> Buffer.add_string b (Printf.sprintf "  lint: %s\n" l))
+    r.lint_errors;
   if not r.agree then begin
     List.iter
       (fun row -> Buffer.add_string b (Printf.sprintf "  only in %s: %s\n" r.candidate row))
@@ -292,6 +310,8 @@ let explain ?config (t : t) (sql : string) : string =
     (Printf.sprintf "== chosen plan (cost %.0f, seed %.0f, %d alternatives) ==\n"
        p.plan_cost p.seed_cost p.explored);
   Buffer.add_string b (Pp.to_string p.plan);
+  Buffer.add_string b "== lint ==\n";
+  Buffer.add_string b (Analysis.Lint.render p.lint);
   Buffer.contents b
 
 (* EXPLAIN ANALYZE: compile with the search trace on, execute with the
@@ -318,6 +338,8 @@ let explain_analyze ?config ?budget ?(times = true) (t : t) (sql : string) : str
   (match p.trace with
   | Some tr -> Buffer.add_string b (Optimizer.Search.trace_to_string tr)
   | None -> Buffer.add_string b "(cost-based search disabled)\n");
+  Buffer.add_string b "\n== lint (chosen plan) ==\n";
+  Buffer.add_string b (Analysis.Lint.render p.lint);
   Buffer.contents b
 
 (* Machine-readable EXPLAIN: plan, costs and trace; with [analyze] also
@@ -343,6 +365,7 @@ let explain_json ?config ?budget ?(analyze = false) (t : t) (sql : string) : str
        (match p.trace with
        | Some tr -> Optimizer.Search.trace_to_json tr
        | None -> "null"));
+  Buffer.add_string b (Printf.sprintf "\"lint\":%s," (Analysis.Lint.to_json p.lint));
   (if analyze then begin
      let e = execute ?budget ~collect_metrics:true t p in
      Buffer.add_string b

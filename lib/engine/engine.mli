@@ -24,6 +24,8 @@ type prepared = {
   trace : Optimizer.Search.trace option;  (** rule firings, when requested *)
   quarantined : (string * string) list;
       (** rules the verifier disabled during the search (rule, violation) *)
+  lint : Analysis.Lint.finding list;
+      (** static findings on the chosen plan, most severe first *)
 }
 
 (** Compile a SQL string.  [config] selects the optimizer technology
@@ -148,6 +150,8 @@ type check_report = {
   reference_rows : int;
   only_candidate : string list;  (** sample rows missing from the reference (≤ 5) *)
   only_reference : string list;  (** sample rows missing from the candidate (≤ 5) *)
+  lint_errors : string list;
+      (** rendered ERROR-severity lint findings on the candidate plan *)
 }
 
 (** Run the same SQL under [candidate] (default full) and [reference]

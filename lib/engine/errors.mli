@@ -1,0 +1,53 @@
+(** Typed errors for the whole query pipeline.
+
+    Every failure a query can hit is classified into one structured
+    value, so the engine's checked entry points can return diagnostics
+    instead of leaking ad-hoc exceptions, and the degradation logic can
+    decide which failures are worth retrying on the correlated plan.
+
+    Recoverability is the key split: {!Runtime}/{!Budget}/{!Fault}
+    errors are properties of the chosen plan or its execution, so a
+    different plan for the same SQL may succeed; {!Lex}/{!Parse}/
+    {!Bind} errors are properties of the query text and retrying is
+    pointless. *)
+
+type phase =
+  | Lex  (** tokenizer rejection *)
+  | Parse  (** grammar rejection *)
+  | Bind  (** name resolution / typing *)
+  | Normalize  (** Apply introduction / removal, simplification *)
+  | Plan  (** cost-based search *)
+  | Invalid_plan
+      (** a plan failed the integrity verifier ({!Relalg.Verify}) *)
+  | Runtime  (** executor error (e.g. Max1row violation) *)
+  | Budget  (** budget exhausted mid-execution *)
+  | Fault  (** injected fault (testing harness) *)
+
+type t = {
+  phase : phase;
+  message : string;
+  position : int option;  (** character offset into the SQL text, when known *)
+  sql : string option;  (** the offending query text, when known *)
+}
+
+exception Error of t
+
+val make : ?position:int -> ?sql:string -> phase -> string -> t
+val phase_to_string : phase -> string
+
+(** Excerpt of [sql] around a character position, with a caret line. *)
+val context_snippet : string -> int -> string
+
+val to_string : t -> string
+
+(** A recoverable error may vanish under a different plan for the same
+    SQL; an unrecoverable one is wrong however it is planned. *)
+val recoverable : t -> bool
+
+(** Classify any exception the pipeline can raise; [None] for
+    exceptions outside the pipeline vocabulary. *)
+val of_exn : ?sql:string -> exn -> t option
+
+(** Run the thunk, converting every pipeline exception into
+    [Result.Error].  Foreign exceptions still propagate. *)
+val protect : ?sql:string -> (unit -> 'a) -> ('a, t) result

@@ -68,7 +68,8 @@ let create (plan : op) : t =
         fast_path_hits = 0;
         hash_build_rows = 0;
         children =
-          List.map build (Op.children o) @ List.map (build ~sub:true) subs;
+          List.map (fun c -> build c) (Op.children o)
+          @ List.map (build ~sub:true) subs;
       }
     in
     PhysTbl.replace index o node;

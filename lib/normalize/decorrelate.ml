@@ -57,8 +57,8 @@ let with_key cfg (r : op) : op =
 (* Rewrite aggregates for identity (9): valid when agg(empty) =
    agg({null}), i.e. everything except count; counts become counts of a
    non-nullable column of E so that outerjoin padding yields 0. *)
-let adjust_aggs_for_loj (aggs : agg list) (e : op) : agg list option =
-  let nn = Col.Set.inter (Props.nonnullable e) (Op.schema_set e) in
+let adjust_aggs_for_loj ~(env : Props.env) (aggs : agg list) (e : op) : agg list option =
+  let nn = Col.Set.inter (Props.nonnullable ~env e) (Op.schema_set e) in
   let probe = Col.Set.choose_opt nn in
   let ecols = Op.schema_set e in
   (* NULL-padding nulls exactly E's columns; the aggregate input must go
@@ -220,7 +220,7 @@ and push_project cfg kind pred r projs e1 =
         (* non-strict projection above a decorrelatable tree: guard each
            expression with a match indicator from a non-nullable inner
            column so padding still yields NULL *)
-        match Col.Set.choose_opt (Props.nonnullable e1) with
+        match Col.Set.choose_opt (Props.nonnullable ~env:cfg.env e1) with
         | Some probe when Col.Set.mem probe (Op.schema_set e1) ->
             let inner = push cfg LeftOuter pred' r e1 in
             let pass = List.map (fun c -> { expr = ColRef c; out = c }) (Op.schema r) in
@@ -314,7 +314,7 @@ and push_scalar_agg_plain cfg kind pred r aggs input =
   | Inner | LeftOuter -> (
       (* a scalar aggregate returns exactly one row, so cross and outer
          Apply coincide *)
-      match adjust_aggs_for_loj aggs input with
+      match adjust_aggs_for_loj ~env:cfg.env aggs input with
       | None -> Apply { kind; pred; left = r; right = ScalarAgg { aggs; input } }
       | Some aggs' ->
           let r' = with_key cfg r in
@@ -469,7 +469,9 @@ and push_semi_anti_generic cfg kind pred r e =
        R A^semi_p E = π_R (G_{cols(R')} (π_{R'} (σ_p (R' A× E)))),
      which needs no padding and therefore composes with identity (8). *)
   let count_route () =
-    match Col.Set.choose_opt (Col.Set.inter (Props.nonnullable e) (Op.schema_set e)) with
+    match
+      Col.Set.choose_opt (Col.Set.inter (Props.nonnullable ~env:cfg.env e) (Op.schema_set e))
+    with
     | None -> None
     | Some probe ->
         let r' = with_key cfg r in

@@ -1,0 +1,33 @@
+(** Cardinality estimation over logical trees.
+
+    Column provenance: a map from column id to (table, column) built by
+    walking the tree once (through scans, pass-through projections and
+    grouping keys).  Distinct counts come from {!Stats}; selectivities
+    use the classic System-R defaults. *)
+
+open Relalg
+open Relalg.Algebra
+
+type env = {
+  stats : Stats.t;
+  origins : (int, string * string) Hashtbl.t;
+  mutable hole_card : float;  (** estimated rows of the current segment *)
+}
+
+(** Column provenance of a tree (two passes, so SegmentHole source
+    columns defined by a later sibling still resolve). *)
+val build_origins : op -> (int, string * string) Hashtbl.t
+
+val make_env : Stats.t -> op -> env
+
+(** Distinct count of a column, when its base-table origin is known. *)
+val ndv_of : env -> Col.t -> float option
+
+(** Selectivity of a predicate used as a filter, in [0, 1]. *)
+val selectivity : env -> expr -> float
+
+(** Expected group count for grouping columns over [n] input rows. *)
+val group_card : env -> Col.t list -> float -> float
+
+(** Estimated output rows of a tree. *)
+val estimate : env -> op -> float

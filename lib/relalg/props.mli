@@ -9,8 +9,13 @@ open Algebra
 
 type key = Col.Set.t
 
-(** Base-table keys come from the environment (catalog). *)
-type env = { table_key : string -> string list }
+(** Base-table keys and nullability come from the environment
+    (catalog).  [table_nullable] lists the columns that may contain
+    NULL; every other base column is treated as NOT NULL. *)
+type env = {
+  table_key : string -> string list;
+  table_nullable : string -> string list;
+}
 
 val default_env : env
 
@@ -33,5 +38,31 @@ val fd_closure : ?env:env -> op -> Col.Set.t -> Col.Set.t
     elide Max1row). *)
 val max_one_row : ?env:env -> op -> bool
 
-(** Output columns guaranteed non-NULL. *)
-val nonnullable : op -> Col.Set.t
+(** Output columns guaranteed non-NULL.  [env] supplies catalog NOT
+    NULL declarations for base tables; without it every base column is
+    assumed NOT NULL. *)
+val nonnullable : ?env:env -> op -> Col.Set.t
+
+(** Column equivalence classes (size ≥ 2): columns pairwise equal on
+    every output row in the grouping sense (NULL ≡ NULL), sourced from
+    inner-join/select equality conjuncts and pass-through projections.
+    The grouping notion matches {!covers_key}, so a class may soundly
+    extend a grouping set for key-coverage tests. *)
+val equiv_classes : op -> Col.Set.t list
+
+(** Extend a column set with every column equivalent to a member. *)
+val equate : Col.Set.t list -> Col.Set.t -> Col.Set.t
+
+(** Columns bound to a single non-NULL constant on every output row. *)
+val const_bindings : op -> Value.t Col.IdMap.t
+
+(** Verdict of a filter predicate: [Contradiction] = provably never
+    satisfied (false or NULL on every row), [Tautology] = provably true
+    on every row.  Sound; [Unknown] is the default. *)
+type verdict = Contradiction | Tautology | Unknown
+
+(** Conjunct-level analysis with constant folding, three-valued logic,
+    IS NULL against provably non-null columns, and numeric interval
+    bounds ([x > 5 AND x < 3]).  [consts] supplies column values proven
+    constant by the input (see {!const_bindings}). *)
+val pred_verdict : ?nonnull:Col.Set.t -> ?consts:Value.t Col.IdMap.t -> expr -> verdict

@@ -409,7 +409,7 @@ let check_rewrite ~(env : Props.env) ~(rule : string) ~(before : op) ~(after : o
           (* Section 3.2: aggregates whose value on the padded row is
              not NULL (counts) need a compensating CASE guarded by a
              non-nullable pushed grouping column *)
-          let nn = Props.nonnullable r in
+          let nn = Props.nonnullable ~env r in
           let compensation_ok (orig : agg) =
             match orig.fn with
             | Sum _ | Min _ | Max _ | Avg _ -> true

@@ -35,15 +35,21 @@ let join_to_apply ~(cat : Catalog.t) (o : op) : op option =
       | Some (table, cols) ->
           let lcols = Op.schema_set left in
           let scan_cols = Col.Set.of_list cols in
-          (* find an equi conjunct left-expr = indexed scan column *)
+          (* find an equi conjunct left-expr = indexed scan column; when
+             both sides are column references an or-pattern would commit
+             to the first binding, so try both orientations explicitly *)
+          let probe rc e =
+            Col.Set.mem rc scan_cols
+            && Col.Set.subset (Expr.cols e) lcols
+            && has_index cat table rc.Col.name
+          in
           let indexed_eq =
             List.exists
               (fun c ->
                 match c with
-                | Cmp (Eq, ColRef rc, e) | Cmp (Eq, e, ColRef rc) ->
-                    Col.Set.mem rc scan_cols
-                    && Col.Set.subset (Expr.cols e) lcols
-                    && has_index cat table rc.Col.name
+                | Cmp (Eq, ColRef a, ColRef b) ->
+                    probe a (ColRef b) || probe b (ColRef a)
+                | Cmp (Eq, ColRef rc, e) | Cmp (Eq, e, ColRef rc) -> probe rc e
                 | _ -> false)
               (conjuncts pred)
           in

@@ -133,7 +133,7 @@ let push_below_outerjoin ~(env : env) (o : op) : op option =
       let rkeys = Option.get (push_below_join_keys ~env keys aggs pred s r) in
       (* need a non-nullable match detector among the pushed grouping
          columns *)
-      let nn = Props.nonnullable r in
+      let nn = Props.nonnullable ~env r in
       (match List.find_opt (fun c -> Col.Set.mem c nn) rkeys with
       | None -> None
       | Some match_col ->

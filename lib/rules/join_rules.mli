@@ -1,0 +1,39 @@
+(** Classic join reordering rules (commute / associate) plus the
+    filter and project pull-ups that expose reorderable joins.
+
+    All rules preserve the tree's output schema: commute wraps the
+    swapped join in a restoring projection, and associate derives the
+    equality conjunct the new inner join needs from the transitive
+    closure of the predicate's equalities. *)
+
+open Relalg
+open Relalg.Algebra
+
+(** Wrap [o] in a pass-through projection restoring column order. *)
+val project_restore : Col.t list -> op -> op
+
+(** Union-find over the column equalities of a conjunct list: a map
+    from column id to class representative, and a witness column per
+    class member. *)
+val equality_classes : expr list -> (int, int) Hashtbl.t * (int, Col.t) Hashtbl.t
+
+(** Equalities between [xs] and [ys] implied by the conjuncts'
+    transitive closure but not stated directly. *)
+val implied_equalities : expr list -> Col.Set.t -> Col.Set.t -> expr list
+
+(** A ⋈ B → B ⋈ A (inner joins only), schema restored. *)
+val commute : op -> op option
+
+(** (A ⋈ B) ⋈ C → (A ⋈ C) ⋈ B and (B ⋈ C) ⋈ A, when a usable
+    equality conjunct for the new inner join exists or is implied. *)
+val associate : op -> op option list
+
+(** First result of {!associate}, for rule-table registration. *)
+val associate_one : op -> op option
+
+(** Select under a join input → Select above the join. *)
+val filter_pullup : op -> op option
+
+(** Project under a join input → Project above the join, predicate
+    rewritten through the projection's substitution. *)
+val project_pullup : op -> op option

@@ -75,6 +75,11 @@ let classify ?budget (eng : Engine.t) (sql : string) : outcome =
       `R (Engine.Errors.protect ~sql (fun () -> Engine.check ?budget ~float_digits eng sql))
     with exn -> `Exn exn
   with
+  | `R (Ok r) when r.Engine.agree && r.Engine.lint_errors <> [] ->
+      (* the bags agree, but the linter proved the plan statically
+         broken (e.g. a comparison that can never be satisfied): a
+         pipeline bug even when the data does not expose it *)
+      Failed ("lint: " ^ String.concat "; " r.Engine.lint_errors)
   | `R (Ok r) when r.Engine.agree -> Agree
   | `R (Ok r) -> Mismatch (Engine.format_check_report r)
   | `R (Error e) -> (

@@ -13,7 +13,7 @@ let v_null = Value.Null
    employees. *)
 let toy_catalog () : Catalog.t =
   let open Value in
-  let c n ty = { Catalog.col_name = n; col_ty = ty } in
+  let c n ty = Catalog.col n ty in
   let cat = Catalog.create () in
   Catalog.add_table cat
     { name = "emp";

@@ -17,5 +17,6 @@ let () =
       ("metrics", Test_metrics.suite);
       ("property", Test_property.suite);
       ("property-analysis", Test_property_analysis.suite);
-      ("verify", Test_verify.suite)
+      ("verify", Test_verify.suite);
+      ("analysis", Test_analysis.suite)
     ]

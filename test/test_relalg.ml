@@ -36,7 +36,7 @@ let test_free_cols_correlation () =
     (Col.Set.mem a (Op.free_cols sel))
 
 let env_with_key table key : Props.env =
-  { table_key = (fun t -> if t = table then key else []) }
+  { Props.default_env with table_key = (fun t -> if t = table then key else []) }
 
 let test_keys () =
   let a = mkcol "a" and b = mkcol "b" in
@@ -51,7 +51,9 @@ let test_keys () =
   let c = mkcol "c" in
   let u = scan "u" [ c ] in
   let env2 : Props.env =
-    { table_key = (function "t" -> [ "a" ] | "u" -> [ "c" ] | _ -> []) }
+    { Props.default_env with
+      table_key = (function "t" -> [ "a" ] | "u" -> [ "c" ] | _ -> [])
+    }
   in
   let j = Join { kind = Inner; pred = true_; left = t; right = u } in
   Alcotest.(check bool) "join key = union" true

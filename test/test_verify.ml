@@ -124,7 +124,7 @@ let test_oj_simplification_replay () =
        (Verify.check_oj_simplification ~before:(before LeftOuter) ~after:(before LeftOuter)))
 
 let test_filter_groupby_recheck () =
-  let env = { Props.table_key = (fun _ -> [ "a" ]) } in
+  let env = { Props.default_env with table_key = (fun _ -> [ "a" ]) } in
   let t, a, b = scan () in
   let out = Col.fresh "s" Value.TFloat in
   let g = GroupBy { keys = [ a ]; aggs = [ { fn = Sum (ColRef b); out } ]; input = t } in
