@@ -1,12 +1,12 @@
 # Convenience targets; `make verify` is the tier-1 gate.
 
-.PHONY: all verify test faults fuzz fuzz-smoke bench bench-smoke prove-rules lint-smoke clean
+.PHONY: all verify test faults fuzz fuzz-smoke vexec-smoke bench bench-smoke prove-rules lint-smoke clean
 
 all:
 	dune build
 
 verify:
-	dune build && dune runtest && $(MAKE) prove-rules && $(MAKE) fuzz-smoke && $(MAKE) bench-smoke
+	dune build && dune runtest && $(MAKE) prove-rules && $(MAKE) fuzz-smoke && $(MAKE) vexec-smoke && $(MAKE) bench-smoke
 
 # bounded rule-soundness prover: every registered rewrite rule checked
 # for bag equivalence over all databases with <= 2 rows per table
@@ -37,10 +37,16 @@ fuzz-smoke:
 fuzz:
 	dune build @fuzz
 
+# row-vs-vector differential check: every workload x config executed in
+# both modes and bag-compared, plus a vector-mode fuzz sweep
+vexec-smoke:
+	dune exec test/vexec_main.exe -- 40 1 2 3 4 5
+
 bench:
 	dune exec bench/main.exe
 
-# tiny-scale sweep of every workload x config; writes BENCH_2.json
+# tiny-scale sweep of every workload x config in both exec modes;
+# writes BENCH_5.json
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
 

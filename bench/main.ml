@@ -16,7 +16,7 @@
      bench/main.exe            -- run everything, paper-style tables
      bench/main.exe e5 e6      -- selected experiments
      bench/main.exe --bechamel -- statistically robust timings (Bechamel)
-     bench/main.exe --smoke    -- tiny-scale CI sweep, writes BENCH_2.json
+     bench/main.exe --smoke    -- tiny-scale CI sweep (row + vector), writes BENCH_5.json
 *)
 
 let fmt = Printf.printf
@@ -309,35 +309,61 @@ let e8 () =
       [ ""; "off"; seconds c_off.elapsed ]
     ]
 
-(* --- smoke mode: BENCH_2.json ------------------------------------------ *)
+(* --- smoke mode: BENCH_5.json ------------------------------------------ *)
 
 (* CI artifact: run every named workload under every configuration at a
-   tiny scale factor and dump per-run counters as JSON, plus a
-   metrics-enabled re-run of the full configuration to measure the
-   observability layer's overhead (the tentpole's <5% budget refers to
-   metrics *disabled*; the enabled figure is recorded for context). *)
+   tiny scale factor — in both execution modes (row interpreter and the
+   vectorized engine) — and dump per-run counters as JSON, plus a
+   metrics-enabled row-mode re-run of the full configuration to measure
+   the observability layer's overhead.  The two modes' result bags are
+   cross-checked on every run; a disagreement aborts the bench. *)
 
-let smoke ?(out = "BENCH_2.json") () =
+let smoke ?(out = "BENCH_5.json") () =
   let sf = 0.01 in
   let db = database sf in
   let eng = Engine.create db in
-  let repeat = 3 in
-  let time_execute ?collect_metrics p =
-    (* fastest of [repeat]: warm caches, less scheduler noise *)
-    let best = ref (Engine.execute ?collect_metrics eng p) in
+  let repeat = 15 in
+  let time_execute ?collect_metrics ?mode p =
+    (* fastest of [repeat]: warm caches, less scheduler noise; the
+       smoke queries run sub-millisecond at SF 0.01, so a small sample
+       is dominated by scheduler jitter *)
+    let best = ref (Engine.execute ?collect_metrics ?mode eng p) in
     for _ = 2 to repeat do
-      let e = Engine.execute ?collect_metrics eng p in
+      let e = Engine.execute ?collect_metrics ?mode eng p in
       if e.Engine.elapsed_s < !best.Engine.elapsed_s then best := e
     done;
     !best
   in
+  let bag (e : Engine.execution) =
+    List.sort compare
+      (List.map
+         (fun r -> String.concat "|" (Array.to_list (Array.map Relalg.Value.to_string r)))
+         e.Engine.result.rows)
+  in
   let entries =
     List.concat_map
       (fun (qname, sql) ->
-        List.map
+        List.concat_map
           (fun (cname, config) ->
             let p = Engine.prepare ~config eng sql in
-            let e = time_execute p in
+            let e_row = time_execute ~mode:`Row p in
+            let e_vec = time_execute ~mode:`Vector p in
+            if bag e_row <> bag e_vec then begin
+              Printf.eprintf "ROW/VECTOR DISAGREEMENT on %s under %s\n%!" qname cname;
+              exit 2
+            end;
+            let entry mode (e : Engine.execution) extra =
+              Printf.sprintf
+                "  {\"query\":%s,\"config\":%s,\"exec_mode\":%s,\"elapsed_s\":%.6f,\
+                 \"rows\":%d,\"apply_invocations\":%d,\"rows_processed\":%d,\
+                 \"plan_cost\":%.2f%s}"
+                (Exec.Metrics.json_string qname)
+                (Exec.Metrics.json_string cname)
+                (Exec.Metrics.json_string mode)
+                e.Engine.elapsed_s (List.length e.Engine.result.rows)
+                e.Engine.apply_invocations e.Engine.rows_processed p.Engine.plan_cost
+                extra
+            in
             let metrics_elapsed =
               (* overhead probe only on the plan we actually ship *)
               if cname = "full" then
@@ -345,14 +371,11 @@ let smoke ?(out = "BENCH_2.json") () =
                   (time_execute ~collect_metrics:true p).Engine.elapsed_s
               else ""
             in
-            Printf.sprintf
-              "  {\"query\":%s,\"config\":%s,\"elapsed_s\":%.6f,\"rows\":%d,\
-               \"apply_invocations\":%d,\"rows_processed\":%d,\"plan_cost\":%.2f%s}"
-              (Exec.Metrics.json_string qname)
-              (Exec.Metrics.json_string cname)
-              e.Engine.elapsed_s (List.length e.Engine.result.rows)
-              e.Engine.apply_invocations e.Engine.rows_processed p.Engine.plan_cost
-              metrics_elapsed)
+            let speedup =
+              Printf.sprintf ",\"speedup_vs_row\":%.2f"
+                (e_row.Engine.elapsed_s /. Float.max 1e-9 e_vec.Engine.elapsed_s)
+            in
+            [ entry "row" e_row metrics_elapsed; entry "vector" e_vec speedup ])
           configs)
       Workloads.all_named
   in
@@ -363,7 +386,7 @@ let smoke ?(out = "BENCH_2.json") () =
   let oc = open_out out in
   output_string oc json;
   close_out oc;
-  fmt "wrote %s (%d runs: %d workloads x %d configs, SF %.3f)\n" out
+  fmt "wrote %s (%d runs: %d workloads x %d configs x 2 exec modes, SF %.3f)\n" out
     (List.length entries) (List.length Workloads.all_named) (List.length configs) sf
 
 (* --- Bechamel mode ----------------------------------------------------- *)

@@ -40,6 +40,23 @@ let sql_arg =
   let doc = "The SQL query." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
 
+let exec_mode_conv =
+  let parse = function
+    | "row" -> Ok `Row
+    | "vector" -> Ok `Vector
+    | s -> Error (`Msg ("unknown exec mode: " ^ s))
+  in
+  let print fmtr m = Format.pp_print_string fmtr (Engine.exec_mode_name m) in
+  Arg.conv (parse, print)
+
+let exec_mode_arg =
+  let doc =
+    "Execution engine: row (tuple-at-a-time interpreter, the semantic oracle) or \
+     vector (batch-at-a-time columnar executor; subtrees it does not cover run on \
+     the row interpreter behind a bridge)."
+  in
+  Arg.(value & opt exec_mode_conv `Row & info [ "exec-mode" ] ~docv:"MODE" ~doc)
+
 (* --- resource budgets and fault injection --------------------------- *)
 
 let timeout_arg =
@@ -94,7 +111,7 @@ let or_die sql f =
       exit 1
 
 let run_cmd =
-  let action sf seed config timeout max_rows max_apply fault resilient sql =
+  let action sf seed config mode timeout max_rows max_apply fault resilient sql =
     with_engine sf seed (fun eng ->
         let budget = budget_of timeout max_rows max_apply in
         let faults = Option.map Exec.Faults.create fault in
@@ -111,7 +128,7 @@ let run_cmd =
             end
             else begin
               let p = Engine.prepare ~config eng sql in
-              let e = Engine.execute ?budget ?faults eng p in
+              let e = Engine.execute ?budget ?faults ~mode eng p in
               print_endline (Engine.format_result e.result);
               Printf.printf "\nelapsed: %.3fs   plan cost: %.0f   alternatives: %d\n"
                 e.elapsed_s p.plan_cost p.explored
@@ -120,8 +137,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a SQL query and print the result.")
     Term.(
-      const action $ sf_arg $ seed_arg $ level_arg $ timeout_arg $ max_rows_arg
-      $ max_apply_arg $ fault_arg $ resilient_arg $ sql_arg)
+      const action $ sf_arg $ seed_arg $ level_arg $ exec_mode_arg $ timeout_arg
+      $ max_rows_arg $ max_apply_arg $ fault_arg $ resilient_arg $ sql_arg)
 
 let fuzz_seed_arg =
   let doc =
@@ -147,7 +164,8 @@ let check_cmd =
     let doc = "The SQL query to check; omit to check the built-in TPC-H workloads." in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
   in
-  let action sf seed config timeout max_rows max_apply fuzz_seed case float_digits sql =
+  let action sf seed config mode timeout max_rows max_apply fuzz_seed case float_digits
+      sql =
     with_engine sf seed (fun eng ->
         let budget = budget_of timeout max_rows max_apply in
         let queries =
@@ -168,7 +186,7 @@ let check_cmd =
           (fun (name, sql) ->
             let report =
               or_die sql (fun () ->
-                  Engine.check ~candidate:config ?budget ?float_digits eng sql)
+                  Engine.check ~candidate:config ~mode ?budget ?float_digits eng sql)
             in
             if not report.Engine.agree then incr failed;
             Printf.printf "%-14s %s" name (Engine.format_check_report report))
@@ -182,10 +200,13 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Differential check: run the query under the chosen level and under \
-          correlated execution (the semantic oracle) and compare result bags.")
+          correlated execution (the semantic oracle) and compare result bags.  With \
+          --exec-mode vector, the candidate side runs on the columnar executor, \
+          making this the row-vs-vector differential harness.")
     Term.(
-      const action $ sf_arg $ seed_arg $ level_arg $ timeout_arg $ max_rows_arg
-      $ max_apply_arg $ fuzz_seed_arg $ case_arg $ float_digits_arg $ sql_opt_arg)
+      const action $ sf_arg $ seed_arg $ level_arg $ exec_mode_arg $ timeout_arg
+      $ max_rows_arg $ max_apply_arg $ fuzz_seed_arg $ case_arg $ float_digits_arg
+      $ sql_opt_arg)
 
 let lint_cmd =
   let sql_opt_arg =
@@ -248,7 +269,7 @@ let fuzz_cmd =
     let doc = "Print every case, not just failures." in
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
   in
-  let action sf seed cases replay verbose timeout max_rows max_apply fault seeds =
+  let action sf seed mode cases replay verbose timeout max_rows max_apply fault seeds =
     with_engine sf seed (fun eng ->
         let budget = budget_of timeout max_rows max_apply in
         let failures = ref 0 in
@@ -259,6 +280,7 @@ let fuzz_cmd =
                 Testgen.Fuzz.only_case = replay;
                 budget;
                 fault;
+                exec_mode = mode;
               }
             in
             let summary =
@@ -285,8 +307,8 @@ let fuzz_cmd =
           --case (or `check --fuzz-seed`).  With --fault, checks the resilience \
           contract instead: agree with the clean oracle or die with a typed error.")
     Term.(
-      const action $ sf_arg $ seed_arg $ cases_arg $ replay_arg $ verbose_arg
-      $ timeout_arg $ max_rows_arg $ max_apply_arg $ fault_arg $ seeds_arg)
+      const action $ sf_arg $ seed_arg $ exec_mode_arg $ cases_arg $ replay_arg
+      $ verbose_arg $ timeout_arg $ max_rows_arg $ max_apply_arg $ fault_arg $ seeds_arg)
 
 let explain_cmd =
   let stages_arg =
@@ -313,7 +335,7 @@ let explain_cmd =
     let doc = "The SQL query; omit to explain the built-in TPC-H bench workloads." in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
   in
-  let action sf seed config stages analyze trace json sql =
+  let action sf seed config mode stages analyze trace json sql =
     with_engine sf seed (fun eng ->
         let queries =
           match sql with Some s -> [ ("query", s) ] | None -> Workloads.all_named
@@ -321,7 +343,8 @@ let explain_cmd =
         if json then begin
           match sql with
           | Some s ->
-              print_endline (or_die s (fun () -> Engine.explain_json ~config ~analyze eng s))
+              print_endline
+                (or_die s (fun () -> Engine.explain_json ~config ~analyze ~mode eng s))
           | None ->
               let objs =
                 List.map
@@ -329,7 +352,7 @@ let explain_cmd =
                     or_die sql (fun () ->
                         Printf.sprintf "{\"workload\":%s,\"explain\":%s}"
                           (Exec.Metrics.json_string name)
-                          (Engine.explain_json ~config ~analyze eng sql)))
+                          (Engine.explain_json ~config ~analyze ~mode eng sql)))
                   queries
               in
               print_endline ("[" ^ String.concat ",\n" objs ^ "]")
@@ -339,7 +362,8 @@ let explain_cmd =
             (fun (name, sql) ->
               if List.length queries > 1 then Printf.printf "=== %s ===\n" name;
               or_die sql (fun () ->
-                  if analyze then print_string (Engine.explain_analyze ~config eng sql)
+                  if analyze then
+                    print_string (Engine.explain_analyze ~config ~mode eng sql)
                   else begin
                     if stages then print_string (Engine.explain_stages ~config eng sql)
                     else print_string (Engine.explain ~config eng sql);
@@ -361,8 +385,8 @@ let explain_cmd =
           per-operator metrics (EXPLAIN ANALYZE), --trace shows the rule-firing \
           trace, --json emits machine-readable output.")
     Term.(
-      const action $ sf_arg $ seed_arg $ level_arg $ stages_arg $ analyze_arg $ trace_arg
-      $ json_arg $ sql_opt_arg)
+      const action $ sf_arg $ seed_arg $ level_arg $ exec_mode_arg $ stages_arg
+      $ analyze_arg $ trace_arg $ json_arg $ sql_opt_arg)
 
 let repl_cmd =
   let action sf seed config =

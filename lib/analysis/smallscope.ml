@@ -187,6 +187,43 @@ let templates_for (cat : Catalog.t) (rule : string) : (string * op) list =
                input = lg
              })
       ]
+  | "local-groupby-collapse" ->
+      (* one composition per class the rule knows: sum∘sum, sum∘count,
+         sum∘count*, min∘min, max∘max — all over the same grouping key,
+         so each global group holds exactly one partial row *)
+      let r, rcols = scan cat "r" in
+      let rc = List.nth rcols 0 and rd = List.nth rcols 1 in
+      let lsum = Col.fresh "lsum" Value.TFloat in
+      let lcnt = Col.fresh "lcnt" Value.TInt in
+      let lstar = Col.fresh "lstar" Value.TInt in
+      let lmn = Col.fresh "lmn" Value.TInt in
+      let lmx = Col.fresh "lmx" Value.TInt in
+      let lg =
+        LocalGroupBy
+          { keys = [ rc ];
+            aggs =
+              [ { fn = Sum (ColRef rd); out = lsum };
+                { fn = Count (ColRef rd); out = lcnt };
+                { fn = CountStar; out = lstar };
+                { fn = Min (ColRef rd); out = lmn };
+                { fn = Max (ColRef rd); out = lmx }
+              ];
+            input = r
+          }
+      in
+      [ t "groupby (same-key localgroupby r), all compositions"
+          (GroupBy
+             { keys = [ rc ];
+               aggs =
+                 [ { fn = Sum (ColRef lsum); out = Col.fresh "gsum" Value.TFloat };
+                   { fn = Sum (ColRef lcnt); out = Col.fresh "gcnt" Value.TInt };
+                   { fn = Sum (ColRef lstar); out = Col.fresh "gstar" Value.TInt };
+                   { fn = Min (ColRef lmn); out = Col.fresh "gmn" Value.TInt };
+                   { fn = Max (ColRef lmx); out = Col.fresh "gmx" Value.TInt }
+                 ];
+               input = lg
+             })
+      ]
   | "segment-apply-intro" ->
       (* X ⋈ G(X'): two isomorphic scans of r, the join equating the
          grouping column with its image, plus a residual comparison

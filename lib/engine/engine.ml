@@ -129,11 +129,20 @@ type execution = {
   metrics : Exec.Metrics.node option;  (** per-operator tree, when collected *)
 }
 
-let execute ?budget ?faults ?(collect_metrics = false) (t : t) (p : prepared) : execution =
+type exec_mode = [ `Row | `Vector ]
+
+let exec_mode_name = function `Row -> "row" | `Vector -> "vector"
+
+let execute ?budget ?faults ?(collect_metrics = false) ?(mode = `Row) (t : t) (p : prepared)
+    : execution =
   let metrics = if collect_metrics then Some (Exec.Metrics.create p.plan) else None in
   let ctx = Exec.Executor.make_ctx ?budget ?faults ?metrics t.db in
   let t0 = Unix.gettimeofday () in
-  let rows = Exec.Executor.run ctx Exec.Executor.empty_lookup p.plan in
+  let rows =
+    match mode with
+    | `Row -> Exec.Executor.run ctx Exec.Executor.empty_lookup p.plan
+    | `Vector -> Vexec.run ctx p.plan
+  in
   let schema = Op.schema p.plan in
   let rows = Exec.Executor.sort_rows schema p.bound.order rows in
   let rows = Exec.Executor.truncate p.bound.limit rows in
@@ -150,8 +159,8 @@ let execute ?budget ?faults ?(collect_metrics = false) (t : t) (p : prepared) : 
     metrics = Option.map Exec.Metrics.root metrics;
   }
 
-let query ?config ?budget ?faults (t : t) (sql : string) : Exec.Executor.result =
-  (execute ?budget ?faults t (prepare ?config t sql)).result
+let query ?config ?budget ?faults ?mode (t : t) (sql : string) : Exec.Executor.result =
+  (execute ?budget ?faults ?mode t (prepare ?config t sql)).result
 
 (* ------------------------------------------------------------------ *)
 (* Checked entry points: typed diagnostics instead of exceptions.     *)
@@ -258,16 +267,22 @@ let take n l =
 (* Run the same SQL under both configurations and compare result bags.
    Used by the CLI `check` subcommand and the differential tests: any
    disagreement is a semantic bug in normalization or optimization. *)
+(* [mode] selects the engine for the candidate side only; the reference
+   always runs row-at-a-time, so `~mode:\`Vector` doubles as the
+   row-vs-vector differential harness (same config on both sides pins
+   any disagreement on the vectorized engine alone). *)
 let check ?(candidate = Optimizer.Config.full)
-    ?(reference = Optimizer.Config.correlated_only) ?budget ?float_digits (t : t)
-    (sql : string) : check_report =
+    ?(reference = Optimizer.Config.correlated_only) ?budget ?float_digits ?(mode = `Row)
+    (t : t) (sql : string) : check_report =
   let pc = prepare ~config:candidate t sql in
-  let c = (execute ?budget t pc).result in
+  let c = (execute ?budget ~mode t pc).result in
   let r = (execute ?budget t (prepare ~config:reference t sql)).result in
   let cb = List.sort compare (List.map (render_row ?float_digits) c.rows) in
   let rb = List.sort compare (List.map (render_row ?float_digits) r.rows) in
   { check_sql = sql;
-    candidate = Optimizer.Config.name_of candidate;
+    candidate =
+      (Optimizer.Config.name_of candidate
+      ^ match mode with `Row -> "" | `Vector -> "/vector");
     reference = Optimizer.Config.name_of reference;
     agree = cb = rb;
     candidate_rows = List.length cb;
@@ -317,12 +332,18 @@ let explain ?config (t : t) (sql : string) : string =
 (* EXPLAIN ANALYZE: compile with the search trace on, execute with the
    per-operator metrics tree, and render both.  [times:false] drops
    wall-clock figures so tests can compare output verbatim. *)
-let explain_analyze ?config ?budget ?(times = true) (t : t) (sql : string) : string =
+let explain_analyze ?config ?budget ?(times = true) ?(mode = `Row) (t : t) (sql : string) :
+    string =
   let p = prepare ?config ~record_trace:true t sql in
-  let e = execute ?budget ~collect_metrics:true t p in
+  let e = execute ?budget ~collect_metrics:true ~mode t p in
   let b = Buffer.create 2048 in
   Buffer.add_string b "== subquery class ==\n";
   Buffer.add_string b (Normalize.Classify.to_string p.stages.subquery_class);
+  (* row-mode output is unchanged so golden tests stay stable; vector
+     mode announces itself since batch counters appear in the tree *)
+  (match mode with
+  | `Row -> ()
+  | `Vector -> Buffer.add_string b "\n== execution mode: vector ==");
   Buffer.add_string b
     (Printf.sprintf "\n== chosen plan, analyzed (cost %.0f, seed %.0f, %d alternatives) ==\n"
        p.plan_cost p.seed_cost p.explored);
@@ -344,7 +365,8 @@ let explain_analyze ?config ?budget ?(times = true) (t : t) (sql : string) : str
 
 (* Machine-readable EXPLAIN: plan, costs and trace; with [analyze] also
    the execution counters and the per-operator metrics tree. *)
-let explain_json ?config ?budget ?(analyze = false) (t : t) (sql : string) : string =
+let explain_json ?config ?budget ?(analyze = false) ?(mode = `Row) (t : t) (sql : string) :
+    string =
   let p = prepare ?config ~record_trace:true t sql in
   let b = Buffer.create 2048 in
   Buffer.add_string b "{";
@@ -367,10 +389,11 @@ let explain_json ?config ?budget ?(analyze = false) (t : t) (sql : string) : str
        | None -> "null"));
   Buffer.add_string b (Printf.sprintf "\"lint\":%s," (Analysis.Lint.to_json p.lint));
   (if analyze then begin
-     let e = execute ?budget ~collect_metrics:true t p in
+     let e = execute ?budget ~collect_metrics:true ~mode t p in
      Buffer.add_string b
        (Printf.sprintf
-          "\"execution\":{\"elapsed_s\":%.6f,\"rows\":%d,\"rows_processed\":%d,\"apply_invocations\":%d,\"metrics\":%s}"
+          "\"execution\":{\"exec_mode\":%s,\"elapsed_s\":%.6f,\"rows\":%d,\"rows_processed\":%d,\"apply_invocations\":%d,\"metrics\":%s}"
+          (Exec.Metrics.json_string (exec_mode_name mode))
           e.elapsed_s
           (List.length e.result.rows)
           e.rows_processed e.apply_invocations

@@ -59,8 +59,18 @@ type execution = {
   metrics : Exec.Metrics.node option;  (** per-operator tree, when collected *)
 }
 
+(** Execution engine selector: [`Row] is the materializing row
+    interpreter (the semantic oracle), [`Vector] the batch-at-a-time
+    columnar engine of {!Vexec}, which bridges unsupported subtrees
+    back to the row interpreter.  Both produce the same bags on every
+    plan. *)
+type exec_mode = [ `Row | `Vector ]
+
+val exec_mode_name : exec_mode -> string
+
 (** [collect_metrics] attributes invocations, rows and wall time to a
-    per-operator metrics tree returned in {!execution.metrics}.
+    per-operator metrics tree returned in {!execution.metrics};
+    [mode] (default [`Row]) selects the execution engine.
     @raise Exec.Executor.Runtime_error for Max1row violations.
     @raise Exec.Budget.Exceeded when a budget limit trips.
     @raise Exec.Faults.Injected under an armed fault plan. *)
@@ -68,6 +78,7 @@ val execute :
   ?budget:Exec.Budget.t ->
   ?faults:Exec.Faults.t ->
   ?collect_metrics:bool ->
+  ?mode:exec_mode ->
   t ->
   prepared ->
   execution
@@ -77,6 +88,7 @@ val query :
   ?config:Optimizer.Config.t ->
   ?budget:Exec.Budget.t ->
   ?faults:Exec.Faults.t ->
+  ?mode:exec_mode ->
   t ->
   string ->
   Exec.Executor.result
@@ -160,12 +172,17 @@ type check_report = {
     [float_digits] rounds floats to that many significant digits before
     comparing (differently-ordered plans sum floats in different orders;
     bit-exact comparison would report the last-ulp drift as a
-    disagreement).  Omitted = exact comparison. *)
+    disagreement).  Omitted = exact comparison.
+
+    [mode] selects the engine for the candidate side only; the
+    reference always runs row-at-a-time.  With the same config on both
+    sides, [~mode:`Vector] is the row-vs-vector differential harness. *)
 val check :
   ?candidate:Optimizer.Config.t ->
   ?reference:Optimizer.Config.t ->
   ?budget:Exec.Budget.t ->
   ?float_digits:int ->
+  ?mode:exec_mode ->
   t ->
   string ->
   check_report
@@ -180,13 +197,25 @@ val explain : ?config:Optimizer.Config.t -> t -> string -> string
     optimizer's rule-firing trace.  [times:false] omits wall-clock
     figures (stable output for golden tests). *)
 val explain_analyze :
-  ?config:Optimizer.Config.t -> ?budget:Exec.Budget.t -> ?times:bool -> t -> string -> string
+  ?config:Optimizer.Config.t ->
+  ?budget:Exec.Budget.t ->
+  ?times:bool ->
+  ?mode:exec_mode ->
+  t ->
+  string ->
+  string
 
 (** Machine-readable EXPLAIN as a JSON object: plan, costs, search
     trace, and (with [analyze]) execution counters plus the
     per-operator metrics tree. *)
 val explain_json :
-  ?config:Optimizer.Config.t -> ?budget:Exec.Budget.t -> ?analyze:bool -> t -> string -> string
+  ?config:Optimizer.Config.t ->
+  ?budget:Exec.Budget.t ->
+  ?analyze:bool ->
+  ?mode:exec_mode ->
+  t ->
+  string ->
+  string
 
 (** Every pipeline stage (the paper's Figures 2/3/5 for the query). *)
 val explain_stages : ?config:Optimizer.Config.t -> t -> string -> string

@@ -48,6 +48,37 @@ type ctx = {
 val make_ctx :
   ?budget:Budget.t -> ?faults:Faults.t -> ?metrics:Metrics.t -> Storage.Database.t -> ctx
 
+(** Cooperative budget check against the context's running counters.
+    @raise Budget.Exceeded when a limit trips. *)
+val check_budget : ctx -> unit
+
+(** Account [n] rows processed and re-check the budget. *)
+val account_rows : ctx -> int -> unit
+
+(** The fault-injection kind an operator evaluation ticks. *)
+val op_fault_kind : Relalg.Algebra.op -> Faults.op_kind
+
+(** Hashtable over grouping keys (value lists), shared with the
+    vectorized engine so both modes group and join identically. *)
+module VTbl : Hashtbl.S with type key = Value.t list
+
+(** Aggregate accumulation, shared with the vectorized engine. *)
+type acc = {
+  mutable count : int;
+  mutable sum : Value.t;
+  mutable min_ : Value.t;
+  mutable max_ : Value.t;
+}
+
+val fresh_acc : unit -> acc
+val acc_add : acc -> Value.t -> unit
+val acc_result : agg_fn -> acc -> Value.t
+
+(** Partition a join predicate into equi-conjuncts (left expr, right
+    expr) across the given column sets, plus the residual conjuncts. *)
+val split_equi_conjuncts :
+  expr -> Col.Set.t -> Col.Set.t -> (expr * expr) list * expr list
+
 (** Scalar evaluation under 3-valued logic; UNKNOWN is [Value.Null].
     Subquery expression nodes recurse into {!run} (mutual recursion). *)
 val eval : ctx -> lookup -> expr -> Value.t

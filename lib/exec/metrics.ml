@@ -35,6 +35,10 @@ type node = {
   mutable elapsed_s : float;  (** cumulative wall time, inclusive of children *)
   mutable fast_path_hits : int;  (** Apply index-probe uses (inner tree skipped) *)
   mutable hash_build_rows : int;  (** hash-join build rows / aggregation groups *)
+  mutable batches : int;  (** vectorized batches produced (vector mode) *)
+  mutable bridge_crossings : int;
+      (** times the vectorized engine handed this subtree to the row
+          interpreter and converted the rows back into batches *)
   children : node list;
 }
 
@@ -67,6 +71,8 @@ let create (plan : op) : t =
         elapsed_s = 0.;
         fast_path_hits = 0;
         hash_build_rows = 0;
+        batches = 0;
+        bridge_crossings = 0;
         children =
           List.map (fun c -> build c) (Op.children o)
           @ List.map (build ~sub:true) subs;
@@ -88,6 +94,13 @@ let record (n : node) ~(elapsed_s : float) ~(rows_out : int) : unit =
 let add_rows_in (n : node) (k : int) = n.rows_in <- n.rows_in + k
 let add_fast_hit (n : node) = n.fast_path_hits <- n.fast_path_hits + 1
 let add_hash_build (n : node) (k : int) = n.hash_build_rows <- n.hash_build_rows + k
+let add_batch (n : node) = n.batches <- n.batches + 1
+let add_bridge (n : node) = n.bridge_crossings <- n.bridge_crossings + 1
+
+(* Output rows per input row, when the node consumed anything; the
+   vector-mode rendering reports it as the operator's selectivity. *)
+let selectivity (n : node) : float option =
+  if n.rows_in <= 0 then None else Some (float_of_int n.rows_out /. float_of_int n.rows_in)
 
 (* --- rendering ------------------------------------------------------- *)
 
@@ -107,6 +120,14 @@ let render ?(times = true) (root : node) : string =
         Buffer.add_string buf (Printf.sprintf " fast-path=%d" n.fast_path_hits);
       if n.hash_build_rows > 0 then
         Buffer.add_string buf (Printf.sprintf " hash-build=%d" n.hash_build_rows);
+      if n.batches > 0 then begin
+        Buffer.add_string buf (Printf.sprintf " batches=%d" n.batches);
+        match selectivity n with
+        | Some s -> Buffer.add_string buf (Printf.sprintf " sel=%.2f" s)
+        | None -> ()
+      end;
+      if n.bridge_crossings > 0 then
+        Buffer.add_string buf (Printf.sprintf " bridged=%d" n.bridge_crossings);
       Buffer.add_string buf ")"
     end;
     Buffer.add_char buf '\n';
@@ -136,7 +157,10 @@ let json_string (s : string) : string =
 
 let rec to_json (n : node) : string =
   Printf.sprintf
-    "{\"op\":%s,\"invocations\":%d,\"rows_in\":%d,\"rows_out\":%d,\"elapsed_s\":%.6f,\"fast_path_hits\":%d,\"hash_build_rows\":%d,\"children\":[%s]}"
+    "{\"op\":%s,\"invocations\":%d,\"rows_in\":%d,\"rows_out\":%d,\"elapsed_s\":%.6f,\"fast_path_hits\":%d,\"hash_build_rows\":%d,\"batches\":%d,\"bridge_crossings\":%d%s,\"children\":[%s]}"
     (json_string n.label) n.invocations n.rows_in n.rows_out n.elapsed_s
-    n.fast_path_hits n.hash_build_rows
+    n.fast_path_hits n.hash_build_rows n.batches n.bridge_crossings
+    (match selectivity n with
+    | Some s when n.batches > 0 -> Printf.sprintf ",\"selectivity\":%.4f" s
+    | _ -> "")
     (String.concat "," (List.map to_json n.children))

@@ -21,6 +21,10 @@ type node = {
   mutable elapsed_s : float;  (** cumulative wall time, inclusive of children *)
   mutable fast_path_hits : int;  (** Apply index-probe uses (inner tree skipped) *)
   mutable hash_build_rows : int;  (** hash-join build rows / aggregation groups *)
+  mutable batches : int;  (** vectorized batches produced (vector mode) *)
+  mutable bridge_crossings : int;
+      (** times the vectorized engine handed this subtree to the row
+          interpreter and converted the rows back into batches *)
   children : node list;
 }
 
@@ -39,6 +43,16 @@ val record : node -> elapsed_s:float -> rows_out:int -> unit
 val add_rows_in : node -> int -> unit
 val add_fast_hit : node -> unit
 val add_hash_build : node -> int -> unit
+
+(** One vectorized batch produced by the operator. *)
+val add_batch : node -> unit
+
+(** One batch↔row bridge crossing (vector mode fell back to the row
+    interpreter for this subtree). *)
+val add_bridge : node -> unit
+
+(** rows_out / rows_in, when the node consumed any input. *)
+val selectivity : node -> float option
 
 (** Annotated plan, one operator per line.  [times:false] omits
     wall-clock figures (stable output for golden tests). *)

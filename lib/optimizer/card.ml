@@ -114,6 +114,17 @@ let rec estimate env (o : op) : float =
       let ci = estimate env inner in
       env.hole_card <- saved;
       nseg *. ci
+  | GroupBy
+      { keys;
+        input = (GroupBy { keys = ikeys; _ } | LocalGroupBy { keys = ikeys; _ }) as i;
+        _
+      }
+    when Col.Set.equal (Col.Set.of_list keys) (Col.Set.of_list ikeys) ->
+      (* the input already has one row per key combination, so grouping
+         again is the identity on cardinality; without this the generic
+         damping below would credit the redundant stack with fewer rows
+         than the single equivalent GroupBy *)
+      estimate env i
   | GroupBy { keys; input; _ } | LocalGroupBy { keys; input; _ } ->
       group_card env keys (estimate env input)
   | ScalarAgg _ -> 1.0

@@ -32,7 +32,8 @@ let rules_for (cfg : Config.t) ~(env : Props.env) ~(cat : Catalog.t) : rule list
        else []);
       (if cfg.local_agg then
          [ r "eager-local-aggregate" Rules.Local_agg.eager_aggregate;
-           r "local-groupby-below-join" Rules.Local_agg.push_local_below_join
+           r "local-groupby-below-join" Rules.Local_agg.push_local_below_join;
+           r "local-groupby-collapse" Rules.Local_agg.collapse_global
          ]
        else []);
       (if cfg.segment_apply then

@@ -1,9 +1,15 @@
 (* Table statistics for cardinality estimation: row counts and
-   per-column distinct counts (exact, computed on demand and cached). *)
+   per-column distinct counts (exact, computed on demand and cached).
+
+   The NDV cache is tagged with the table's mutation generation: a
+   [Storage.Table.load]/[append] after stats were first read would
+   otherwise leave the optimizer costing plans against distinct counts
+   for rows that no longer exist. *)
 
 type t = {
   db : Storage.Database.t;
-  ndv_cache : (string * string, int) Hashtbl.t;
+  ndv_cache : (string * string, int * int) Hashtbl.t;
+      (** (table, column) -> (generation when computed, ndv) *)
 }
 
 let create db = { db; ndv_cache = Hashtbl.create 64 }
@@ -14,15 +20,15 @@ let row_count t table =
   | None -> 0
 
 let ndv t table col =
-  match Hashtbl.find_opt t.ndv_cache (table, col) with
-  | Some n -> n
-  | None ->
-      let n =
-        match Storage.Database.table_opt t.db table with
-        | Some tb -> Storage.Table.distinct_count tb col
-        | None -> 0
-      in
-      Hashtbl.replace t.ndv_cache (table, col) n;
-      n
+  match Storage.Database.table_opt t.db table with
+  | None -> 0
+  | Some tb -> (
+      let gen = Storage.Table.generation tb in
+      match Hashtbl.find_opt t.ndv_cache (table, col) with
+      | Some (g, n) when g = gen -> n
+      | _ ->
+          let n = Storage.Table.distinct_count tb col in
+          Hashtbl.replace t.ndv_cache (table, col) (gen, n);
+          n)
 
 let catalog t = t.db.Storage.Database.catalog

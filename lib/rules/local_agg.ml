@@ -178,3 +178,48 @@ let eager_aggregate (o : op) : op option =
                   })
           else None)
   | _ -> None
+
+(* Inverse cleanup: a global GroupBy directly atop a LocalGroupBy on
+   the same grouping keys recombines exactly one partial row per group
+   (the LocalGroupBy already produced one row per key combination), so
+   the pair collapses to a single GroupBy composing the aggregate
+   functions: sum∘sum e = sum e, sum∘count e = count e,
+   sum∘count* = count*, min∘min e = min e, max∘max e = max e.  The
+   shape arises when the GroupBy pushdown of Section 3.1 lands a global
+   GroupBy on top of the LocalGroupBy the eager split introduced; the
+   linter flags it as redundant-groupby.  Output columns keep the
+   global's ids, so the plan schema is unchanged. *)
+let collapse_global (o : op) : op option =
+  match o with
+  | GroupBy
+      { keys;
+        aggs = globals;
+        input = LocalGroupBy { keys = lkeys; aggs = locals; input }
+      }
+    when globals <> []
+         && Col.Set.equal (Col.Set.of_list keys) (Col.Set.of_list lkeys) ->
+      let local_out c =
+        List.find_opt (fun (l : agg) -> Col.equal l.out c) locals
+      in
+      let compose (g : agg) =
+        match g.fn with
+        | Sum (ColRef c) -> (
+            match local_out c with
+            | Some { fn = (Sum _ | Count _ | CountStar) as lf; _ } ->
+                Some { g with fn = lf }
+            | _ -> None)
+        | Min (ColRef c) -> (
+            match local_out c with
+            | Some { fn = Min _ as lf; _ } -> Some { g with fn = lf }
+            | _ -> None)
+        | Max (ColRef c) -> (
+            match local_out c with
+            | Some { fn = Max _ as lf; _ } -> Some { g with fn = lf }
+            | _ -> None)
+        | _ -> None
+      in
+      let composed = List.filter_map compose globals in
+      if List.length composed = List.length globals then
+        Some (GroupBy { keys; aggs = composed; input })
+      else None
+  | _ -> None

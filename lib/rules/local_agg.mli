@@ -17,3 +17,11 @@ val push_local_below_join : op -> op option
     from R becomes π (G_{A,Fg} (S ⋈p (LG_{(A∪cols p)∩cols R, Fl} R))).
     Needs no key on S: the global GroupBy recombines partials. *)
 val eager_aggregate : op -> op option
+
+(** Collapse a global GroupBy sitting directly on a same-key
+    LocalGroupBy into a single GroupBy with composed aggregates
+    (sum∘sum = sum, sum∘count = count, sum∘count* = count*,
+    min∘min = min, max∘max = max): each global group holds exactly one
+    partial row.  [None] when any global aggregate is not such a
+    composition over a local output. *)
+val collapse_global : op -> op option

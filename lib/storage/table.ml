@@ -18,23 +18,54 @@ type t = {
   mutable rows : Value.t array array;
   mutable indexes : index list;
   col_pos : (string, int) Hashtbl.t;
+  mutable generation : int;
+  mutable col_cache : (int * Value.t array array) option;
+      (** column-major extraction tagged with the generation it was
+          built against; rebuilt lazily by {!columns} *)
 }
 
 let create (def : Catalog.table) : t =
   let col_pos = Hashtbl.create 8 in
   List.iteri (fun i (c : Catalog.column) -> Hashtbl.replace col_pos c.col_name i) def.columns;
-  { def; rows = [||]; indexes = []; col_pos }
+  { def; rows = [||]; indexes = []; col_pos; generation = 0; col_cache = None }
 
 let name t = t.def.name
 let row_count t = Array.length t.rows
 
 let column_position t cname = Hashtbl.find_opt t.col_pos cname
 
+(* Every row mutation bumps the generation so derived state — the
+   columnar cache here, the NDV cache in Optimizer.Stats — can detect
+   staleness instead of serving values for rows that no longer exist. *)
+let touch t =
+  t.generation <- t.generation + 1;
+  t.col_cache <- None
+
+let generation t = t.generation
+
 let load t (rows : Value.t array list) =
   t.rows <- Array.of_list rows;
-  t.indexes <- []
+  t.indexes <- [];
+  touch t
 
-let append t row = t.rows <- Array.append t.rows [| row |]
+let append t row =
+  t.rows <- Array.append t.rows [| row |];
+  touch t
+
+(* Column-major view of the table, for the vectorized scan: one value
+   array per catalog column.  Built on first use, invalidated by row
+   mutation via the generation counter. *)
+let columns t : Value.t array array =
+  match t.col_cache with
+  | Some (gen, cols) when gen = t.generation -> cols
+  | _ ->
+      let n = Array.length t.rows in
+      let ncols = List.length t.def.columns in
+      let cols =
+        Array.init ncols (fun c -> Array.init n (fun i -> t.rows.(i).(c)))
+      in
+      t.col_cache <- Some (t.generation, cols);
+      cols
 
 (* Build one hash index on a single column. *)
 let build_index t cname =

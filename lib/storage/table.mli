@@ -15,6 +15,10 @@ type t = {
   mutable rows : Relalg.Value.t array array;
   mutable indexes : index list;
   col_pos : (string, int) Hashtbl.t;
+  mutable generation : int;
+      (** bumped on every row mutation; lets derived caches (columnar
+          extraction, NDV statistics) detect staleness *)
+  mutable col_cache : (int * Relalg.Value.t array array) option;
 }
 
 val create : Catalog.table -> t
@@ -22,10 +26,18 @@ val name : t -> string
 val row_count : t -> int
 val column_position : t -> string -> int option
 
-(** Replace the table contents (drops indexes). *)
+(** Current mutation generation; changes whenever rows change. *)
+val generation : t -> int
+
+(** Replace the table contents (drops indexes, bumps the generation). *)
 val load : t -> Relalg.Value.t array list -> unit
 
+(** Append one row (bumps the generation). *)
 val append : t -> Relalg.Value.t array -> unit
+
+(** Column-major view of the rows (one array per catalog column),
+    built lazily and invalidated on row mutation. *)
+val columns : t -> Relalg.Value.t array array
 
 (** Build a hash index on one column.
     @raise Invalid_argument for unknown columns. *)

@@ -43,10 +43,20 @@ type config = {
   budget : Exec.Budget.t option;
   fault : Exec.Faults.spec option;
   shrink : bool;
+  exec_mode : Engine.exec_mode;
+      (** engine for the candidate side of every differential check;
+          [`Vector] turns the sweep into a row-vs-vector harness *)
 }
 
 let default_config ~seed ~cases =
-  { seed; cases; only_case = None; budget = None; fault = None; shrink = true }
+  { seed;
+    cases;
+    only_case = None;
+    budget = None;
+    fault = None;
+    shrink = true;
+    exec_mode = `Row;
+  }
 
 (* ------------------------------------------------------------------ *)
 
@@ -69,10 +79,12 @@ let bag rows =
    verdict; everything else that is not agreement is a failure — in a
    fuzzer, even a Bind error is a bug (the generator emitted SQL the
    front end rejects). *)
-let classify ?budget (eng : Engine.t) (sql : string) : outcome =
+let classify ?budget ?mode (eng : Engine.t) (sql : string) : outcome =
   match
     try
-      `R (Engine.Errors.protect ~sql (fun () -> Engine.check ?budget ~float_digits eng sql))
+      `R
+        (Engine.Errors.protect ~sql (fun () ->
+             Engine.check ?budget ?mode ~float_digits eng sql))
     with exn -> `Exn exn
   with
   | `R (Ok r) when r.Engine.agree && r.Engine.lint_errors <> [] ->
@@ -123,7 +135,7 @@ let classify_fault ?budget ~(fspec : Exec.Faults.spec) (eng : Engine.t) (sql : s
 let classify_spec (cfg : config) (eng : Engine.t) (spec : Qgen.spec) : outcome =
   let sql = Qgen.render spec in
   match cfg.fault with
-  | None -> classify ?budget:cfg.budget eng sql
+  | None -> classify ?budget:cfg.budget ~mode:cfg.exec_mode eng sql
   | Some fspec -> classify_fault ?budget:cfg.budget ~fspec eng sql
 
 let is_failure = function Mismatch _ | Failed _ -> true | Agree | Skipped _ -> false

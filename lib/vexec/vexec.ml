@@ -1,0 +1,1014 @@
+(* Batch-at-a-time columnar executor.
+
+   Operators are pull sources ([unit -> Batch.t option]) compiled from
+   the same logical trees the row interpreter runs.  Scalar expressions
+   evaluate column-wise over dense slot-indexed arrays with the row
+   engine's exact semantics (3VL comparisons, Kleene AND/OR, NULL-strict
+   arithmetic) minus short-circuiting, which is observationally
+   equivalent on type-correct plans.
+
+   Coverage is per node: any subtree rooted at an operator this engine
+   does not vectorize (Apply, SegmentApply, Max1row, Rownum, non-equi
+   joins, subquery-bearing expressions) is handed to the row
+   interpreter wholesale and its rows converted back into batches — the
+   bridge keeps the two engines bag-identical on every plan while
+   letting the vectorized operators carry the decorrelated fast paths.
+
+   Budget accounting and fault injection run at batch granularity:
+   every pull of every compiled operator ticks the operator's fault
+   kind and re-checks the budget, so resource limits trip inside
+   vectorized pipelines just as they do row by row. *)
+
+module Batch = Batch
+module Value = Relalg.Value
+module Col = Relalg.Col
+module Op = Relalg.Op
+module Ex = Exec.Executor
+module Metrics = Exec.Metrics
+open Relalg.Algebra
+
+type source = unit -> Batch.t option
+
+type vctx = { ctx : Ex.ctx; batch_size : int }
+
+let runtime_error fmt = Printf.ksprintf (fun s -> raise (Ex.Runtime_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Column-wise scalar evaluation                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Expressions the columnar evaluator covers: everything except the
+   binder-only scalar operators with relational children. *)
+let rec vectorizable_expr = function
+  | ColRef _ | Const _ -> true
+  | Arith (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      vectorizable_expr a && vectorizable_expr b
+  | Not a | IsNull a | Like (a, _) -> vectorizable_expr a
+  | Case (branches, els) ->
+      List.for_all (fun (c, v) -> vectorizable_expr c && vectorizable_expr v) branches
+      && (match els with Some e -> vectorizable_expr e | None -> true)
+  | Subquery _ | Exists _ | InSub _ | QuantCmp _ -> false
+
+let positions (schema : Col.t list) : (int, int) Hashtbl.t =
+  let h = Hashtbl.create (List.length schema * 2) in
+  List.iteri
+    (fun i (c : Col.t) -> if not (Hashtbl.mem h c.id) then Hashtbl.add h c.id i)
+    schema;
+  h
+
+let kleene_and a b =
+  match (a, b) with
+  | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+  | Value.Bool true, Value.Bool true -> Value.Bool true
+  | (Value.Bool _ | Value.Null), (Value.Bool _ | Value.Null) -> Value.Null
+  | v, _ -> runtime_error "AND applied to non-boolean %s" (Value.to_string v)
+
+let kleene_or a b =
+  match (a, b) with
+  | Value.Bool true, _ | _, Value.Bool true -> Value.Bool true
+  | Value.Bool false, Value.Bool false -> Value.Bool false
+  | (Value.Bool _ | Value.Null), (Value.Bool _ | Value.Null) -> Value.Null
+  | v, _ -> runtime_error "OR applied to non-boolean %s" (Value.to_string v)
+
+(* Evaluate [e] over every live row of [b]; the result is a dense
+   slot-indexed array aligned with the selection vector. *)
+let rec eval_cols (b : Batch.t) (pos : (int, int) Hashtbl.t) (e : expr) : Value.t array =
+  let n = Batch.length b in
+  match e with
+  | ColRef c -> (
+      match Hashtbl.find_opt pos c.Col.id with
+      | Some i -> Batch.gather b i
+      | None -> runtime_error "unbound column in vectorized eval: %s#%d" c.Col.name c.Col.id)
+  | Const v -> Array.make n v
+  | Arith (op, x, y) ->
+      let vx = eval_cols b pos x and vy = eval_cols b pos y in
+      let o =
+        match op with
+        | Add -> `Add
+        | Sub -> `Sub
+        | Mul -> `Mul
+        | Div -> `Div
+        | Mod -> `Mod
+      in
+      Array.init n (fun i -> Value.arith o vx.(i) vy.(i))
+  | Cmp (op, x, y) ->
+      let vx = eval_cols b pos x and vy = eval_cols b pos y in
+      Array.init n (fun i ->
+          match Value.cmp_sql vx.(i) vy.(i) with
+          | None -> Value.Null
+          | Some c ->
+              Value.Bool
+                (match op with
+                | Eq -> c = 0
+                | Ne -> c <> 0
+                | Lt -> c < 0
+                | Le -> c <= 0
+                | Gt -> c > 0
+                | Ge -> c >= 0))
+  | And (x, y) ->
+      let vx = eval_cols b pos x and vy = eval_cols b pos y in
+      Array.init n (fun i -> kleene_and vx.(i) vy.(i))
+  | Or (x, y) ->
+      let vx = eval_cols b pos x and vy = eval_cols b pos y in
+      Array.init n (fun i -> kleene_or vx.(i) vy.(i))
+  | Not x ->
+      let vx = eval_cols b pos x in
+      Array.map
+        (function
+          | Value.Bool bv -> Value.Bool (not bv)
+          | Value.Null -> Value.Null
+          | v -> runtime_error "NOT applied to non-boolean %s" (Value.to_string v))
+        vx
+  | IsNull x ->
+      let vx = eval_cols b pos x in
+      Array.map (fun v -> Value.Bool (Value.is_null v)) vx
+  | Like (x, pattern) ->
+      let vx = eval_cols b pos x in
+      Array.map
+        (function
+          | Value.Null -> Value.Null
+          | Value.Str s -> Value.Bool (Exec.Like.matches ~pattern s)
+          | v -> runtime_error "LIKE applied to non-string %s" (Value.to_string v))
+        vx
+  | Case (branches, els) ->
+      let vbranches =
+        List.map (fun (c, v) -> (eval_cols b pos c, eval_cols b pos v)) branches
+      in
+      let velse = Option.map (eval_cols b pos) els in
+      Array.init n (fun i ->
+          let rec go = function
+            | [] -> ( match velse with Some v -> v.(i) | None -> Value.Null)
+            | (c, v) :: rest -> (
+                match c.(i) with Value.Bool true -> v.(i) | _ -> go rest)
+          in
+          go vbranches)
+  | Subquery _ | Exists _ | InSub _ | QuantCmp _ ->
+      runtime_error "vectorized eval reached a subquery expression"
+
+(* Predicate evaluation straight to keep flags, skipping the boxed
+   [Value.Bool] intermediates: a filter keeps exactly the TRUE rows, so
+   UNKNOWN collapses to "drop" — and under that reading strict boolean
+   AND/OR over flags coincides with Kleene AND/OR on type-correct
+   predicates.  Operators without that property (NOT, CASE, bare
+   boolean columns) fall back to the 3VL column evaluator. *)
+let rec eval_flags (b : Batch.t) (pos : (int, int) Hashtbl.t) (e : expr) : bool array =
+  let n = Batch.length b in
+  match e with
+  | Const (Value.Bool v) -> Array.make n v
+  | Const Value.Null -> Array.make n false
+  | Cmp (op, x, y) ->
+      let vx = eval_cols b pos x and vy = eval_cols b pos y in
+      Array.init n (fun i ->
+          match Value.cmp_sql vx.(i) vy.(i) with
+          | None -> false
+          | Some c -> (
+              match op with
+              | Eq -> c = 0
+              | Ne -> c <> 0
+              | Lt -> c < 0
+              | Le -> c <= 0
+              | Gt -> c > 0
+              | Ge -> c >= 0))
+  | And (x, y) ->
+      let fx = eval_flags b pos x and fy = eval_flags b pos y in
+      Array.init n (fun i -> fx.(i) && fy.(i))
+  | Or (x, y) ->
+      let fx = eval_flags b pos x and fy = eval_flags b pos y in
+      Array.init n (fun i -> fx.(i) || fy.(i))
+  | IsNull x ->
+      let vx = eval_cols b pos x in
+      Array.map Value.is_null vx
+  | Like (x, pattern) ->
+      let vx = eval_cols b pos x in
+      Array.map
+        (function
+          | Value.Null -> false
+          | Value.Str s -> Exec.Like.matches ~pattern s
+          | v -> runtime_error "LIKE applied to non-string %s" (Value.to_string v))
+        vx
+  | _ ->
+      let vx = eval_cols b pos e in
+      Array.map (function Value.Bool true -> true | _ -> false) vx
+
+(* ------------------------------------------------------------------ *)
+(* Coverage                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Node-local coverage check; a node whose own shape the engine cannot
+   vectorize routes its whole subtree over the bridge.  Joins need at
+   least one equi-conjunct (the hash path); pure theta joins go to the
+   row interpreter's nested loop. *)
+let node_supported (o : op) : bool =
+  match o with
+  | TableScan _ | ConstTable _ | UnionAll _ | Except _ -> true
+  | Select (p, _) -> vectorizable_expr p
+  | Project (projs, _) -> List.for_all (fun (p : proj) -> vectorizable_expr p.expr) projs
+  | Join { pred; left; right; _ } ->
+      vectorizable_expr pred
+      &&
+      let equi, _ =
+        Ex.split_equi_conjuncts pred (Op.schema_set left) (Op.schema_set right)
+      in
+      equi <> []
+  | GroupBy { aggs; _ } | LocalGroupBy { aggs; _ } | ScalarAgg { aggs; _ } ->
+      List.for_all
+        (fun (a : agg) ->
+          match agg_input_expr a.fn with
+          | None -> true
+          | Some e -> vectorizable_expr e)
+        aggs
+  | Apply _ | SegmentApply _ | SegmentHole _ | Max1row _ | Rownum _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Growable int arrays (join pair collection)                         *)
+(* ------------------------------------------------------------------ *)
+
+module Ints = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 64 0; n = 0 }
+
+  let push t x =
+    if t.n = Array.length t.a then begin
+      let a' = Array.make (2 * t.n) 0 in
+      Array.blit t.a 0 a' 0 t.n;
+      t.a <- a'
+    end;
+    t.a.(t.n) <- x;
+    t.n <- t.n + 1
+
+  let to_array t = Array.sub t.a 0 t.n
+end
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation: metrics, budget, faults per pull                  *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_node (v : vctx) (o : op) : Metrics.node option =
+  match v.ctx.Ex.metrics with None -> None | Some m -> Metrics.find m o
+
+(* Wrap an operator's pull: tick the fault plan, re-check the budget,
+   account produced rows, and attribute time/rows/batches to the
+   operator's metrics node (inclusive of children, like the row
+   engine). *)
+let instrument (v : vctx) (o : op) (node : Metrics.node option) (pull : source) : source =
+  let fault_kind = Ex.op_fault_kind o in
+  fun () ->
+    (match v.ctx.Ex.faults with None -> () | Some f -> Exec.Faults.tick f fault_kind);
+    Ex.check_budget v.ctx;
+    match node with
+    | None ->
+        let r = pull () in
+        (match r with Some b -> Ex.account_rows v.ctx (Batch.length b) | None -> ());
+        r
+    | Some nd ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          try pull ()
+          with e ->
+            Metrics.record nd ~elapsed_s:(Unix.gettimeofday () -. t0) ~rows_out:0;
+            raise e
+        in
+        (match r with
+        | Some b ->
+            Metrics.record nd
+              ~elapsed_s:(Unix.gettimeofday () -. t0)
+              ~rows_out:(Batch.length b);
+            Metrics.add_batch nd;
+            Ex.account_rows v.ctx (Batch.length b)
+        | None -> Metrics.record nd ~elapsed_s:(Unix.gettimeofday () -. t0) ~rows_out:0);
+        r
+
+(* Count the rows an operator consumes from a child source. *)
+let consuming (node : Metrics.node option) (src : source) : source =
+  match node with
+  | None -> src
+  | Some nd ->
+      fun () ->
+        let r = src () in
+        (match r with Some b -> Metrics.add_rows_in nd (Batch.length b) | None -> ());
+        r
+
+(* ------------------------------------------------------------------ *)
+(* Bridge: unsupported subtree -> row interpreter -> batches          *)
+(* ------------------------------------------------------------------ *)
+
+let bridge (v : vctx) (o : op) : source =
+  let node = metrics_node v o in
+  let schema = Op.schema o in
+  let state = ref None in
+  fun () ->
+    let remaining =
+      match !state with
+      | Some bs -> bs
+      | None ->
+          (match node with Some nd -> Metrics.add_bridge nd | None -> ());
+          (* The row interpreter does its own fault/budget/metrics
+             accounting for the whole subtree. *)
+          let rows = Ex.run v.ctx Ex.empty_lookup o in
+          Batch.chunks ~size:v.batch_size (Batch.of_rows_lazy schema rows)
+    in
+    match remaining with
+    | [] ->
+        state := Some [];
+        None
+    | b :: rest ->
+        state := Some rest;
+        Some b
+
+(* ------------------------------------------------------------------ *)
+(* Operator compilation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Drain a source into one dense batch (blocking operators). *)
+let drain (schema : Col.t list) (src : source) : Batch.t =
+  let rec go acc = match src () with None -> List.rev acc | Some b -> go (b :: acc) in
+  Batch.concat schema (go [])
+
+(* Emit a precomputed result chunk by chunk. *)
+let emit (make : unit -> Batch.t list) : source =
+  let state = ref None in
+  fun () ->
+    let remaining = match !state with Some bs -> bs | None -> make () in
+    match remaining with
+    | [] ->
+        state := Some [];
+        None
+    | b :: rest ->
+        state := Some rest;
+        Some b
+
+let key_gather (b : Batch.t) (pos : (int, int) Hashtbl.t) (keys : Col.t list) :
+    Value.t array list =
+  List.map
+    (fun (c : Col.t) ->
+      match Hashtbl.find_opt pos c.Col.id with
+      | Some i -> Batch.gather b i
+      | None -> runtime_error "grouping column missing: %s" c.Col.name)
+    keys
+
+(* Aggregate input columns, pre-evaluated once per mega-batch. *)
+let agg_inputs (b : Batch.t) (pos : (int, int) Hashtbl.t) (aggs : agg list) :
+    Value.t array option list =
+  List.map
+    (fun (a : agg) -> Option.map (eval_cols b pos) (agg_input_expr a.fn))
+    aggs
+
+(* Hash table keyed on a single value — the dominant single-column
+   grouping/join-key case skips the per-row key-list allocation of the
+   row engine's [VTbl]. *)
+module VTbl1 = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+(* Int view of a key column, the columnar engine's main edge over the
+   row interpreter: when every live value is [Int] the keys drop into a
+   flat [int array] and hashing needs no boxed values at all.
+   [min_int] is the table sentinel, so columns containing it (or any
+   non-int value) fall back to the generic value-keyed path; NULLs are
+   admitted only when the caller treats the sentinel as "no key" (join
+   keys, where NULL never matches). *)
+let int_sentinel = min_int
+
+let int_key_view ~nulls_ok (col : Value.t array) : int array option =
+  let n = Array.length col in
+  let out = Array.make n 0 in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    (match col.(!i) with
+    | Value.Int k when k <> int_sentinel -> out.(!i) <- k
+    | Value.Null when nulls_ok -> out.(!i) <- int_sentinel
+    | _ -> ok := false);
+    incr i
+  done;
+  if !ok then Some out else None
+
+(* Open-addressing int -> int map (linear probing, power-of-two
+   capacity, [min_int] = empty).  Sized at twice the maximum insert
+   count, so probes always terminate. *)
+module IntTbl = struct
+  type t = { keys : int array; vals : int array; mask : int }
+
+  let create (n : int) : t =
+    let cap = ref 64 in
+    while !cap < 2 * (n + 1) do
+      cap := !cap * 2
+    done;
+    { keys = Array.make !cap min_int; vals = Array.make !cap 0; mask = !cap - 1 }
+
+  (* index of [k]'s slot: either holds [k] or is empty *)
+  let slot (t : t) (k : int) : int =
+    let h = k * 0x9E3779B1 land max_int in
+    let i = ref (h land t.mask) in
+    while t.keys.(!i) <> min_int && t.keys.(!i) <> k do
+      i := (!i + 1) land t.mask
+    done;
+    !i
+end
+
+(* ------------------------------------------------------------------ *)
+(* Grouped aggregation: group-index arrays + typed kernels            *)
+(* ------------------------------------------------------------------ *)
+
+(* Map every row slot to a dense group index (first-appearance order).
+   Returns [(gidx, ngroups, out_key_cols)] where [out_key_cols] holds
+   one column of length [ngroups] per grouping key. *)
+let group_indices (key_cols : Value.t array list) (n : int) :
+    int array * int * Value.t array list =
+  let gidx = Array.make n 0 in
+  match key_cols with
+  | [ kc ] ->
+      let keys_out = ref (Array.make 64 Value.Null) in
+      let ng = ref 0 in
+      let push_key k =
+        if !ng >= Array.length !keys_out then begin
+          let a = Array.make (2 * !ng) Value.Null in
+          Array.blit !keys_out 0 a 0 !ng;
+          keys_out := a
+        end;
+        !keys_out.(!ng) <- k;
+        incr ng
+      in
+      (match int_key_view ~nulls_ok:false kc with
+      | Some ik ->
+          (* pure-int keys: flat-array hashing *)
+          let t = IntTbl.create n in
+          for s = 0 to n - 1 do
+            let i = IntTbl.slot t ik.(s) in
+            if t.IntTbl.keys.(i) = min_int then begin
+              t.IntTbl.keys.(i) <- ik.(s);
+              t.IntTbl.vals.(i) <- !ng;
+              push_key kc.(s)
+            end;
+            gidx.(s) <- t.IntTbl.vals.(i)
+          done
+      | None ->
+          (* single-column key: hash the value directly, no key lists *)
+          let groups = VTbl1.create 256 in
+          for s = 0 to n - 1 do
+            let g =
+              match VTbl1.find_opt groups kc.(s) with
+              | Some g -> g
+              | None ->
+                  let g = !ng in
+                  VTbl1.add groups kc.(s) g;
+                  push_key kc.(s);
+                  g
+            in
+            gidx.(s) <- g
+          done);
+      (gidx, !ng, [ Array.sub !keys_out 0 !ng ])
+  | key_cols ->
+      let groups = Ex.VTbl.create 256 in
+      let order = ref [] in
+      let ng = ref 0 in
+      for s = 0 to n - 1 do
+        let k = List.map (fun kc -> kc.(s)) key_cols in
+        let g =
+          match Ex.VTbl.find_opt groups k with
+          | Some g -> g
+          | None ->
+              let g = !ng in
+              Ex.VTbl.add groups k g;
+              order := k :: !order;
+              incr ng;
+              g
+        in
+        gidx.(s) <- g
+      done;
+      let keys_arr = Array.of_list (List.rev !order) in
+      let out =
+        List.mapi
+          (fun ki _ -> Array.init !ng (fun g -> List.nth keys_arr.(g) ki))
+          key_cols
+      in
+      (gidx, !ng, out)
+
+(* Kernel dispatch: a numeric column whose live values are all Float
+   (or all Int) aggregates over unboxed accumulators; anything mixed or
+   non-numeric falls back to the row engine's accumulators. *)
+type col_class = AllFloat | AllInt | Mixed
+
+let classify_col (col : Value.t array) : col_class =
+  let n = Array.length col in
+  let rec go i f iv =
+    if i >= n then if f && iv then Mixed else if iv then AllInt else AllFloat
+    else
+      match col.(i) with
+      | Value.Float _ -> if iv then Mixed else go (i + 1) true iv
+      | Value.Int _ -> if f then Mixed else go (i + 1) f true
+      | Value.Null -> go (i + 1) f iv
+      | _ -> Mixed
+  in
+  go 0 false false
+
+(* One aggregate over all groups.  Every kernel reproduces the row
+   accumulator's exact fold: same accumulation order (row order), same
+   first-value seeding, and final Avg division through [Value.arith],
+   so results are bit-identical to the row engine. *)
+let agg_grouped (fn : agg_fn) (input : Value.t array option) (gidx : int array)
+    (ng : int) (n : int) : Value.t array =
+  match input with
+  | None ->
+      (* count-star: rows per group *)
+      let counts = Array.make ng 0 in
+      for s = 0 to n - 1 do
+        counts.(gidx.(s)) <- counts.(gidx.(s)) + 1
+      done;
+      Array.map (fun c -> Value.Int c) counts
+  | Some col -> (
+      let generic () =
+        let accs = Array.init ng (fun _ -> Ex.fresh_acc ()) in
+        for s = 0 to n - 1 do
+          Ex.acc_add accs.(gidx.(s)) col.(s)
+        done;
+        Array.map (Ex.acc_result fn) accs
+      in
+      match fn with
+      | CountStar | Count _ ->
+          let counts = Array.make ng 0 in
+          for s = 0 to n - 1 do
+            if not (Value.is_null col.(s)) then
+              counts.(gidx.(s)) <- counts.(gidx.(s)) + 1
+          done;
+          Array.map (fun c -> Value.Int c) counts
+      | Sum _ | Avg _ -> (
+          match classify_col col with
+          | AllFloat ->
+              let sums = Array.make ng 0.0 and counts = Array.make ng 0 in
+              for s = 0 to n - 1 do
+                match col.(s) with
+                | Value.Float f ->
+                    let g = gidx.(s) in
+                    (* seed with the first value so -0.0 survives *)
+                    sums.(g) <- (if counts.(g) = 0 then f else sums.(g) +. f);
+                    counts.(g) <- counts.(g) + 1
+                | _ -> ()
+              done;
+              Array.init ng (fun g ->
+                  if counts.(g) = 0 then Value.Null
+                  else
+                    match fn with
+                    | Sum _ -> Value.Float sums.(g)
+                    | _ -> Value.arith `Div (Value.Float sums.(g)) (Value.Int counts.(g)))
+          | AllInt ->
+              let sums = Array.make ng 0 and counts = Array.make ng 0 in
+              for s = 0 to n - 1 do
+                match col.(s) with
+                | Value.Int k ->
+                    let g = gidx.(s) in
+                    sums.(g) <- sums.(g) + k;
+                    counts.(g) <- counts.(g) + 1
+                | _ -> ()
+              done;
+              Array.init ng (fun g ->
+                  if counts.(g) = 0 then Value.Null
+                  else
+                    match fn with
+                    | Sum _ -> Value.Int sums.(g)
+                    | _ -> Value.arith `Div (Value.Int sums.(g)) (Value.Int counts.(g)))
+          | Mixed -> generic ())
+      | Min _ | Max _ -> (
+          let want_min = match fn with Min _ -> true | _ -> false in
+          match classify_col col with
+          | AllFloat ->
+              let best = Array.make ng 0.0 and seen = Array.make ng false in
+              for s = 0 to n - 1 do
+                match col.(s) with
+                | Value.Float f ->
+                    let g = gidx.(s) in
+                    if not seen.(g) then begin
+                      best.(g) <- f;
+                      seen.(g) <- true
+                    end
+                    else begin
+                      let c = Stdlib.compare f best.(g) in
+                      if (want_min && c < 0) || ((not want_min) && c > 0) then
+                        best.(g) <- f
+                    end
+                | _ -> ()
+              done;
+              Array.init ng (fun g ->
+                  if seen.(g) then Value.Float best.(g) else Value.Null)
+          | AllInt ->
+              let best = Array.make ng 0 and seen = Array.make ng false in
+              for s = 0 to n - 1 do
+                match col.(s) with
+                | Value.Int k ->
+                    let g = gidx.(s) in
+                    if not seen.(g) then begin
+                      best.(g) <- k;
+                      seen.(g) <- true
+                    end
+                    else if (want_min && k < best.(g)) || ((not want_min) && k > best.(g))
+                    then best.(g) <- k
+                | _ -> ()
+              done;
+              Array.init ng (fun g ->
+                  if seen.(g) then Value.Int best.(g) else Value.Null)
+          | Mixed -> generic ()))
+
+let rec compile (v : vctx) (o : op) : source =
+  if not (node_supported o) then bridge v o
+  else begin
+    let node = metrics_node v o in
+    let src =
+      match o with
+      | TableScan { table; cols } -> compile_scan v table cols
+      | ConstTable { cols; rows } ->
+          emit (fun () -> Batch.chunks ~size:v.batch_size (Batch.of_rows cols rows))
+      | Select (p, i) -> compile_select v node p i
+      | Project (projs, i) -> compile_project v node projs i
+      | Join { kind; pred; left; right } -> compile_join v node kind pred left right
+      | GroupBy { keys; aggs; input } | LocalGroupBy { keys; aggs; input } ->
+          compile_group_by v node keys aggs input
+      | ScalarAgg { aggs; input } -> compile_scalar_agg v node aggs input
+      | UnionAll (l, r) -> compile_union v node (Op.schema o) l r
+      | Except (l, r) -> compile_except v node l r
+      | Apply _ | SegmentApply _ | SegmentHole _ | Max1row _ | Rownum _ ->
+          assert false (* node_supported routed these to the bridge *)
+    in
+    instrument v o node src
+  end
+
+(* Scan: batches alias the table's columnar cache; only the selection
+   vector is fresh per batch. *)
+and compile_scan (v : vctx) (table : string) (cols : Col.t list) : source =
+  let tb = Storage.Database.table v.ctx.Ex.db table in
+  (* one shared lazy wrapper per execution, so chunked scan batches
+     alias the same column array and re-concatenate without copying *)
+  let tcols = Array.map Lazy.from_val (Storage.Table.columns tb) in
+  let n = Storage.Table.row_count tb in
+  let pos = ref 0 in
+  fun () ->
+    if !pos >= n then None
+    else begin
+      let start = !pos in
+      let stop = min n (start + v.batch_size) in
+      pos := stop;
+      Some
+        { Batch.schema = cols;
+          cols = tcols;
+          sel = Array.init (stop - start) (fun i -> start + i)
+        }
+    end
+
+(* Filter: evaluate the predicate column-wise, keep the TRUE slots by
+   compacting the selection vector; columns are untouched. *)
+and compile_select (v : vctx) node (p : expr) (i : op) : source =
+  let child = consuming node (compile v i) in
+  let pos = positions (Op.schema i) in
+  fun () ->
+    match child () with
+    | None -> None
+    | Some b ->
+        let flags = eval_flags b pos p in
+        let n = Batch.length b in
+        let keep = Array.make n 0 in
+        let k = ref 0 in
+        for s = 0 to n - 1 do
+          if flags.(s) then begin
+            keep.(!k) <- b.Batch.sel.(s);
+            incr k
+          end
+        done;
+        Some { b with Batch.sel = Array.sub keep 0 !k }
+
+and compile_project (v : vctx) node (projs : proj list) (i : op) : source =
+  let child = consuming node (compile v i) in
+  let pos = positions (Op.schema i) in
+  let schema = List.map (fun (p : proj) -> p.out) projs in
+  let pure_refs =
+    List.for_all (fun (p : proj) -> match p.expr with ColRef _ -> true | _ -> false) projs
+  in
+  if pure_refs then
+    (* rename-only projection: alias the input's physical columns under
+       the output schema and keep its selection vector — zero copying *)
+    fun () ->
+      match child () with
+      | None -> None
+      | Some b ->
+          let cols =
+            Array.of_list
+              (List.map
+                 (fun (p : proj) ->
+                   match p.expr with
+                   | ColRef c -> (
+                       match Hashtbl.find_opt pos c.Col.id with
+                       | Some i -> b.Batch.cols.(i)
+                       | None ->
+                           runtime_error "unbound column in projection: %s#%d"
+                             c.Col.name c.Col.id)
+                   | _ -> assert false)
+                 projs)
+          in
+          Some { Batch.schema; cols; sel = b.Batch.sel }
+  else
+    fun () ->
+      match child () with
+      | None -> None
+      | Some b ->
+          (* eager: computed projections evaluate now, like the row
+             engine, so runtime errors surface at the same point *)
+          let cols =
+            Array.of_list
+              (List.map
+                 (fun (p : proj) -> Lazy.from_val (eval_cols b pos p.expr))
+                 projs)
+          in
+          Some { Batch.schema; cols; sel = Batch.iota (Batch.length b) }
+
+(* Hash join.  Both inputs are drained into dense batches; keys are
+   evaluated column-wise; matching (left, right) slot pairs are
+   collected into int vectors, the residual predicate filters the
+   gathered pair batch, and the output is emitted per join kind.  NULL
+   keys never match, exactly as in the row engine. *)
+and compile_join (v : vctx) node (kind : join_kind) (pred : expr) (left : op) (right : op)
+    : source =
+  let lsrc = consuming node (compile v left) in
+  let rsrc = consuming node (compile v right) in
+  let lschema = Op.schema left and rschema = Op.schema right in
+  emit (fun () ->
+      let lb = drain lschema lsrc and rb = drain rschema rsrc in
+      let lpos = positions lschema and rpos = positions rschema in
+      let equi, residual =
+        Ex.split_equi_conjuncts pred (Col.Set.of_list lschema) (Col.Set.of_list rschema)
+      in
+      let nr = Batch.length rb and nl = Batch.length lb in
+      let built = ref 0 in
+      let pls = Ints.create () and prs = Ints.create () in
+      (match equi with
+      | [ (ae, be) ] -> (
+          let rkey = eval_cols rb rpos be in
+          let lkey = eval_cols lb lpos ae in
+          match
+            (int_key_view ~nulls_ok:true rkey, int_key_view ~nulls_ok:true lkey)
+          with
+          | Some rk, Some lk ->
+              (* both key columns are pure ints: flat-array hash join
+                 with build-side duplicate chains in [next] *)
+              let t = IntTbl.create nr in
+              let next = Array.make (max 1 nr) (-1) in
+              for s = 0 to nr - 1 do
+                let k = rk.(s) in
+                if k <> int_sentinel then begin
+                  incr built;
+                  let i = IntTbl.slot t k in
+                  if t.IntTbl.keys.(i) = min_int then begin
+                    t.IntTbl.keys.(i) <- k;
+                    t.IntTbl.vals.(i) <- s
+                  end
+                  else begin
+                    next.(s) <- t.IntTbl.vals.(i);
+                    t.IntTbl.vals.(i) <- s
+                  end
+                end
+              done;
+              for s = 0 to nl - 1 do
+                let k = lk.(s) in
+                if k <> int_sentinel then begin
+                  let i = IntTbl.slot t k in
+                  if t.IntTbl.keys.(i) = k then begin
+                    let rs = ref t.IntTbl.vals.(i) in
+                    while !rs >= 0 do
+                      Ints.push pls s;
+                      Ints.push prs !rs;
+                      rs := next.(!rs)
+                    done
+                  end
+                end
+              done
+          | _ ->
+              (* single-column key: hash the value directly, no key lists *)
+              let build = VTbl1.create (max 16 (2 * nr)) in
+              for s = 0 to nr - 1 do
+                let k = rkey.(s) in
+                if not (Value.is_null k) then begin
+                  incr built;
+                  VTbl1.replace build k
+                    (s :: (try VTbl1.find build k with Not_found -> []))
+                end
+              done;
+              for s = 0 to nl - 1 do
+                let k = lkey.(s) in
+                if not (Value.is_null k) then
+                  match VTbl1.find_opt build k with
+                  | None -> ()
+                  | Some cands ->
+                      List.iter (fun rs -> Ints.push pls s; Ints.push prs rs) cands
+              done)
+      | _ ->
+          (* build side: right *)
+          let rkeys = List.map (fun (_, be) -> eval_cols rb rpos be) equi in
+          let build = Ex.VTbl.create (max 16 (2 * nr)) in
+          for s = 0 to nr - 1 do
+            let key = List.map (fun kc -> kc.(s)) rkeys in
+            if not (List.exists Value.is_null key) then begin
+              incr built;
+              Ex.VTbl.replace build key
+                (s :: (try Ex.VTbl.find build key with Not_found -> []))
+            end
+          done;
+          (* probe side: left *)
+          let lkeys = List.map (fun (ae, _) -> eval_cols lb lpos ae) equi in
+          for s = 0 to nl - 1 do
+            let key = List.map (fun kc -> kc.(s)) lkeys in
+            if not (List.exists Value.is_null key) then
+              match Ex.VTbl.find_opt build key with
+              | None -> ()
+              | Some cands ->
+                  List.iter (fun rs -> Ints.push pls s; Ints.push prs rs) cands
+          done);
+      (match node with Some nd -> Metrics.add_hash_build nd !built | None -> ());
+      let pls = Ints.to_array pls and prs = Ints.to_array prs in
+      let combined_of pls prs =
+        let lpart = Batch.take lb pls and rpart = Batch.take rb prs in
+        { Batch.schema = lschema @ rschema;
+          cols = Array.append lpart.Batch.cols rpart.Batch.cols;
+          sel = Batch.iota (Array.length pls)
+        }
+      in
+      (* residual predicate over the surviving pairs *)
+      let pls, prs =
+        match residual with
+        | [] -> (pls, prs)
+        | _ ->
+            let combined = combined_of pls prs in
+            let cpos = positions (lschema @ rschema) in
+            let flags = eval_flags combined cpos (conj_list residual) in
+            let keep = Ints.create () in
+            Array.iteri (fun s f -> if f then Ints.push keep s) flags;
+            let keep = Ints.to_array keep in
+            ( Array.map (fun s -> pls.(s)) keep,
+              Array.map (fun s -> prs.(s)) keep )
+      in
+      let result =
+        match kind with
+        | Inner -> combined_of pls prs
+        | Semi | Anti ->
+            let matched = Array.make nl false in
+            Array.iter (fun s -> matched.(s) <- true) pls;
+            let want = kind = Semi in
+            let keep = Ints.create () in
+            for s = 0 to nl - 1 do
+              if matched.(s) = want then Ints.push keep s
+            done;
+            Batch.take lb (Ints.to_array keep)
+        | LeftOuter ->
+            let matched = Array.make nl false in
+            Array.iter (fun s -> matched.(s) <- true) pls;
+            let unmatched = Ints.create () in
+            for s = 0 to nl - 1 do
+              if not matched.(s) then Ints.push unmatched s
+            done;
+            let unmatched = Ints.to_array unmatched in
+            let inner = combined_of pls prs in
+            let lpart = Batch.take lb unmatched in
+            let nulls =
+              Array.map
+                (fun (_ : Col.t) ->
+                  lazy (Array.make (Array.length unmatched) Value.Null))
+                (Array.of_list rschema)
+            in
+            let padded =
+              { Batch.schema = lschema @ rschema;
+                cols = Array.append lpart.Batch.cols nulls;
+                sel = Batch.iota (Array.length unmatched)
+              }
+            in
+            Batch.concat (lschema @ rschema) [ inner; padded ]
+      in
+      Batch.chunks ~size:v.batch_size result)
+
+and compile_group_by (v : vctx) node (keys : Col.t list) (aggs : agg list) (input : op) :
+    source =
+  let child = consuming node (compile v input) in
+  let ischema = Op.schema input in
+  emit (fun () ->
+      let mb = drain ischema child in
+      let pos = positions ischema in
+      let n = Batch.length mb in
+      let gidx, ng, key_out = group_indices (key_gather mb pos keys) n in
+      (match node with Some nd -> Metrics.add_hash_build nd ng | None -> ());
+      let inputs = agg_inputs mb pos aggs in
+      let agg_out =
+        List.map2
+          (fun (a : agg) input -> agg_grouped a.fn input gidx ng n)
+          aggs inputs
+      in
+      let schema = keys @ List.map (fun (a : agg) -> a.out) aggs in
+      Batch.chunks ~size:v.batch_size
+        { Batch.schema;
+          cols = Array.of_list (List.map Lazy.from_val (key_out @ agg_out));
+          sel = Batch.iota ng
+        })
+
+and compile_scalar_agg (v : vctx) node (aggs : agg list) (input : op) : source =
+  let child = consuming node (compile v input) in
+  let ischema = Op.schema input in
+  emit (fun () ->
+      let mb = drain ischema child in
+      let pos = positions ischema in
+      let n = Batch.length mb in
+      let schema = List.map (fun (a : agg) -> a.out) aggs in
+      let row =
+        if n = 0 then Array.of_list (List.map (fun (a : agg) -> agg_on_empty a.fn) aggs)
+        else begin
+          (* one group spanning every row: reuse the grouped kernels *)
+          let gidx = Array.make n 0 in
+          let inputs = agg_inputs mb pos aggs in
+          Array.of_list
+            (List.map2
+               (fun (a : agg) input -> (agg_grouped a.fn input gidx 1 n).(0))
+               aggs inputs)
+        end
+      in
+      [ Batch.of_rows schema [ row ] ])
+
+(* UNION ALL streams: all left batches, then all right batches,
+   relabelled to the union's output schema. *)
+and compile_union (v : vctx) node (schema : Col.t list) (l : op) (r : op) : source =
+  let ls = consuming node (compile v l) in
+  let rs = consuming node (compile v r) in
+  let on_right = ref false in
+  let rec pull () =
+    if !on_right then
+      match rs () with None -> None | Some b -> Some { b with Batch.schema }
+    else
+      match ls () with
+      | Some b -> Some { b with Batch.schema }
+      | None ->
+          on_right := true;
+          pull ()
+  in
+  pull
+
+(* Bag difference: drain the right side into occurrence counts, then
+   stream left batches, dropping one occurrence per counted row. *)
+and compile_except (v : vctx) node (l : op) (r : op) : source =
+  let ls = consuming node (compile v l) in
+  let rs = consuming node (compile v r) in
+  let counts = lazy (
+    let counts = Ex.VTbl.create 64 in
+    let rec go () =
+      match rs () with
+      | None -> ()
+      | Some b ->
+          for s = 0 to Batch.length b - 1 do
+            let k = Batch.row_list b s in
+            Ex.VTbl.replace counts k (1 + try Ex.VTbl.find counts k with Not_found -> 0)
+          done;
+          go ()
+    in
+    go ();
+    counts)
+  in
+  fun () ->
+    let counts = Lazy.force counts in
+    match ls () with
+    | None -> None
+    | Some b ->
+        let n = Batch.length b in
+        let keep = Array.make n 0 in
+        let k = ref 0 in
+        for s = 0 to n - 1 do
+          let key = Batch.row_list b s in
+          match Ex.VTbl.find_opt counts key with
+          | Some c when c > 0 -> Ex.VTbl.replace counts key (c - 1)
+          | _ ->
+              keep.(!k) <- b.Batch.sel.(s);
+              incr k
+        done;
+        Some { b with Batch.sel = Array.sub keep 0 !k }
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let default_batch_size = 1024
+
+let run ?(batch_size = default_batch_size) (ctx : Ex.ctx) (o : op) : Ex.row list =
+  let v = { ctx; batch_size = max 1 batch_size } in
+  let src = compile v o in
+  let rec go acc =
+    match src () with None -> List.concat (List.rev acc) | Some b -> go (Batch.to_rows b :: acc)
+  in
+  go []
+
+(* Fraction of plan nodes the vectorized engine runs natively (the
+   rest cross the bridge); EXPLAIN-side diagnostics and tests. *)
+let coverage (o : op) : int * int =
+  let native = ref 0 and bridged = ref 0 in
+  let rec go o =
+    if node_supported o then begin
+      incr native;
+      List.iter go (Op.children o)
+    end
+    else bridged := !bridged + 1
+  in
+  go o;
+  (!native, !bridged)

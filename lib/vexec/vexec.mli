@@ -1,0 +1,38 @@
+(** Batch-at-a-time columnar executor over optimized plans.
+
+    Operators pull {!Batch.t} values (full columns plus a selection
+    vector) through compiled pipelines; scalar expressions evaluate
+    column-wise with the row interpreter's exact semantics.  Subtrees
+    the engine does not vectorize (Apply, SegmentApply, Max1row,
+    Rownum, non-equi joins, subquery-bearing expressions) are executed
+    by the row interpreter and bridged back into batches, so every
+    plan runs in either mode with bag-identical results — the row
+    engine remains the semantic oracle.
+
+    Budget accounting and fault injection tick per batch per operator;
+    metrics record batches produced and bridge crossings alongside the
+    row-mode counters, so EXPLAIN ANALYZE covers both modes. *)
+
+module Batch = Batch
+
+open Relalg.Algebra
+
+(** Dense slot-indexed column-wise evaluation of an expression over a
+    batch, given a schema position table (column id -> column index). *)
+val eval_cols :
+  Batch.t -> (int, int) Hashtbl.t -> expr -> Relalg.Value.t array
+
+(** [true] when the expression contains no relational children. *)
+val vectorizable_expr : expr -> bool
+
+(** Node-local coverage: can this operator itself run vectorized? *)
+val node_supported : op -> bool
+
+(** (native nodes, bridged subtrees) for a plan. *)
+val coverage : op -> int * int
+
+val default_batch_size : int
+
+(** Execute a plan, returning rows positionally per [Op.schema] —
+    interchangeable with [Exec.Executor.run ctx empty_lookup]. *)
+val run : ?batch_size:int -> Exec.Executor.ctx -> op -> Exec.Executor.row list

@@ -14,6 +14,7 @@ let () =
       ("engine", Test_engine.suite);
       ("datagen", Test_datagen.suite);
       ("resilience", Test_resilience.suite);
+      ("vexec", Test_vexec.suite);
       ("metrics", Test_metrics.suite);
       ("property", Test_property.suite);
       ("property-analysis", Test_property_analysis.suite);

@@ -1,0 +1,230 @@
+(* Vectorized-executor edge cases.  Every check runs the same plan on
+   the row interpreter (the semantic oracle) and on the columnar
+   engine and compares result bags: batch boundaries (size 1, counts
+   that are exact multiples of the batch size), empty inputs, all-NULL
+   aggregate columns, selection vectors that empty mid-pipeline, and
+   the kernel fallbacks (mixed-type columns, multi-key grouping).
+   Plan-level workload coverage lives in test/vexec_main.ml. *)
+
+open Relalg
+open Relalg.Algebra
+
+let vec ?batch_size db o = Vexec.run ?batch_size (Exec.Executor.make_ctx db) o
+
+let check_modes ?batch_size msg db o =
+  Alcotest.(check (list string))
+    msg
+    (Support.bag (Support.run_op db o))
+    (Support.bag (vec ?batch_size db o))
+
+(* emp scan with fresh per-occurrence columns, as the binder would make *)
+let emp_scan () =
+  let eid = Col.fresh "eid" Value.TInt in
+  let name = Col.fresh "name" Value.TStr in
+  let dept = Col.fresh "dept" Value.TInt in
+  let salary = Col.fresh "salary" Value.TFloat in
+  (TableScan { table = "emp"; cols = [ eid; name; dept; salary ] }, eid, name, dept, salary)
+
+let bag_scan () =
+  let x = Col.fresh "x" Value.TInt in
+  let y = Col.fresh "y" Value.TInt in
+  (TableScan { table = "bag"; cols = [ x; y ] }, x, y)
+
+(* filter + grouped count over emp: enough pipeline to cross batch
+   boundaries in every operator *)
+let emp_pipeline () =
+  let scan, _, _, dept, salary = emp_scan () in
+  let cnt = { fn = CountStar; out = Col.fresh "cnt" Value.TInt } in
+  let total = { fn = Sum (ColRef salary); out = Col.fresh "total" Value.TFloat } in
+  GroupBy
+    { keys = [ dept ];
+      aggs = [ cnt; total ];
+      input = Select (Cmp (Gt, ColRef salary, Const (Value.Float 150.)), scan)
+    }
+
+let test_batch_boundaries () =
+  let db = Support.toy_db () in
+  (* emp has 4 rows: size 1 (one row per batch), 2 and 4 (exact
+     multiples — the last batch is exactly full), 3 (ragged tail),
+     1024 (everything in one batch) *)
+  List.iter
+    (fun bs ->
+      check_modes ~batch_size:bs (Printf.sprintf "pipeline at batch size %d" bs) db
+        (emp_pipeline ()))
+    [ 1; 2; 3; 4; 1024 ]
+
+let test_join_across_batches () =
+  let db = Support.toy_db () in
+  let scan, _, name, dept, _ = emp_scan () in
+  let did = Col.fresh "did" Value.TInt in
+  let dname = Col.fresh "dname" Value.TStr in
+  let dscan = TableScan { table = "dept"; cols = [ did; dname ] } in
+  let join kind =
+    Project
+      ( [ { expr = ColRef name; out = Col.clone name };
+          { expr = ColRef dname; out = Col.clone dname }
+        ],
+        Join { kind; pred = Cmp (Eq, ColRef dept, ColRef did); left = scan; right = dscan }
+      )
+  in
+  List.iter
+    (fun bs ->
+      check_modes ~batch_size:bs "inner join" db (join Inner);
+      check_modes ~batch_size:bs "left outer join" db (join LeftOuter))
+    [ 1; 2; 1024 ]
+
+let test_empty_table () =
+  let db = Support.toy_db () in
+  Storage.Table.load (Storage.Database.table db "bag") [];
+  let scan, x, _ = bag_scan () in
+  (* grouped aggregation over no rows: no groups *)
+  check_modes "groupby over empty table" db
+    (GroupBy
+       { keys = [ x ];
+         aggs = [ { fn = CountStar; out = Col.fresh "cnt" Value.TInt } ];
+         input = scan
+       });
+  (* scalar aggregation over no rows: exactly one row (count 0, sum NULL) *)
+  let scan2, x2, _ = bag_scan () in
+  check_modes "scalar agg over empty table" db
+    (ScalarAgg
+       { aggs =
+           [ { fn = CountStar; out = Col.fresh "cnt" Value.TInt };
+             { fn = Sum (ColRef x2); out = Col.fresh "s" Value.TInt }
+           ];
+         input = scan2
+       })
+
+let test_all_null_aggregates () =
+  let db = Support.toy_db () in
+  let x = Col.fresh "x" Value.TInt in
+  let k = Col.fresh "k" Value.TInt in
+  let tbl =
+    ConstTable
+      { cols = [ k; x ];
+        rows =
+          [ [| Value.Int 1; Value.Null |];
+            [| Value.Int 1; Value.Null |];
+            [| Value.Int 2; Value.Null |]
+          ]
+      }
+  in
+  let aggs () =
+    [ { fn = Count (ColRef x); out = Col.fresh "c" Value.TInt };
+      { fn = Sum (ColRef x); out = Col.fresh "s" Value.TInt };
+      { fn = Min (ColRef x); out = Col.fresh "mn" Value.TInt };
+      { fn = Max (ColRef x); out = Col.fresh "mx" Value.TInt };
+      { fn = Avg (ColRef x); out = Col.fresh "av" Value.TFloat }
+    ]
+  in
+  check_modes "scalar aggs over all-NULL column" db (ScalarAgg { aggs = aggs (); input = tbl });
+  check_modes ~batch_size:2 "grouped aggs over all-NULL column" db
+    (GroupBy { keys = [ k ]; aggs = aggs (); input = tbl })
+
+let test_selection_empties_midpipeline () =
+  let db = Support.toy_db () in
+  let scan, _, _, dept, salary = emp_scan () in
+  let dead = Select (Cmp (Lt, ColRef salary, Const (Value.Float 0.)), scan) in
+  let did = Col.fresh "did" Value.TInt in
+  let dname = Col.fresh "dname" Value.TStr in
+  let dscan = TableScan { table = "dept"; cols = [ did; dname ] } in
+  (* the probe side goes empty after the filter; join and aggregation
+     above must still produce the oracle's answer at every batch size *)
+  let o =
+    GroupBy
+      { keys = [ dname ];
+        aggs = [ { fn = CountStar; out = Col.fresh "cnt" Value.TInt } ];
+        input =
+          Join
+            { kind = Inner; pred = Cmp (Eq, ColRef dept, ColRef did); left = dead; right = dscan }
+      }
+  in
+  List.iter (fun bs -> check_modes ~batch_size:bs "join+agg over emptied input" db o) [ 1; 2; 1024 ];
+  (* scalar agg over the emptied input still emits its one row *)
+  let scan2, _, _, _, salary2 = emp_scan () in
+  check_modes "scalar agg over emptied input" db
+    (ScalarAgg
+       { aggs = [ { fn = Sum (ColRef salary2); out = Col.fresh "s" Value.TFloat } ];
+         input = Select (Const (Value.Bool false), scan2)
+       })
+
+let test_mixed_type_columns () =
+  let db = Support.toy_db () in
+  (* grouping key mixes Int/Float/Str/NULL (defeats the int fast path),
+     aggregate input mixes Int and Float (defeats the typed kernels) *)
+  let k = Col.fresh "k" Value.TInt in
+  let v = Col.fresh "v" Value.TFloat in
+  let tbl =
+    ConstTable
+      { cols = [ k; v ];
+        rows =
+          [ [| Value.Int 1; Value.Int 10 |];
+            [| Value.Float 1.5; Value.Float 0.5 |];
+            [| Value.Str "a"; Value.Int 3 |];
+            [| Value.Int 1; Value.Float 2.5 |];
+            [| Value.Null; Value.Null |];
+            [| Value.Null; Value.Int 7 |]
+          ]
+      }
+  in
+  check_modes ~batch_size:2 "mixed-type keys and agg inputs" db
+    (GroupBy
+       { keys = [ k ];
+         aggs =
+           [ { fn = Sum (ColRef v); out = Col.fresh "s" Value.TFloat };
+             { fn = Min (ColRef v); out = Col.fresh "mn" Value.TFloat };
+             { fn = Avg (ColRef v); out = Col.fresh "av" Value.TFloat }
+           ];
+         input = tbl
+       })
+
+let test_multi_key_groupby () =
+  let db = Support.toy_db () in
+  let scan, x, y = bag_scan () in
+  check_modes ~batch_size:2 "multi-key groupby" db
+    (GroupBy
+       { keys = [ x; y ];
+         aggs = [ { fn = CountStar; out = Col.fresh "cnt" Value.TInt } ];
+         input = scan
+       })
+
+let test_bag_operators () =
+  let db = Support.toy_db () in
+  let s1, _, _ = bag_scan () in
+  let s2, _, _ = bag_scan () in
+  let s3, x3, _ = bag_scan () in
+  check_modes ~batch_size:2 "union all keeps duplicates" db (UnionAll (s1, s2));
+  let ones = Select (Cmp (Eq, ColRef x3, Const (Value.Int 1)), s3) in
+  (* EXCEPT ALL: bag of 3 minus the two x=1 rows *)
+  let s4, _, _ = bag_scan () in
+  check_modes ~batch_size:1 "except all subtracts multiplicities" db (Except (s4, ones))
+
+(* Regression: NDV estimates must not survive a table reload.  The
+   stats cache is tagged with the table's mutation generation, so a
+   load (which bumps the generation) invalidates the cached count. *)
+let test_ndv_tracks_table_generation () =
+  let db = Support.toy_db () in
+  let stats = Optimizer.Stats.create db in
+  Alcotest.(check int) "ndv before reload" 2 (Optimizer.Stats.ndv stats "bag" "x");
+  Storage.Table.load
+    (Storage.Database.table db "bag")
+    [ [| Value.Int 1; Value.Int 1 |];
+      [| Value.Int 2; Value.Int 1 |];
+      [| Value.Int 3; Value.Int 1 |];
+      [| Value.Int 4; Value.Int 1 |]
+    ];
+  Alcotest.(check int) "ndv after reload" 4 (Optimizer.Stats.ndv stats "bag" "x");
+  Alcotest.(check int) "row count after reload" 4 (Optimizer.Stats.row_count stats "bag")
+
+let suite =
+  [ Alcotest.test_case "batch boundaries" `Quick test_batch_boundaries;
+    Alcotest.test_case "join across batches" `Quick test_join_across_batches;
+    Alcotest.test_case "empty table" `Quick test_empty_table;
+    Alcotest.test_case "all-NULL aggregates" `Quick test_all_null_aggregates;
+    Alcotest.test_case "selection empties mid-pipeline" `Quick
+      test_selection_empties_midpipeline;
+    Alcotest.test_case "mixed-type columns" `Quick test_mixed_type_columns;
+    Alcotest.test_case "multi-key groupby" `Quick test_multi_key_groupby;
+    Alcotest.test_case "bag operators" `Quick test_bag_operators;
+    Alcotest.test_case "ndv tracks table generation" `Quick test_ndv_tracks_table_generation
+  ]
