@@ -1,6 +1,6 @@
 # Convenience targets; `make verify` is the tier-1 gate.
 
-.PHONY: all verify test faults fuzz fuzz-smoke vexec-smoke bench bench-smoke prove-rules lint-smoke clean
+.PHONY: all verify test faults fuzz fuzz-smoke vexec-smoke bench bench-smoke bench-concurrent soak-smoke soak prove-rules lint-smoke clean
 
 all:
 	dune build
@@ -49,6 +49,23 @@ bench:
 # writes BENCH_5.json
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
+
+# concurrent service scaling at 1/2/4/8 worker domains over the
+# Apply-free workloads; writes BENCH_6.json (the >= 2x scaling
+# assertion fires only on hosts with >= 4 cores)
+bench-concurrent:
+	dune exec bench/main.exe -- --concurrent
+
+# chaos soak of the concurrent query service: 2000 requests, 4 worker
+# domains, injected faults, tight deadlines, forced overload and
+# worker-killing chaos hooks; every success differentially checked
+# against the single-threaded row oracle (see test/soak_main.ml)
+soak-smoke:
+	dune exec test/soak_main.exe -- 2000 4 1
+
+# the longer sweep: 10000 requests across 8 domains
+soak:
+	dune exec test/soak_main.exe -- 10000 8 1
 
 clean:
 	dune clean

@@ -17,6 +17,7 @@
      bench/main.exe e5 e6      -- selected experiments
      bench/main.exe --bechamel -- statistically robust timings (Bechamel)
      bench/main.exe --smoke    -- tiny-scale CI sweep (row + vector), writes BENCH_5.json
+     bench/main.exe --concurrent -- service scaling at 1/2/4/8 domains, writes BENCH_6.json
 *)
 
 let fmt = Printf.printf
@@ -389,6 +390,128 @@ let smoke ?(out = "BENCH_5.json") () =
   fmt "wrote %s (%d runs: %d workloads x %d configs x 2 exec modes, SF %.3f)\n" out
     (List.length entries) (List.length Workloads.all_named) (List.length configs) sf
 
+(* --- concurrent mode: BENCH_6.json ------------------------------------- *)
+
+(* CI artifact for the service layer: drive the concurrent query
+   service at 1/2/4/8 worker domains over the Apply-free workloads
+   (detected from the chosen plans: zero Apply invocations under the
+   full configuration) and record throughput and latency percentiles
+   per domain count.  Every reply is still differentially checked
+   against the single-threaded row oracle — a wrong bag aborts.
+
+   The scaling assertion (4-domain throughput >= 2x single-domain) only
+   fires when the host actually has >= 4 cores; on smaller hosts the
+   domain counts interleave on one core and the artifact records the
+   (physically expected) flat profile together with the core count. *)
+
+let concurrent ?(out = "BENCH_6.json") () =
+  let sf = 0.01 in
+  let db = database sf in
+  let eng = Engine.create db in
+  let bag rows =
+    List.sort compare
+      (List.map
+         (fun r -> String.concat "|" (Array.to_list (Array.map Relalg.Value.to_string r)))
+         rows)
+  in
+  (* Apply-free = the full configuration's chosen plan executes zero
+     Apply invocations (fully decorrelated); these are the workloads
+     whose parallel speedup the paper's techniques unlock *)
+  let apply_free =
+    List.filter_map
+      (fun (name, sql) ->
+        let p = Engine.prepare eng sql in
+        let e = Engine.execute ~mode:`Row eng p in
+        if e.Engine.apply_invocations = 0 then
+          Some (name, sql, bag e.Engine.result.rows)
+        else None)
+      Workloads.all_named
+  in
+  if apply_free = [] then begin
+    Printf.eprintf "no Apply-free workloads found\n%!";
+    exit 2
+  end;
+  let requests = 160 in
+  let cores = Domain.recommended_domain_count () in
+  let run_at domains =
+    let config =
+      { Service.default_config with domains; max_queue = requests + 8 }
+    in
+    let t = Service.create ~config db in
+    let reqs =
+      List.init requests (fun i ->
+          let name, sql, oracle = List.nth apply_free (i mod List.length apply_free) in
+          ( name,
+            oracle,
+            Service.request ~session:(Printf.sprintf "s%d" (i mod (2 * domains))) sql ))
+    in
+    let started = Unix.gettimeofday () in
+    let replies = Service.run_many t (List.map (fun (_, _, r) -> r) reqs) in
+    let elapsed = Unix.gettimeofday () -. started in
+    List.iter2
+      (fun (name, oracle, _) (r : Service.reply) ->
+        match r.Service.outcome with
+        | Ok e ->
+            if bag e.Engine.result.Exec.Executor.rows <> oracle then begin
+              Printf.eprintf "CONCURRENT DISAGREEMENT on %s at %d domains\n%!" name
+                domains;
+              exit 2
+            end
+        | Error err ->
+            Printf.eprintf "request failed on %s at %d domains: %s\n%!" name domains
+              (Service.error_to_string err);
+            exit 2)
+      reqs replies;
+    let s = Service.stats t in
+    Service.shutdown t;
+    let throughput = float_of_int requests /. elapsed in
+    fmt "  %d domain(s): %6.1f req/s  (%.2fs, %s)\n%!" domains throughput elapsed
+      (Service.Stats.percentiles_to_string s.Service.Stats.latency);
+    (domains, elapsed, throughput, s)
+  in
+  fmt "concurrent service bench: %d requests over %s (SF %.3f, %d cores)\n%!" requests
+    (String.concat ", " (List.map (fun (n, _, _) -> n) apply_free))
+    sf cores;
+  let runs = List.map run_at [ 1; 2; 4; 8 ] in
+  let speedup =
+    let rps d =
+      List.find_map (fun (d', _, r, _) -> if d' = d then Some r else None) runs
+    in
+    match (rps 1, rps 4) with
+    | Some r1, Some r4 when r1 > 0. -> r4 /. r1
+    | _ -> 0.
+  in
+  let json =
+    Printf.sprintf
+      "{\"sf\":%.3f,\"requests\":%d,\"cores\":%d,\"workloads\":[%s],\
+       \"speedup_4_vs_1\":%.2f,\"runs\":[\n%s\n]}\n"
+      sf requests cores
+      (String.concat ","
+         (List.map (fun (n, _, _) -> Exec.Metrics.json_string n) apply_free))
+      speedup
+      (String.concat ",\n"
+         (List.map
+            (fun (domains, elapsed, throughput, s) ->
+              Printf.sprintf
+                "  {\"domains\":%d,\"elapsed_s\":%.3f,\"throughput_rps\":%.1f,\
+                 \"latency\":%s,\"retried\":%d,\"degraded\":%d}"
+                domains elapsed throughput
+                (Service.Stats.percentiles_to_json s.Service.Stats.latency)
+                s.Service.Stats.retried s.Service.Stats.degraded)
+            runs))
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  fmt "wrote %s (speedup 4-vs-1: %.2fx on %d cores)\n" out speedup cores;
+  if cores >= 4 && speedup < 2.0 then begin
+    Printf.eprintf
+      "SCALING REGRESSION: 4-domain throughput only %.2fx single-domain (>= 2x \
+       required on %d cores)\n%!"
+      speedup cores;
+    exit 2
+  end
+
 (* --- Bechamel mode ----------------------------------------------------- *)
 
 let run_bechamel () =
@@ -439,6 +562,7 @@ let all_experiments =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--smoke" args then smoke ()
+  else if List.mem "--concurrent" args then concurrent ()
   else if List.mem "--bechamel" args then run_bechamel ()
   else begin
     let selected =

@@ -426,6 +426,93 @@ let repl_cmd =
     (Cmd.info "repl" ~doc:"Interactive SQL shell over the generated database.")
     Term.(const action $ sf_arg $ seed_arg $ level_arg)
 
+let serve_cmd =
+  let domains_arg =
+    let doc = "Worker domains in the service pool." in
+    Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Admission queue bound; submissions beyond it are shed." in
+    Arg.(value & opt int 128 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-request deadline in seconds, measured from admission." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
+  in
+  let sessions_arg =
+    let doc = "Spread requests round-robin over this many sessions." in
+    Arg.(value & opt int 4 & info [ "sessions" ] ~docv:"N" ~doc)
+  in
+  let max_cost_arg =
+    let doc = "Optimizer-cost capacity; planned requests beyond it are shed." in
+    Arg.(value & opt (some float) None & info [ "max-cost" ] ~docv:"COST" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the final service statistics as JSON." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let action sf seed config mode domains queue deadline sessions max_cost fault json =
+    Printf.eprintf "loading TPC-H at SF %.3f (seed %d)...\n%!" sf seed;
+    let db = Datagen.Tpch_gen.database ~seed ~sf () in
+    let serve () =
+        let service_config =
+          { Service.default_config with
+            domains;
+            max_queue = queue;
+            default_deadline_s = deadline;
+            max_inflight_cost = max_cost;
+            opt_config = config;
+            exec_mode = mode;
+            seed;
+          }
+        in
+        let t = Service.create ~config:service_config db in
+        (* one SQL statement per stdin line; all submitted before any
+           reply is awaited, so overload behavior is observable *)
+        let rec read acc i =
+          match input_line stdin with
+          | exception End_of_file -> List.rev acc
+          | line when String.trim line = "" || (String.trim line).[0] = '#' -> read acc i
+          | line ->
+              let session = Printf.sprintf "s%d" (i mod max 1 sessions) in
+              read ((i, Service.request ~session ?fault (String.trim line)) :: acc) (i + 1)
+        in
+        let reqs = read [] 0 in
+        let replies = Service.run_many t (List.map snd reqs) in
+        List.iter2
+          (fun (i, req) (r : Service.reply) ->
+            match r.Service.outcome with
+            | Ok e ->
+                Printf.printf "[%d %s] %d rows in %.3fs via %s%s%s\n" i req.Service.session
+                  (List.length e.Engine.result.Exec.Executor.rows)
+                  r.Service.total_s r.Service.served_by
+                  (if r.Service.degraded then " (degraded)" else "")
+                  (if r.Service.retries > 0 then
+                     Printf.sprintf " (%d retries)" r.Service.retries
+                   else "")
+            | Error err ->
+                Printf.printf "[%d %s] ERROR: %s\n" i req.Service.session
+                  (Service.error_to_string err))
+          reqs replies;
+        let s = Service.stats t in
+        Service.shutdown t;
+        print_newline ();
+        if json then print_endline (Service.Stats.to_json s)
+        else print_string (Service.Stats.render s)
+    in
+    serve ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run SQL statements from stdin (one per line) through the concurrent query \
+          service: a domain pool with bounded admission, per-request deadlines, \
+          retry with backoff, per-session circuit breaking and crash-only workers.  \
+          Prints each reply and the service statistics.")
+    Term.(
+      const action $ sf_arg $ seed_arg $ level_arg $ exec_mode_arg $ domains_arg
+      $ queue_arg $ deadline_arg $ sessions_arg $ max_cost_arg $ fault_arg $ json_arg)
+
 let () =
   let info =
     Cmd.info "subquery_opt"
@@ -433,4 +520,7 @@ let () =
         "A query processor reproducing 'Orthogonal Optimization of Subqueries and \
          Aggregation' (Galindo-Legaria & Joshi, SIGMOD 2001)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; explain_cmd; lint_cmd; repl_cmd; check_cmd; fuzz_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; explain_cmd; lint_cmd; repl_cmd; check_cmd; fuzz_cmd; serve_cmd ]))

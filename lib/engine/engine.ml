@@ -187,36 +187,38 @@ let query_checked ?config ?budget ?faults (t : t) (sql : string) :
    [fallback] and report which path served the result. *)
 type resilient = {
   execution : execution;
-  served_by : string;  (** config name that produced the result *)
+  served_by : string;  (** "config/engine" that produced the result *)
   degraded : bool;  (** true when the fallback path served *)
   primary_error : Errors.t option;  (** why the primary path failed *)
 }
 
 let query_resilient ?(config = Optimizer.Config.full)
-    ?(fallback = Optimizer.Config.correlated_only) ?budget ?faults (t : t) (sql : string) :
-    resilient =
-  let attempt config = execute ?budget ?faults t (prepare ~config t sql) in
-  match Errors.protect ~sql (fun () -> attempt config) with
+    ?(fallback = Optimizer.Config.correlated_only) ?budget ?faults ?(mode = `Row) (t : t)
+    (sql : string) : resilient =
+  let attempt config mode = execute ?budget ?faults ~mode t (prepare ~config t sql) in
+  match Errors.protect ~sql (fun () -> attempt config mode) with
   | Ok e ->
       { execution = e;
-        served_by = Optimizer.Config.name_of config;
+        served_by = Optimizer.Config.name_of config ^ "/" ^ exec_mode_name mode;
         degraded = false;
         primary_error = None;
       }
-  | Result.Error err when Errors.recoverable err && config <> fallback -> (
-      match Errors.protect ~sql (fun () -> attempt fallback) with
+  | Result.Error err
+    when Errors.recoverable err && (config <> fallback || mode <> `Row) -> (
+      (* the fallback is always the row engine: the semantic oracle *)
+      match Errors.protect ~sql (fun () -> attempt fallback `Row) with
       | Ok e ->
           { execution = e;
-            served_by = Optimizer.Config.name_of fallback;
+            served_by = Optimizer.Config.name_of fallback ^ "/" ^ exec_mode_name `Row;
             degraded = true;
             primary_error = Some err;
           }
       | Result.Error err2 -> raise (Errors.Error err2))
   | Result.Error err -> raise (Errors.Error err)
 
-let query_resilient_checked ?config ?fallback ?budget ?faults (t : t) (sql : string) :
-    (resilient, Errors.t) result =
-  Errors.protect ~sql (fun () -> query_resilient ?config ?fallback ?budget ?faults t sql)
+let query_resilient_checked ?config ?fallback ?budget ?faults ?mode (t : t) (sql : string)
+    : (resilient, Errors.t) result =
+  Errors.protect ~sql (fun () -> query_resilient ?config ?fallback ?budget ?faults ?mode t sql)
 
 (* ------------------------------------------------------------------ *)
 (* Differential checking: candidate plan vs the correlated oracle.    *)

@@ -126,18 +126,22 @@ val query_checked :
 
 type resilient = {
   execution : execution;
-  served_by : string;  (** config name that produced the result *)
+  served_by : string;  (** "config/engine" that produced the result *)
   degraded : bool;  (** true when the fallback path served *)
   primary_error : Errors.t option;  (** why the primary path failed *)
 }
 
-(** @raise Errors.Error when the primary failure is unrecoverable or
+(** [mode] (default [`Row]) selects the engine for the primary path
+    only; the fallback always runs the row engine — the semantic
+    oracle — so degradation steps down both the plan and the engine.
+    @raise Errors.Error when the primary failure is unrecoverable or
     the fallback fails too. *)
 val query_resilient :
   ?config:Optimizer.Config.t ->
   ?fallback:Optimizer.Config.t ->
   ?budget:Exec.Budget.t ->
   ?faults:Exec.Faults.t ->
+  ?mode:exec_mode ->
   t ->
   string ->
   resilient
@@ -147,6 +151,7 @@ val query_resilient_checked :
   ?fallback:Optimizer.Config.t ->
   ?budget:Exec.Budget.t ->
   ?faults:Exec.Faults.t ->
+  ?mode:exec_mode ->
   t ->
   string ->
   (resilient, Errors.t) result

@@ -1,34 +1,61 @@
 (* Query budgets: cooperative resource limits checked inside the
    executor's row loops.
 
-   A budget bounds three resources that runaway plans consume —
-   rows flowing through operators, Apply invocations (the unit of
-   correlated work), and wall-clock time.  The executor checks the
-   budget at every operator boundary and raises [Exceeded] with the
-   progress counters accumulated so far, so callers can report how far
-   a query got before it was cut off (and, via
-   [Engine.query_resilient], retry on a cheaper plan shape). *)
+   A budget bounds four resources that runaway plans consume — rows
+   flowing through operators, Apply invocations (the unit of correlated
+   work), wall-clock time since the executor started, and wall-clock
+   time since the request was *admitted* (the service deadline).  The
+   executor checks the budget at every operator boundary and raises
+   [Exceeded] with the progress counters accumulated so far, so callers
+   can report how far a query got before it was cut off (and, via
+   [Engine.query_resilient] or the service's degradation ladder, retry
+   on a cheaper plan shape).
+
+   [timeout_s] and [deadline_at] answer different questions.  A timeout
+   is relative to executor start: "this attempt may burn at most N
+   seconds".  A deadline is an absolute point in time fixed when the
+   request was admitted to a service queue: queueing delay, retries and
+   backoff sleeps all consume it, so a request cannot ride its retry
+   policy past the caller's patience.  They trip as distinct [trip]
+   values ([Timeout] vs [Deadline]) so error reports and service
+   metrics can tell an attempt that ran too long from a request that
+   ran out of admission deadline. *)
 
 type t = {
   max_rows : int option;  (** cap on total rows processed by operators *)
   max_apply : int option;  (** cap on Apply invocations (correlated work) *)
-  timeout_s : float option;  (** wall-clock limit in seconds *)
+  timeout_s : float option;  (** wall-clock limit per execution, in seconds *)
+  deadline_at : float option;
+      (** absolute Unix time the whole request must finish by; measured
+          from admission, not from executor start *)
 }
 
-let unlimited = { max_rows = None; max_apply = None; timeout_s = None }
+let unlimited = { max_rows = None; max_apply = None; timeout_s = None; deadline_at = None }
 
-let make ?max_rows ?max_apply ?timeout_s () = { max_rows; max_apply; timeout_s }
+let make ?max_rows ?max_apply ?timeout_s ?deadline_at () =
+  { max_rows; max_apply; timeout_s; deadline_at }
 
-let is_unlimited b = b.max_rows = None && b.max_apply = None && b.timeout_s = None
+let is_unlimited b =
+  b.max_rows = None && b.max_apply = None && b.timeout_s = None && b.deadline_at = None
+
+(* Narrow an existing budget to an admission deadline (the service's
+   per-request cancellation point); an existing earlier deadline wins. *)
+let with_deadline (b : t) (deadline_at : float) : t =
+  match b.deadline_at with
+  | Some d when d <= deadline_at -> b
+  | _ -> { b with deadline_at = Some deadline_at }
 
 (* Which resource tripped. *)
-type trip = Rows | Applies | Timeout
+type trip = Rows | Applies | Timeout | Deadline
 
 (* Partial-progress counters at the moment the budget tripped. *)
 type progress = {
   rows_processed : int;
   apply_invocations : int;
-  elapsed_s : float;
+  elapsed_s : float;  (** since executor start *)
+  overdue_s : float;
+      (** how far past the admission deadline the trip happened;
+          0 unless the trip is [Deadline] *)
 }
 
 exception Exceeded of trip * progress
@@ -37,21 +64,30 @@ let trip_to_string = function
   | Rows -> "row budget"
   | Applies -> "apply budget"
   | Timeout -> "timeout"
+  | Deadline -> "deadline"
 
 let to_string (t : trip) (p : progress) =
-  Printf.sprintf "%s exceeded after %d rows, %d apply invocations, %.3fs"
-    (trip_to_string t) p.rows_processed p.apply_invocations p.elapsed_s
+  match t with
+  | Deadline ->
+      Printf.sprintf
+        "deadline exceeded (%.3fs past admission deadline) after %d rows, %d apply \
+         invocations, %.3fs in executor"
+        p.overdue_s p.rows_processed p.apply_invocations p.elapsed_s
+  | _ ->
+      Printf.sprintf "%s exceeded after %d rows, %d apply invocations, %.3fs"
+        (trip_to_string t) p.rows_processed p.apply_invocations p.elapsed_s
 
 (* Cooperative check.  [started] is the Unix time at executor start;
    counters are the executor's running totals. *)
 let check (b : t) ~started ~rows_processed ~apply_invocations =
-  let progress trip =
+  let progress ?(overdue_s = 0.) trip =
     raise
       (Exceeded
          ( trip,
            { rows_processed;
              apply_invocations;
              elapsed_s = Unix.gettimeofday () -. started;
+             overdue_s;
            } ))
   in
   (match b.max_rows with
@@ -62,6 +98,11 @@ let check (b : t) ~started ~rows_processed ~apply_invocations =
   | _ -> ());
   (* [>=] so a zero timeout means "trip at the first check" even when
      the clock has not advanced a full microsecond yet *)
-  match b.timeout_s with
+  (match b.timeout_s with
   | Some limit when Unix.gettimeofday () -. started >= limit -> progress Timeout
-  | _ -> ()
+  | _ -> ());
+  match b.deadline_at with
+  | Some d ->
+      let now = Unix.gettimeofday () in
+      if now >= d then progress ~overdue_s:(now -. d) Deadline
+  | None -> ()

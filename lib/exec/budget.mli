@@ -1,0 +1,60 @@
+(** Cooperative query budgets.
+
+    A budget bounds the resources one query may consume: rows processed,
+    Apply invocations, wall-clock time per execution ([timeout_s]), and
+    an absolute admission deadline ([deadline_at]).  The executor (row
+    and vector engines alike) calls {!check} at every operator
+    boundary; a violated limit raises {!Exceeded} with the progress
+    counters accumulated so far, which makes cancellation cooperative:
+    a query stops at the next operator boundary after its limit trips,
+    never mid-row.
+
+    Timeout vs deadline: [timeout_s] is measured from executor start
+    and bounds one attempt; [deadline_at] is an absolute point in time
+    fixed at service admission, so queueing, retries and backoff sleeps
+    all consume it.  They raise distinct {!trip} values so callers can
+    distinguish an attempt that ran long ([Timeout]) from a request
+    whose overall deadline passed ([Deadline]). *)
+
+type t = {
+  max_rows : int option;  (** cap on total rows processed by operators *)
+  max_apply : int option;  (** cap on Apply invocations (correlated work) *)
+  timeout_s : float option;  (** wall-clock limit per execution, in seconds *)
+  deadline_at : float option;
+      (** absolute Unix time the whole request must finish by *)
+}
+
+val unlimited : t
+
+val make :
+  ?max_rows:int -> ?max_apply:int -> ?timeout_s:float -> ?deadline_at:float -> unit -> t
+
+val is_unlimited : t -> bool
+
+(** Narrow a budget to an admission deadline; an existing earlier
+    deadline wins. *)
+val with_deadline : t -> float -> t
+
+(** Which resource tripped. *)
+type trip = Rows | Applies | Timeout | Deadline
+
+(** Partial-progress counters at the moment the budget tripped.
+    [overdue_s] is how far past the admission deadline the trip
+    happened — 0 unless the trip is [Deadline] — so error reports and
+    service metrics can separate shed-before-start from cancelled
+    mid-execution. *)
+type progress = {
+  rows_processed : int;
+  apply_invocations : int;
+  elapsed_s : float;
+  overdue_s : float;
+}
+
+exception Exceeded of trip * progress
+
+val trip_to_string : trip -> string
+val to_string : trip -> progress -> string
+
+(** Cooperative check; raises {!Exceeded} on the first violated limit.
+    [started] is the Unix time at executor start. *)
+val check : t -> started:float -> rows_processed:int -> apply_invocations:int -> unit

@@ -107,10 +107,30 @@ module Rng = struct
   let bool (g : t) (p : float) : bool = float g < p
 end
 
-(* Mutable plan state: matching-call counter and PRNG stream. *)
+(* Mutable plan state: matching-call counter and PRNG stream.
+
+   The state is strictly per-query: a [t] must be created fresh (from
+   an immutable [spec]) for each query execution and never shared
+   between concurrent queries — the call counter and the splitmix64
+   stream are unsynchronized by design, so a shared [t] would both
+   race across domains and destroy replayability.  Services that run
+   many queries from one configured spec derive a per-request spec
+   with [derive] and arm a fresh [t] per execution. *)
 type t = { spec : spec; mutable calls : int; rng : Rng.t }
 
 let create (spec : spec) : t = { spec; calls = 0; rng = Rng.create spec.seed }
+
+(* A spec whose probabilistic stream is decorrelated from [spec]'s by
+   [salt] (e.g. a request id): one service-level fault spec fans out
+   into independent, individually replayable per-query streams.
+   Deterministic modes (nth/every) count per-query evaluations and are
+   unaffected by the seed. *)
+let derive (spec : spec) ~(salt : int) : spec =
+  let mixed =
+    let g = Rng.create ((spec.seed * 0x1000193) lxor salt) in
+    Int64.to_int (Int64.shift_right_logical (Rng.next g) 2)
+  in
+  { spec with seed = mixed }
 
 let next_float (f : t) : float = Rng.float f.rng
 

@@ -1,0 +1,87 @@
+(** Fault injection for the executor.
+
+    A fault plan decides, at every operator evaluation, whether to kill
+    the query with {!Injected}.  Plans are deterministic given their
+    {!spec}: nth-call and every-nth modes count matching operator
+    evaluations, and the probabilistic mode draws from a splitmix64
+    stream seeded by [seed], so a failing run is always reproducible.
+
+    Specs are immutable and shareable; the armed state ({!t}) is
+    strictly per-query — create a fresh one per execution and never
+    share it between concurrent queries (the call counter and PRNG
+    stream are unsynchronized by design). *)
+
+(** Operator kinds, mirroring [Relalg.Algebra.op] constructors. *)
+type op_kind =
+  | Scan
+  | ConstTable
+  | SegmentHole
+  | Select
+  | Project
+  | Join
+  | Apply
+  | SegmentApply
+  | GroupBy
+  | ScalarAgg
+  | UnionAll
+  | Except
+  | Max1row
+  | Rownum
+
+val op_kind_to_string : op_kind -> string
+val op_kind_of_string : string -> op_kind option
+
+type target = Any | Kind of op_kind
+
+type mode =
+  | Nth of int  (** fail exactly on the nth matching evaluation (1-based) *)
+  | Every of int  (** fail on every nth matching evaluation *)
+  | Probabilistic of float  (** per-evaluation failure probability *)
+
+type spec = { target : target; mode : mode; seed : int }
+
+exception Injected of { kind : op_kind; call : int }
+
+val injected_to_string : op_kind -> int -> string
+
+(** Seeded splitmix64 stream, shared by the probabilistic fault mode,
+    the query fuzzer ({!Testgen.Qgen}) and the service's backoff
+    jitter: one generator, one reproducibility story.  Streams are
+    unsynchronized — use one per domain. *)
+module Rng : sig
+  type t
+
+  val create : int -> t
+  val next : t -> int64
+
+  (** uniform in [0, 1) *)
+  val float : t -> float
+
+  (** uniform-enough in [0, bound); bound <= 0 yields 0 *)
+  val int : t -> int -> int
+
+  val pick : t -> 'a list -> 'a
+  val bool : t -> float -> bool
+end
+
+(** Armed per-query fault state: matching-call counter + PRNG stream. *)
+type t
+
+val create : spec -> t
+
+(** A spec whose probabilistic stream is decorrelated from [spec]'s by
+    [salt] (e.g. a request id): one service-level fault spec fans out
+    into independent, individually replayable per-query streams. *)
+val derive : spec -> salt:int -> spec
+
+val next_float : t -> float
+
+(** Called by the executor at each operator evaluation; raises
+    {!Injected} when the plan says this evaluation dies. *)
+val tick : t -> op_kind -> unit
+
+(** ["join:nth:3"], ["any:p:0.01:seed:7"], ["groupby:every:10"] — the
+    CLI and test-harness surface syntax. *)
+val parse : string -> (spec, string) result
+
+val spec_to_string : spec -> string

@@ -4,15 +4,21 @@
    The NDV cache is tagged with the table's mutation generation: a
    [Storage.Table.load]/[append] after stats were first read would
    otherwise leave the optimizer costing plans against distinct counts
-   for rows that no longer exist. *)
+   for rows that no longer exist.
+
+   One [t] is shared by every concurrent compilation in a service, so
+   the cache is mutex-guarded: an unguarded [Hashtbl] corrupts its
+   bucket structure under parallel insertion, and even a lost update
+   would let two sessions race a refresh after a generation bump. *)
 
 type t = {
   db : Storage.Database.t;
   ndv_cache : (string * string, int * int) Hashtbl.t;
       (** (table, column) -> (generation when computed, ndv) *)
+  lock : Mutex.t;
 }
 
-let create db = { db; ndv_cache = Hashtbl.create 64 }
+let create db = { db; ndv_cache = Hashtbl.create 64; lock = Mutex.create () }
 
 let row_count t table =
   match Storage.Database.table_opt t.db table with
@@ -22,13 +28,14 @@ let row_count t table =
 let ndv t table col =
   match Storage.Database.table_opt t.db table with
   | None -> 0
-  | Some tb -> (
-      let gen = Storage.Table.generation tb in
-      match Hashtbl.find_opt t.ndv_cache (table, col) with
-      | Some (g, n) when g = gen -> n
-      | _ ->
-          let n = Storage.Table.distinct_count tb col in
-          Hashtbl.replace t.ndv_cache (table, col) (gen, n);
-          n)
+  | Some tb ->
+      Mutex.protect t.lock (fun () ->
+          let gen = Storage.Table.generation tb in
+          match Hashtbl.find_opt t.ndv_cache (table, col) with
+          | Some (g, n) when g = gen -> n
+          | _ ->
+              let n = Storage.Table.distinct_count tb col in
+              Hashtbl.replace t.ndv_cache (table, col) (gen, n);
+              n)
 
 let catalog t = t.db.Storage.Database.catalog

@@ -10,14 +10,16 @@
 
 type t = { id : int; name : string; ty : Value.ty }
 
-let counter = ref 0
+(* Atomic: ids are drawn during binding and rewriting, and a concurrent
+   query service compiles many queries at once across domains — a racy
+   counter would hand two columns the same id, which the id-based
+   rewrite machinery silently miscompiles. *)
+let counter = Atomic.make 0
 
 (* Tests reset the counter so expected plans print with stable ids. *)
-let reset_counter () = counter := 0
+let reset_counter () = Atomic.set counter 0
 
-let fresh name ty =
-  incr counter;
-  { id = !counter; name; ty }
+let fresh name ty = { id = 1 + Atomic.fetch_and_add counter 1; name; ty }
 
 (* A renamed copy of [c] with a fresh id (used when cloning subtrees). *)
 let clone c = fresh c.name c.ty

@@ -1,0 +1,35 @@
+(* Retry backoff: jittered exponential delays.
+
+   The envelope grows geometrically from [base_delay_s] by
+   [multiplier] per retry and is clamped to [max_delay_s]; a [jitter]
+   fraction of the envelope is randomized per draw from the caller's
+   splitmix64 stream.  Jitter is what keeps a thundering herd from
+   re-colliding: when many requests die of the same transient cause
+   (an injected fault wave, a contention spike), deterministic delays
+   would retry them in lockstep.
+
+   Draws come from an explicit {!Exec.Faults.Rng} stream, so a
+   service's whole retry schedule is replayable from its seed. *)
+
+type policy = {
+  max_retries : int;  (** retry attempts after the first try; 0 disables retry *)
+  base_delay_s : float;  (** envelope for the first retry *)
+  multiplier : float;  (** envelope growth per retry *)
+  max_delay_s : float;  (** hard clamp on any single delay *)
+  jitter : float;  (** fraction of the envelope randomized, in [0, 1] *)
+}
+
+let default =
+  { max_retries = 3; base_delay_s = 0.002; multiplier = 2.0; max_delay_s = 0.1; jitter = 0.5 }
+
+(* Deterministic upper bound for the [attempt]-th retry (0-based). *)
+let envelope (p : policy) ~(attempt : int) : float =
+  Float.min p.max_delay_s (p.base_delay_s *. (p.multiplier ** float_of_int attempt))
+
+(* The actual delay to sleep: envelope shrunk by up to [jitter].
+   Always in [(1 - jitter) * envelope, envelope], so it is bounded by
+   [max_delay_s] no matter the attempt number. *)
+let delay (p : policy) (rng : Exec.Faults.Rng.t) ~(attempt : int) : float =
+  let cap = envelope p ~attempt in
+  let fixed = cap *. (1. -. p.jitter) in
+  fixed +. (cap *. p.jitter *. Exec.Faults.Rng.float rng)

@@ -1,0 +1,24 @@
+(** Jittered exponential retry backoff.
+
+    Delays grow geometrically per retry, are clamped to a hard
+    maximum, and have a configurable fraction randomized from an
+    explicit splitmix64 stream — bounded, collision-avoiding, and
+    replayable from a seed. *)
+
+type policy = {
+  max_retries : int;  (** retry attempts after the first try; 0 disables retry *)
+  base_delay_s : float;  (** envelope for the first retry *)
+  multiplier : float;  (** envelope growth per retry *)
+  max_delay_s : float;  (** hard clamp on any single delay *)
+  jitter : float;  (** fraction of the envelope randomized, in [0, 1] *)
+}
+
+val default : policy
+
+(** Deterministic upper bound for the [attempt]-th retry (0-based). *)
+val envelope : policy -> attempt:int -> float
+
+(** The delay to sleep before the [attempt]-th retry: always within
+    [[(1 - jitter) * envelope attempt, envelope attempt]], hence never
+    above [max_delay_s]. *)
+val delay : policy -> Exec.Faults.Rng.t -> attempt:int -> float

@@ -1,0 +1,94 @@
+(* Per-session circuit breaker.
+
+   Generalizes [Engine.query_resilient]'s per-call degradation to
+   per-session: after [failure_threshold] consecutive failures of the
+   primary (optimized/vectorized) path, the breaker opens and the
+   session is pinned to the degraded path (row engine / correlated
+   fallback) — the service stops paying for doomed primary attempts.
+   After [cooldown_s] the breaker half-opens: exactly one trial
+   request is allowed back onto the primary path; its success closes
+   the breaker, its failure re-opens it for another cooldown.
+
+   The clock is injectable so tests drive the state machine
+   deterministically.  All transitions are mutex-guarded: a session's
+   requests may run on several worker domains at once. *)
+
+type config = {
+  failure_threshold : int;  (** consecutive primary-path failures to open *)
+  cooldown_s : float;  (** open duration before a half-open trial *)
+}
+
+let default_config = { failure_threshold = 3; cooldown_s = 1.0 }
+
+type state = Closed | Open | Half_open
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type t = {
+  config : config;
+  now : unit -> float;
+  lock : Mutex.t;
+  mutable state_ : state;
+  mutable consecutive_failures : int;
+  mutable opened_at : float;
+  mutable opens : int;  (** times the breaker tripped open, cumulative *)
+}
+
+let create ?(now = Unix.gettimeofday) (config : config) : t =
+  { config;
+    now;
+    lock = Mutex.create ();
+    state_ = Closed;
+    consecutive_failures = 0;
+    opened_at = neg_infinity;
+    opens = 0;
+  }
+
+let state (t : t) : state = Mutex.protect t.lock (fun () -> t.state_)
+let opens (t : t) : int = Mutex.protect t.lock (fun () -> t.opens)
+
+(* May the caller try the primary path?  An open breaker past its
+   cooldown transitions to half-open and admits the caller as the
+   single trial; while half-open, everyone else is refused until the
+   trial resolves via [record_success]/[record_failure]. *)
+let allow (t : t) : bool =
+  Mutex.protect t.lock (fun () ->
+      match t.state_ with
+      | Closed -> true
+      | Half_open -> false
+      | Open ->
+          if t.now () -. t.opened_at >= t.config.cooldown_s then begin
+            t.state_ <- Half_open;
+            true
+          end
+          else false)
+
+let record_success (t : t) : unit =
+  Mutex.protect t.lock (fun () ->
+      t.consecutive_failures <- 0;
+      match t.state_ with
+      | Half_open | Open -> t.state_ <- Closed
+      | Closed -> ())
+
+(* Returns [true] when this failure tripped the breaker open. *)
+let record_failure (t : t) : bool =
+  Mutex.protect t.lock (fun () ->
+      match t.state_ with
+      | Half_open ->
+          t.state_ <- Open;
+          t.opened_at <- t.now ();
+          t.opens <- t.opens + 1;
+          true
+      | Open -> false
+      | Closed ->
+          t.consecutive_failures <- t.consecutive_failures + 1;
+          if t.consecutive_failures >= t.config.failure_threshold then begin
+            t.state_ <- Open;
+            t.opened_at <- t.now ();
+            t.opens <- t.opens + 1;
+            true
+          end
+          else false)

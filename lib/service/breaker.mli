@@ -1,0 +1,33 @@
+(** Per-session circuit breaker: closed → open after a run of primary
+    path failures → half-open (one trial) after a cooldown → closed on
+    trial success / re-open on trial failure.
+
+    Thread-safe; the clock is injectable for deterministic tests. *)
+
+type config = {
+  failure_threshold : int;  (** consecutive primary-path failures to open *)
+  cooldown_s : float;  (** open duration before a half-open trial *)
+}
+
+val default_config : config
+
+type state = Closed | Open | Half_open
+
+val state_to_string : state -> string
+
+type t
+
+val create : ?now:(unit -> float) -> config -> t
+val state : t -> state
+
+(** Times the breaker tripped open, cumulative. *)
+val opens : t -> int
+
+(** May the caller try the primary path?  An open breaker past its
+    cooldown half-opens and admits the caller as the single trial. *)
+val allow : t -> bool
+
+val record_success : t -> unit
+
+(** Returns [true] when this failure tripped the breaker open. *)
+val record_failure : t -> bool

@@ -1,0 +1,63 @@
+(** Service-level metrics: admission/degradation counters, queue-depth
+    high-water mark, and per-session latency percentiles.  Updates are
+    mutex-guarded; reads take a consistent {!snapshot}. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Recording (called by the service)} *)
+
+val note_submitted : t -> unit
+val note_shed : t -> unit
+
+(** [depth] is the queue depth just after the admission. *)
+val note_admitted : t -> depth:int -> unit
+
+(** [depth] is the queue depth just after the removal. *)
+val note_dequeued : t -> depth:int -> unit
+
+val note_retry : t -> unit
+val note_breaker_trip : t -> unit
+val note_poisoned : t -> unit
+val note_worker_kill : t -> unit
+val note_worker_respawn : t -> unit
+
+type finish_class = Completed | Degraded | Failed | Deadline_queued | Deadline_running
+
+(** One finished request: classify and record its end-to-end latency
+    (admission to reply) under [session]. *)
+val note_finished : t -> session:string -> latency_s:float -> finish_class -> unit
+
+(** {2 Reading} *)
+
+type percentiles = { count : int; p50 : float; p95 : float; p99 : float; max : float }
+
+type snapshot = {
+  submitted : int;
+  admitted : int;
+  shed : int;
+  completed : int;
+  failed : int;
+  deadline_queued : int;
+  deadline_running : int;
+  retried : int;
+  degraded : int;
+  breaker_trips : int;
+  poisoned : int;
+  worker_kills : int;
+  worker_respawns : int;
+  queue_depth : int;
+  queue_high_water : int;
+  latency : percentiles;
+  per_session : (string * percentiles) list;
+}
+
+val snapshot : t -> snapshot
+val percentiles_to_string : percentiles -> string
+
+(** Explain-style text block ([== service stats ==] ...). *)
+val render : snapshot -> string
+
+val percentiles_to_json : percentiles -> string
+val to_json : snapshot -> string

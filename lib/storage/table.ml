@@ -4,7 +4,18 @@
    catalog column order) plus optional hash indexes.  Indexes map a key
    value (single column) to the list of row positions — enough for the
    index-lookup-join execution alternative the paper's Section 4 calls
-   "the simplest and most common" correlated execution. *)
+   "the simplest and most common" correlated execution.
+
+   Concurrency contract: row data is effectively read-only while
+   queries run (a service loads tables before serving), so scans read
+   [rows] without coordination.  What *does* mutate under concurrent
+   readers is the derived state — the generation-tagged columnar cache,
+   the index list, and the distinct counts computed for the stats
+   cache — so every derived-state refresh and every mutation goes
+   through the per-table [lock].  Without it, two domains racing the
+   first [columns] call after a mutation could tear the cache, and a
+   mutation racing a refresh could pin a stale extraction under a new
+   generation. *)
 
 module Value = Relalg.Value
 
@@ -22,12 +33,22 @@ type t = {
   mutable col_cache : (int * Value.t array array) option;
       (** column-major extraction tagged with the generation it was
           built against; rebuilt lazily by {!columns} *)
+  lock : Mutex.t;
+      (** guards mutations and derived-state (col_cache, indexes,
+          distinct-count) refreshes against concurrent sessions *)
 }
 
 let create (def : Catalog.table) : t =
   let col_pos = Hashtbl.create 8 in
   List.iteri (fun i (c : Catalog.column) -> Hashtbl.replace col_pos c.col_name i) def.columns;
-  { def; rows = [||]; indexes = []; col_pos; generation = 0; col_cache = None }
+  { def;
+    rows = [||];
+    indexes = [];
+    col_pos;
+    generation = 0;
+    col_cache = None;
+    lock = Mutex.create ();
+  }
 
 let name t = t.def.name
 let row_count t = Array.length t.rows
@@ -36,7 +57,8 @@ let column_position t cname = Hashtbl.find_opt t.col_pos cname
 
 (* Every row mutation bumps the generation so derived state — the
    columnar cache here, the NDV cache in Optimizer.Stats — can detect
-   staleness instead of serving values for rows that no longer exist. *)
+   staleness instead of serving values for rows that no longer exist.
+   Callers hold [lock]. *)
 let touch t =
   t.generation <- t.generation + 1;
   t.col_cache <- None
@@ -44,42 +66,45 @@ let touch t =
 let generation t = t.generation
 
 let load t (rows : Value.t array list) =
-  t.rows <- Array.of_list rows;
-  t.indexes <- [];
-  touch t
+  Mutex.protect t.lock (fun () ->
+      t.rows <- Array.of_list rows;
+      t.indexes <- [];
+      touch t)
 
 let append t row =
-  t.rows <- Array.append t.rows [| row |];
-  touch t
+  Mutex.protect t.lock (fun () ->
+      t.rows <- Array.append t.rows [| row |];
+      touch t)
 
 (* Column-major view of the table, for the vectorized scan: one value
    array per catalog column.  Built on first use, invalidated by row
-   mutation via the generation counter. *)
+   mutation via the generation counter; the lock makes the
+   check-then-rebuild atomic so concurrent scans share one rebuild. *)
 let columns t : Value.t array array =
-  match t.col_cache with
-  | Some (gen, cols) when gen = t.generation -> cols
-  | _ ->
-      let n = Array.length t.rows in
-      let ncols = List.length t.def.columns in
-      let cols =
-        Array.init ncols (fun c -> Array.init n (fun i -> t.rows.(i).(c)))
-      in
-      t.col_cache <- Some (t.generation, cols);
-      cols
+  Mutex.protect t.lock (fun () ->
+      match t.col_cache with
+      | Some (gen, cols) when gen = t.generation -> cols
+      | _ ->
+          let n = Array.length t.rows in
+          let ncols = List.length t.def.columns in
+          let cols = Array.init ncols (fun c -> Array.init n (fun i -> t.rows.(i).(c))) in
+          t.col_cache <- Some (t.generation, cols);
+          cols)
 
 (* Build one hash index on a single column. *)
 let build_index t cname =
   match column_position t cname with
   | None -> invalid_arg ("build_index: no column " ^ cname)
   | Some pos ->
-      let map = Hashtbl.create (max 16 (Array.length t.rows)) in
-      Array.iteri
-        (fun i row ->
-          let v = row.(pos) in
-          let prev = try Hashtbl.find map v with Not_found -> [] in
-          Hashtbl.replace map v (i :: prev))
-        t.rows;
-      t.indexes <- { idx_col = pos; idx_map = map } :: t.indexes
+      Mutex.protect t.lock (fun () ->
+          let map = Hashtbl.create (max 16 (Array.length t.rows)) in
+          Array.iteri
+            (fun i row ->
+              let v = row.(pos) in
+              let prev = try Hashtbl.find map v with Not_found -> [] in
+              Hashtbl.replace map v (i :: prev))
+            t.rows;
+          t.indexes <- { idx_col = pos; idx_map = map } :: t.indexes)
 
 let find_index t cname =
   match column_position t cname with
@@ -92,11 +117,13 @@ let index_lookup (ix : index) (t : t) (v : Value.t) : Value.t array list =
   | Some positions -> List.rev_map (fun i -> t.rows.(i)) positions
 
 (* Distinct-count estimate for a column (exact, computed on demand;
-   cached by Stats). *)
+   cached by Stats).  Lock-guarded: it walks [rows] and must not
+   observe a half-applied mutation. *)
 let distinct_count t cname =
   match column_position t cname with
   | None -> 0
   | Some pos ->
-      let seen = Hashtbl.create 1024 in
-      Array.iter (fun row -> Hashtbl.replace seen row.(pos) ()) t.rows;
-      Hashtbl.length seen
+      Mutex.protect t.lock (fun () ->
+          let seen = Hashtbl.create 1024 in
+          Array.iter (fun row -> Hashtbl.replace seen row.(pos) ()) t.rows;
+          Hashtbl.length seen)

@@ -19,6 +19,10 @@ type t = {
       (** bumped on every row mutation; lets derived caches (columnar
           extraction, NDV statistics) detect staleness *)
   mutable col_cache : (int * Relalg.Value.t array array) option;
+  lock : Mutex.t;
+      (** guards mutations and derived-state (columnar cache, indexes,
+          distinct-count) refreshes against concurrent sessions; row
+          data is read-only while queries run *)
 }
 
 val create : Catalog.table -> t

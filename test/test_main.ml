@@ -19,5 +19,6 @@ let () =
       ("property", Test_property.suite);
       ("property-analysis", Test_property_analysis.suite);
       ("verify", Test_verify.suite);
-      ("analysis", Test_analysis.suite)
+      ("analysis", Test_analysis.suite);
+      ("service", Test_service.suite)
     ]

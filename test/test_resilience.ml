@@ -143,7 +143,7 @@ let test_resilient_degrades_on_join_fault () =
       ~faults:(Exec.Faults.create spec) eng lattice_sql
   in
   Alcotest.(check bool) "degraded" true r.degraded;
-  Alcotest.(check string) "served by fallback" "correlated" r.served_by;
+  Alcotest.(check string) "served by fallback" "correlated/row" r.served_by;
   (match r.primary_error with
   | Some e -> Alcotest.(check string) "fault error" "fault" (Engine.Errors.phase_to_string e.phase)
   | None -> Alcotest.fail "expected a primary error");
@@ -154,7 +154,7 @@ let test_resilient_clean_run_not_degraded () =
   let eng = engine () in
   let r = Engine.query_resilient eng lattice_sql in
   Alcotest.(check bool) "not degraded" false r.degraded;
-  Alcotest.(check string) "served by primary" "full" r.served_by;
+  Alcotest.(check string) "served by primary" "full/row" r.served_by;
   Alcotest.(check bool) "no error" true (r.primary_error = None)
 
 let test_resilient_budget_trip_degrades () =
