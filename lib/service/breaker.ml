@@ -66,6 +66,23 @@ let allow (t : t) : bool =
           end
           else false)
 
+(* The single half-open trial ended without a verdict on primary-path
+   health — deadline ran out, the SQL itself was bad, the request was
+   shed at dispatch, or the worker crashed.  Return to [Open] without
+   counting an open and without refreshing [opened_at]: the cooldown
+   has already elapsed, so the next request immediately becomes the
+   new trial instead of the session being pinned half-open forever. *)
+let abort_trial (t : t) : unit =
+  Mutex.protect t.lock (fun () ->
+      match t.state_ with
+      | Half_open -> t.state_ <- Open
+      | Open | Closed -> ())
+
+(* Indistinguishable from a freshly created breaker, so safe to evict
+   from a per-session table and recreate on demand. *)
+let is_pristine (t : t) : bool =
+  Mutex.protect t.lock (fun () -> t.state_ = Closed && t.consecutive_failures = 0)
+
 let record_success (t : t) : unit =
   Mutex.protect t.lock (fun () ->
       t.consecutive_failures <- 0;

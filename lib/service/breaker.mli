@@ -27,6 +27,19 @@ val opens : t -> int
     cooldown half-opens and admits the caller as the single trial. *)
 val allow : t -> bool
 
+(** The admitted trial ended without a verdict on primary-path health
+    (deadline, fatal SQL error, dispatch shed, worker crash): return
+    [Half_open] to [Open] without counting an open or restarting the
+    cooldown, so the next request becomes the new trial.  No-op in any
+    other state.  Every [allow] that returned [true] must be matched
+    by exactly one of [record_success], [record_failure] or
+    [abort_trial], or a half-open breaker wedges. *)
+val abort_trial : t -> unit
+
+(** [Closed] with no consecutive failures — indistinguishable from a
+    fresh breaker, so safe to evict and recreate on demand. *)
+val is_pristine : t -> bool
+
 val record_success : t -> unit
 
 (** Returns [true] when this failure tripped the breaker open. *)

@@ -174,11 +174,27 @@ type t = {
 let stats (t : t) : Stats.snapshot = Stats.snapshot t.stats
 let engine (t : t) : Engine.t = t.eng
 
+(* Per-session breakers are bounded: past this many tracked sessions,
+   creating another first sweeps out every pristine breaker (closed,
+   no consecutive failures — indistinguishable from a fresh one), so a
+   client churning through session names cannot grow the table for the
+   service lifetime.  Only sessions carrying real breaker signal
+   survive the sweep. *)
+let max_tracked_breakers = 1024
+
 let breaker_for (t : t) (session : string) : Breaker.t =
   Mutex.protect t.lock (fun () ->
       match Hashtbl.find_opt t.breakers session with
       | Some b -> b
       | None ->
+          if Hashtbl.length t.breakers >= max_tracked_breakers then begin
+            let pristine =
+              Hashtbl.fold
+                (fun s b acc -> if Breaker.is_pristine b then s :: acc else acc)
+                t.breakers []
+            in
+            List.iter (Hashtbl.remove t.breakers) pristine
+          end;
           let b = Breaker.create t.cfg.breaker in
           Hashtbl.replace t.breakers session b;
           b)
@@ -307,8 +323,12 @@ let next_job (t : t) : job option =
           let s = Queue.pop t.rr in
           let q = Hashtbl.find t.session_queues s in
           let job = Queue.pop q in
-          (* the session goes to the back of the rotation: fairness *)
-          if not (Queue.is_empty q) then Queue.push s t.rr;
+          (* the session goes to the back of the rotation: fairness;
+             a drained session's queue is dropped (recreated on its
+             next submission) so session-name churn cannot grow the
+             table for the service lifetime *)
+          if not (Queue.is_empty q) then Queue.push s t.rr
+          else Hashtbl.remove t.session_queues s;
           t.queued <- t.queued - 1;
           Some (job, t.queued)
         end
@@ -407,8 +427,10 @@ let run_path (t : t) (job : job) (rng : Rng.t) ~(retries : int ref)
                     else begin
                       let d = Backoff.delay t.cfg.retry rng ~attempt:!retries in
                       if deadline_left () <= d then
-                        (* sleeping would outlive the deadline: out of time *)
-                        Error (Deadline_hit 0.)
+                        (* sleeping would outlive the deadline: give up
+                           now, reporting how overdue the request would
+                           be when the sleep ended *)
+                        Error (Deadline_hit (d -. deadline_left ()))
                       else begin
                         incr retries;
                         Stats.note_retry t.stats;
@@ -469,23 +491,45 @@ let process (t : t) (job : job) (rng : Rng.t) : reply =
             reply ~retries:!retries (Error (Failed err))
       in
       if Breaker.allow breaker then begin
-        let primary_config = t.cfg.opt_config and primary_mode = t.cfg.exec_mode in
-        match
-          run_path t job rng ~retries ~config:primary_config ~mode:primary_mode ~faults
-        with
-        | Ok e ->
-            Breaker.record_success breaker;
-            reply ~served_by:(path_name primary_config primary_mode) ~retries:!retries
-              (Ok e)
-        | Error (Deadline_hit overdue_s) ->
-            reply ~retries:!retries (Error (Deadline { stage = `Running; overdue_s }))
-        | Error (Fatal err) -> reply ~retries:!retries (Error (Failed err))
-        | Error (Transient err | Plan_shaped err) ->
-            (* primary path is sick: feed the breaker, degrade *)
-            if Breaker.record_failure breaker then Stats.note_breaker_trip t.stats;
-            if t.cfg.fallback_config = primary_config && primary_mode = `Row then
-              reply ~retries:!retries (Error (Failed err))
-            else fallback ~primary_error:(Some err)
+        (* Every allowed attempt must record exactly one breaker
+           outcome, or a half-open trial that ends without a verdict
+           (deadline, fatal SQL, cost-gate shed, worker crash) pins
+           the session half-open forever: [recorded] tracks whether a
+           success/failure was fed in, and the protector aborts the
+           trial on every other way out — including the [Shed] and
+           crash exceptions that escape this whole match. *)
+        let recorded = ref false in
+        let record_success () =
+          recorded := true;
+          Breaker.record_success breaker
+        in
+        let record_failure () =
+          recorded := true;
+          if Breaker.record_failure breaker then Stats.note_breaker_trip t.stats
+        in
+        Fun.protect
+          ~finally:(fun () -> if not !recorded then Breaker.abort_trial breaker)
+          (fun () ->
+            let primary_config = t.cfg.opt_config
+            and primary_mode = t.cfg.exec_mode in
+            match
+              run_path t job rng ~retries ~config:primary_config ~mode:primary_mode
+                ~faults
+            with
+            | Ok e ->
+                record_success ();
+                reply ~served_by:(path_name primary_config primary_mode)
+                  ~retries:!retries (Ok e)
+            | Error (Deadline_hit overdue_s) ->
+                reply ~retries:!retries
+                  (Error (Deadline { stage = `Running; overdue_s }))
+            | Error (Fatal err) -> reply ~retries:!retries (Error (Failed err))
+            | Error (Transient err | Plan_shaped err) ->
+                (* primary path is sick: feed the breaker, degrade *)
+                record_failure ();
+                if t.cfg.fallback_config = primary_config && primary_mode = `Row then
+                  reply ~retries:!retries (Error (Failed err))
+                else fallback ~primary_error:(Some err))
       end
       else
         (* breaker open: the session is pinned to the degraded path *)
@@ -513,7 +557,9 @@ and worker_loop (t : t) (rng : Rng.t) : unit =
           finish t job r;
           worker_loop t rng
       | exception Shed { queue_depth; retry_after_s } ->
-          Stats.note_shed t.stats;
+          (* already counted admitted, so this is a dispatch-time shed:
+             a separate counter keeps submitted = admitted + shed *)
+          Stats.note_shed_dispatch t.stats;
           finish t job
             { outcome = Error (Overloaded { queue_depth; retry_after_s });
               served_by = "-";
@@ -530,18 +576,25 @@ and worker_loop (t : t) (rng : Rng.t) : unit =
    — unless it has now killed [poison_threshold] workers, in which
    case it is poisoned: completed with its stored error, never retried
    again.  A replacement domain is spawned before this one returns, so
-   the pool never shrinks. *)
+   the pool never shrinks.
+
+   Ordering is load-bearing.  The victim is re-enqueued BEFORE the
+   replacement spawns: the replacement's first [next_job] then always
+   observes the job (the queue drain runs even when closed), so a
+   crash during shutdown cannot land the job in a drained queue after
+   every worker — replacement included — has already retired, which
+   would block its [await] forever.  On the poison path the order
+   flips: respawn before delivering the reply, so once the caller
+   observes the outcome the pool is back at size. *)
 and crash (t : t) (job : job) (ex : exn) : unit =
   let msg = Printexc.to_string ex in
   Mutex.protect t.lock (fun () -> t.live <- t.live - 1);
   Stats.note_worker_kill t.stats;
   job.kills <- job.kills + 1;
   job.last_kill <- msg;
-  (* respawn before delivering any reply or re-queueing the victim:
-     once a caller observes the outcome, the pool is back at size *)
-  Stats.note_worker_respawn t.stats;
-  spawn_worker t;
   if job.kills >= t.cfg.poison_threshold then begin
+    Stats.note_worker_respawn t.stats;
+    spawn_worker t;
     Stats.note_poisoned t.stats;
     finish t job
       { outcome = Error (Poisoned { kills = job.kills; last_error = job.last_kill });
@@ -554,7 +607,9 @@ and crash (t : t) (job : job) (ex : exn) : unit =
   end
   else begin
     let depth = Mutex.protect t.lock (fun () -> enqueue_locked t job; t.queued) in
-    Stats.note_admitted t.stats ~depth
+    Stats.note_requeued t.stats ~depth;
+    Stats.note_worker_respawn t.stats;
+    spawn_worker t
   end
 
 (* ------------------------------------------------------------------ *)

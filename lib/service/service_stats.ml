@@ -38,7 +38,15 @@ type t = {
   lock : Mutex.t;
   mutable submitted : int;
   mutable admitted : int;
-  mutable shed : int;  (** rejected with Overloaded (queue depth or cost gate) *)
+  mutable shed : int;
+      (** rejected at admission (queue full) — never entered the queue,
+          so [submitted = admitted + shed + shutdown rejects] *)
+  mutable shed_dispatch : int;
+      (** admitted, then shed by the inflight-cost gate at dispatch;
+          overlaps [admitted], never [shed] *)
+  mutable requeued : int;
+      (** crash victims put back on the queue to retry elsewhere (not
+          new admissions — [admitted] counts each request once) *)
   mutable completed : int;  (** replies carrying a result *)
   mutable failed : int;  (** replies carrying a typed query error *)
   mutable deadline_queued : int;  (** deadline passed before a worker picked it up *)
@@ -60,6 +68,8 @@ let create () =
     submitted = 0;
     admitted = 0;
     shed = 0;
+    shed_dispatch = 0;
+    requeued = 0;
     completed = 0;
     failed = 0;
     deadline_queued = 0;
@@ -87,6 +97,14 @@ let note_admitted t ~depth =
       t.queue_depth <- depth;
       if depth > t.queue_high_water then t.queue_high_water <- depth)
 
+let note_shed_dispatch t = locked t (fun () -> t.shed_dispatch <- t.shed_dispatch + 1)
+
+let note_requeued t ~depth =
+  locked t (fun () ->
+      t.requeued <- t.requeued + 1;
+      t.queue_depth <- depth;
+      if depth > t.queue_high_water then t.queue_high_water <- depth)
+
 let note_dequeued t ~depth = locked t (fun () -> t.queue_depth <- depth)
 let note_retry t = locked t (fun () -> t.retried <- t.retried + 1)
 let note_breaker_trip t = locked t (fun () -> t.breaker_trips <- t.breaker_trips + 1)
@@ -95,6 +113,13 @@ let note_worker_kill t = locked t (fun () -> t.worker_kills <- t.worker_kills + 
 let note_worker_respawn t = locked t (fun () -> t.worker_respawns <- t.worker_respawns + 1)
 
 type finish_class = Completed | Degraded | Failed | Deadline_queued | Deadline_running
+
+(* Per-session series are bounded: a client that varies session names
+   unboundedly must not grow the table for the service lifetime, so
+   once [max_tracked_sessions] distinct names exist, further new names
+   pool into one overflow bucket. *)
+let max_tracked_sessions = 1024
+let overflow_session = "(other)"
 
 (* One finished request: classify it and record its end-to-end latency
    under the session.  Sheds are not finishes — they never entered the
@@ -110,6 +135,12 @@ let note_finished t ~(session : string) ~(latency_s : float) (cls : finish_class
       | Deadline_queued -> t.deadline_queued <- t.deadline_queued + 1
       | Deadline_running -> t.deadline_running <- t.deadline_running + 1);
       series_add t.global latency_s;
+      let session =
+        if Hashtbl.mem t.sessions session
+           || Hashtbl.length t.sessions < max_tracked_sessions
+        then session
+        else overflow_session
+      in
       let s =
         match Hashtbl.find_opt t.sessions session with
         | Some s -> s
@@ -126,6 +157,8 @@ type snapshot = {
   submitted : int;
   admitted : int;
   shed : int;
+  shed_dispatch : int;
+  requeued : int;
   completed : int;
   failed : int;
   deadline_queued : int;
@@ -152,6 +185,8 @@ let snapshot (t : t) : snapshot =
       { submitted = t.submitted;
         admitted = t.admitted;
         shed = t.shed;
+        shed_dispatch = t.shed_dispatch;
+        requeued = t.requeued;
         completed = t.completed;
         failed = t.failed;
         deadline_queued = t.deadline_queued;
@@ -183,15 +218,16 @@ let render (s : snapshot) : string =
   let b = Buffer.create 512 in
   Buffer.add_string b "== service stats ==\n";
   Buffer.add_string b
-    (Printf.sprintf "submitted %d  admitted %d  shed %d  completed %d  failed %d\n"
-       s.submitted s.admitted s.shed s.completed s.failed);
+    (Printf.sprintf
+       "submitted %d  admitted %d  shed %d  shed-at-dispatch %d  completed %d  failed %d\n"
+       s.submitted s.admitted s.shed s.shed_dispatch s.completed s.failed);
   Buffer.add_string b
     (Printf.sprintf
        "deadline: queued %d  running %d   retried %d  degraded %d  breaker-trips %d\n"
        s.deadline_queued s.deadline_running s.retried s.degraded s.breaker_trips);
   Buffer.add_string b
-    (Printf.sprintf "poisoned %d  worker-kills %d  worker-respawns %d\n" s.poisoned
-       s.worker_kills s.worker_respawns);
+    (Printf.sprintf "poisoned %d  requeued %d  worker-kills %d  worker-respawns %d\n"
+       s.poisoned s.requeued s.worker_kills s.worker_respawns);
   Buffer.add_string b
     (Printf.sprintf "queue depth %d (high water %d)\n" s.queue_depth s.queue_high_water);
   Buffer.add_string b
@@ -208,13 +244,14 @@ let percentiles_to_json (p : percentiles) : string =
 
 let to_json (s : snapshot) : string =
   Printf.sprintf
-    "{\"submitted\":%d,\"admitted\":%d,\"shed\":%d,\"completed\":%d,\"failed\":%d,\
+    "{\"submitted\":%d,\"admitted\":%d,\"shed\":%d,\"shed_dispatch\":%d,\
+     \"requeued\":%d,\"completed\":%d,\"failed\":%d,\
      \"deadline_queued\":%d,\"deadline_running\":%d,\"retried\":%d,\"degraded\":%d,\
      \"breaker_trips\":%d,\"poisoned\":%d,\"worker_kills\":%d,\"worker_respawns\":%d,\
      \"queue_depth\":%d,\"queue_high_water\":%d,\"latency\":%s,\"sessions\":{%s}}"
-    s.submitted s.admitted s.shed s.completed s.failed s.deadline_queued
-    s.deadline_running s.retried s.degraded s.breaker_trips s.poisoned s.worker_kills
-    s.worker_respawns s.queue_depth s.queue_high_water
+    s.submitted s.admitted s.shed s.shed_dispatch s.requeued s.completed s.failed
+    s.deadline_queued s.deadline_running s.retried s.degraded s.breaker_trips
+    s.poisoned s.worker_kills s.worker_respawns s.queue_depth s.queue_high_water
     (percentiles_to_json s.latency)
     (String.concat ","
        (List.map

@@ -9,10 +9,23 @@ val create : unit -> t
 (** {2 Recording (called by the service)} *)
 
 val note_submitted : t -> unit
+
+(** Rejected at admission (queue full): the request never entered the
+    queue, so [submitted = admitted + shed + shutdown rejects]. *)
 val note_shed : t -> unit
+
+(** Admitted, then shed by the inflight-cost gate at dispatch.
+    Overlaps [admitted] (the request was counted there), never
+    [shed]. *)
+val note_shed_dispatch : t -> unit
 
 (** [depth] is the queue depth just after the admission. *)
 val note_admitted : t -> depth:int -> unit
+
+(** A crash victim put back on the queue to retry elsewhere; [depth]
+    is the queue depth just after the re-enqueue.  Not an admission —
+    [admitted] counts each request once. *)
+val note_requeued : t -> depth:int -> unit
 
 (** [depth] is the queue depth just after the removal. *)
 val note_dequeued : t -> depth:int -> unit
@@ -26,7 +39,10 @@ val note_worker_respawn : t -> unit
 type finish_class = Completed | Degraded | Failed | Deadline_queued | Deadline_running
 
 (** One finished request: classify and record its end-to-end latency
-    (admission to reply) under [session]. *)
+    (admission to reply) under [session].  At most 1024 distinct
+    session series are tracked; later new names pool into an
+    ["(other)"] overflow bucket so unbounded session churn cannot grow
+    the table forever. *)
 val note_finished : t -> session:string -> latency_s:float -> finish_class -> unit
 
 (** {2 Reading} *)
@@ -36,7 +52,9 @@ type percentiles = { count : int; p50 : float; p95 : float; p99 : float; max : f
 type snapshot = {
   submitted : int;
   admitted : int;
-  shed : int;
+  shed : int;  (** admission-time rejections (queue full) *)
+  shed_dispatch : int;  (** post-admission cost-gate sheds; overlap [admitted] *)
+  requeued : int;  (** crash victims re-enqueued to retry elsewhere *)
   completed : int;
   failed : int;
   deadline_queued : int;

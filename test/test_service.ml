@@ -214,6 +214,29 @@ let test_breaker_lifecycle () =
   Alcotest.(check string) "re-opened" "open" (state_to_string (state b));
   Alcotest.(check int) "three opens total" 3 (opens b)
 
+(* A half-open trial that ends without a health verdict must be aborted
+   back to open — not leaked, which would pin the session half-open
+   forever (allow refuses everyone and no record_* is ever reachable). *)
+let test_breaker_abort_trial () =
+  let now = ref 0.0 in
+  let cfg = { Service.Breaker.failure_threshold = 1; cooldown_s = 1.0 } in
+  let b = Service.Breaker.create ~now:(fun () -> !now) cfg in
+  let open Service.Breaker in
+  Alcotest.(check bool) "trips open" true (record_failure b);
+  now := 1.5;
+  Alcotest.(check bool) "half-open admits trial" true (allow b);
+  Alcotest.(check string) "half-open" "half-open" (state_to_string (state b));
+  abort_trial b;
+  Alcotest.(check string) "aborted back to open" "open" (state_to_string (state b));
+  (* the elapsed cooldown is not restarted: the next caller is the new trial *)
+  Alcotest.(check bool) "new trial admitted immediately" true (allow b);
+  record_success b;
+  Alcotest.(check string) "trial success closes" "closed" (state_to_string (state b));
+  (* abort outside half-open is a no-op *)
+  abort_trial b;
+  Alcotest.(check string) "still closed" "closed" (state_to_string (state b));
+  Alcotest.(check int) "abort counted no extra opens" 1 (opens b)
+
 (* --- retry of transient faults --------------------------------------- *)
 
 let test_transient_fault_retried () =
@@ -269,6 +292,37 @@ let test_breaker_pins_session_then_recovers () =
   Alcotest.(check bool) "degrades counted" true (s.Service.Stats.degraded >= 1);
   Service.shutdown t
 
+(* Service-level regression for the stuck-half-open bug: a fatal (parse)
+   request consumes the half-open trial without a verdict; the trial
+   must be aborted so the next clean request can close the breaker. *)
+let test_breaker_fatal_trial_not_leaked () =
+  let breaker = { Service.Breaker.failure_threshold = 2; cooldown_s = 0.1 } in
+  let retry = { fast_retry with Service.Backoff.max_retries = 0 } in
+  let t =
+    Service.create ~config:(config ~domains:1 ~retry ~breaker ()) (toy_db ())
+  in
+  let always = { Exec.Faults.target = Exec.Faults.Any; mode = Exec.Faults.Every 1; seed = 0 } in
+  for _ = 1 to 2 do
+    ignore (Service.run t (Service.request ~session:"s1" ~fault:always simple_sql))
+  done;
+  Alcotest.(check string) "open after threshold" "open"
+    (Service.Breaker.state_to_string (Service.breaker_state t "s1"));
+  Unix.sleepf 0.15;
+  (* the half-open trial goes to a request that cannot parse *)
+  let r = Service.run t (Service.request ~session:"s1" "select from (") in
+  (match r.Service.outcome with
+  | Error (Service.Failed _) -> ()
+  | _ -> Alcotest.fail "expected parse failure");
+  Alcotest.(check string) "trial aborted back to open" "open"
+    (Service.Breaker.state_to_string (Service.breaker_state t "s1"));
+  (* the next clean request becomes the new trial and closes it *)
+  let r2 = Service.run t (Service.request ~session:"s1" simple_sql) in
+  Alcotest.(check bool) "new trial served by primary" false r2.Service.degraded;
+  check_same_bag "trial result correct" (ok_rows r2) (run_sql (toy_db ()) simple_sql);
+  Alcotest.(check string) "breaker closed again" "closed"
+    (Service.Breaker.state_to_string (Service.breaker_state t "s1"));
+  Service.shutdown t
+
 (* --- crash-only workers and poisoning -------------------------------- *)
 
 let test_poisoned_request_quarantined () =
@@ -288,7 +342,35 @@ let test_poisoned_request_quarantined () =
   Alcotest.(check int) "two worker kills" 2 s.Service.Stats.worker_kills;
   Alcotest.(check int) "two respawns" 2 s.Service.Stats.worker_respawns;
   Alcotest.(check int) "one poisoned request" 1 s.Service.Stats.poisoned;
+  (* the first kill re-enqueued the victim; that is not a new admission *)
+  Alcotest.(check int) "one requeue" 1 s.Service.Stats.requeued;
+  Alcotest.(check int) "victim admitted once" 2 s.Service.Stats.admitted;
   Service.shutdown t
+
+(* Crash racing shutdown: the victim must be re-enqueued before the
+   replacement spawns, or the replacement (and every idle worker) can
+   observe empty+closed and retire first — stranding the job in a
+   drained queue with zero live workers and hanging its await forever. *)
+let test_crash_during_shutdown_no_hang () =
+  let gate = Gate.create () in
+  let t = Service.create ~config:(config ~domains:1 ~poison_threshold:2 ()) (toy_db ()) in
+  let tk =
+    Service.submit t
+      (Service.request ~chaos:(fun () -> Gate.wait gate; raise Kaboom) simple_sql)
+  in
+  let tk = match tk with Ok tk -> tk | Error _ -> Alcotest.fail "request shed" in
+  (* shutdown concurrently: it closes admission, then joins workers *)
+  let closer = Domain.spawn (fun () -> Service.shutdown t) in
+  Unix.sleepf 0.05;
+  Gate.release gate;
+  (* first crash re-enqueues; the replacement must pick the victim up
+     even though the service is closed, crash again, and poison it *)
+  let r = Service.await t tk in
+  (match r.Service.outcome with
+  | Error (Service.Poisoned { kills; _ }) -> Alcotest.(check int) "two kills" 2 kills
+  | Error e -> Alcotest.failf "expected Poisoned, got %s" (Service.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Poisoned, got success");
+  Domain.join closer
 
 (* --- inflight cost gate ---------------------------------------------- *)
 
@@ -304,6 +386,12 @@ let test_cost_gate_sheds () =
       | Error (Service.Overloaded _) -> ()
       | _ -> Alcotest.fail "expected cost-gate shed")
     (Service.run_many t (List.init 4 (fun _ -> Service.request simple_sql)));
+  (* dispatch-time sheds are counted apart from admission sheds, so
+     submitted = admitted + shed still holds *)
+  let s = Service.stats t in
+  Alcotest.(check int) "all admitted" 4 s.Service.Stats.admitted;
+  Alcotest.(check int) "all shed at dispatch" 4 s.Service.Stats.shed_dispatch;
+  Alcotest.(check int) "no admission sheds" 0 s.Service.Stats.shed;
   Service.shutdown t;
   (* generous capacity: everything runs *)
   let t = Service.create ~config:(config ~domains:2 ~max_inflight_cost:1e12 ()) (toy_db ()) in
@@ -376,6 +464,28 @@ let test_stats_cache_domain_safety () =
   let n = Optimizer.Stats.ndv stats "bag" "x" in
   Alcotest.(check int) "refreshed after append" 3 n
 
+(* --- per-session stats stay bounded under session-name churn ---------- *)
+
+let test_stats_session_overflow_bounded () =
+  let st = Service.Stats.create () in
+  for i = 1 to 1200 do
+    Service.Stats.note_finished st
+      ~session:(Printf.sprintf "churn%d" i)
+      ~latency_s:0.001 Service.Stats.Completed
+  done;
+  let s = Service.Stats.snapshot st in
+  (* 1024 tracked series plus the overflow bucket *)
+  Alcotest.(check bool) "series bounded" true
+    (List.length s.Service.Stats.per_session <= 1025);
+  Alcotest.(check bool) "overflow pooled under (other)" true
+    (List.mem_assoc "(other)" s.Service.Stats.per_session);
+  let recorded =
+    List.fold_left
+      (fun acc (_, p) -> acc + p.Service.Stats.count)
+      0 s.Service.Stats.per_session
+  in
+  Alcotest.(check int) "no finish lost to the bound" 1200 recorded
+
 (* --- fresh column ids under concurrent compilation ------------------- *)
 
 let test_fresh_cols_distinct_across_domains () =
@@ -399,11 +509,15 @@ let suite =
     Alcotest.test_case "backoff envelope" `Quick test_backoff_envelope;
     Alcotest.test_case "backoff jitter bounded" `Quick test_backoff_jitter_bounded;
     Alcotest.test_case "breaker lifecycle" `Quick test_breaker_lifecycle;
+    Alcotest.test_case "breaker abort_trial unsticks half-open" `Quick test_breaker_abort_trial;
     Alcotest.test_case "transient fault retried" `Quick test_transient_fault_retried;
     Alcotest.test_case "breaker pins session, recovers" `Quick test_breaker_pins_session_then_recovers;
+    Alcotest.test_case "fatal trial does not leak half-open" `Quick test_breaker_fatal_trial_not_leaked;
     Alcotest.test_case "poisoned request quarantined" `Quick test_poisoned_request_quarantined;
+    Alcotest.test_case "crash during shutdown does not hang" `Quick test_crash_during_shutdown_no_hang;
     Alcotest.test_case "cost gate sheds" `Quick test_cost_gate_sheds;
     Alcotest.test_case "concurrent differential sweep" `Quick test_concurrent_differential_sweep;
+    Alcotest.test_case "stats session overflow bounded" `Quick test_stats_session_overflow_bounded;
     Alcotest.test_case "stats cache domain safety" `Quick test_stats_cache_domain_safety;
     Alcotest.test_case "fresh column ids distinct" `Quick test_fresh_cols_distinct_across_domains
   ]
