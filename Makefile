@@ -46,7 +46,8 @@ bench:
 	dune exec bench/main.exe
 
 # tiny-scale sweep of every workload x config in both exec modes;
-# writes BENCH_5.json
+# writes BENCH_7.json and gates on bridge_crossings = 0 and per-cell
+# vector speedup >= 0.95x row
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
 

@@ -16,8 +16,9 @@
      bench/main.exe            -- run everything, paper-style tables
      bench/main.exe e5 e6      -- selected experiments
      bench/main.exe --bechamel -- statistically robust timings (Bechamel)
-     bench/main.exe --smoke    -- tiny-scale CI sweep (row + vector), writes BENCH_5.json
-     bench/main.exe --concurrent -- service scaling at 1/2/4/8 domains, writes BENCH_6.json
+     bench/main.exe --smoke    -- tiny-scale CI sweep (row + vector), writes BENCH_7.json
+     bench/main.exe --concurrent -- service scaling at 1/2/4/8 domains (clamped
+                                  to the host's cores), writes BENCH_6.json
 *)
 
 let fmt = Printf.printf
@@ -310,16 +311,22 @@ let e8 () =
       [ ""; "off"; seconds c_off.elapsed ]
     ]
 
-(* --- smoke mode: BENCH_5.json ------------------------------------------ *)
+(* --- smoke mode: BENCH_7.json ------------------------------------------ *)
 
 (* CI artifact: run every named workload under every configuration at a
    tiny scale factor — in both execution modes (row interpreter and the
    vectorized engine) — and dump per-run counters as JSON, plus a
    metrics-enabled row-mode re-run of the full configuration to measure
    the observability layer's overhead.  The two modes' result bags are
-   cross-checked on every run; a disagreement aborts the bench. *)
+   cross-checked on every run; a disagreement aborts the bench.
 
-let smoke ?(out = "BENCH_5.json") () =
+   Two regression gates guard the vectorized engine: every cell must
+   run at >= 0.95x the row engine (batched Apply killed the last
+   systematic vector-mode regressions), and no plan may cross the
+   row-engine bridge (bridge_crossings = 0 — every bench plan is fully
+   vectorized). *)
+
+let smoke ?(out = "BENCH_7.json") () =
   let sf = 0.01 in
   let db = database sf in
   let eng = Engine.create db in
@@ -341,6 +348,7 @@ let smoke ?(out = "BENCH_5.json") () =
          (fun r -> String.concat "|" (Array.to_list (Array.map Relalg.Value.to_string r)))
          e.Engine.result.rows)
   in
+  let regressions = ref [] in
   let entries =
     List.concat_map
       (fun (qname, sql) ->
@@ -353,6 +361,18 @@ let smoke ?(out = "BENCH_5.json") () =
               Printf.eprintf "ROW/VECTOR DISAGREEMENT on %s under %s\n%!" qname cname;
               exit 2
             end;
+            if e_vec.Engine.bridge_crossings > 0 then begin
+              Printf.eprintf
+                "BRIDGE CROSSING on %s under %s: %d subtrees fell back to the row \
+                 engine (bench plans must vectorize fully)\n%!"
+                qname cname e_vec.Engine.bridge_crossings;
+              exit 2
+            end;
+            let speedup_vs_row =
+              e_row.Engine.elapsed_s /. Float.max 1e-9 e_vec.Engine.elapsed_s
+            in
+            if speedup_vs_row < 0.95 then
+              regressions := (qname, cname, speedup_vs_row) :: !regressions;
             let entry mode (e : Engine.execution) extra =
               Printf.sprintf
                 "  {\"query\":%s,\"config\":%s,\"exec_mode\":%s,\"elapsed_s\":%.6f,\
@@ -372,11 +392,14 @@ let smoke ?(out = "BENCH_5.json") () =
                   (time_execute ~collect_metrics:true p).Engine.elapsed_s
               else ""
             in
-            let speedup =
-              Printf.sprintf ",\"speedup_vs_row\":%.2f"
-                (e_row.Engine.elapsed_s /. Float.max 1e-9 e_vec.Engine.elapsed_s)
+            let vector_extra =
+              Printf.sprintf
+                ",\"speedup_vs_row\":%.2f,\"bridge_crossings\":%d,\"apply_batches\":%d,\
+                 \"apply_bindings\":%d,\"apply_dedup_hits\":%d"
+                speedup_vs_row e_vec.Engine.bridge_crossings e_vec.Engine.apply_batches
+                e_vec.Engine.apply_bindings e_vec.Engine.apply_dedup_hits
             in
-            [ entry "row" e_row metrics_elapsed; entry "vector" e_vec speedup ])
+            [ entry "row" e_row metrics_elapsed; entry "vector" e_vec vector_extra ])
           configs)
       Workloads.all_named
   in
@@ -388,7 +411,16 @@ let smoke ?(out = "BENCH_5.json") () =
   output_string oc json;
   close_out oc;
   fmt "wrote %s (%d runs: %d workloads x %d configs x 2 exec modes, SF %.3f)\n" out
-    (List.length entries) (List.length Workloads.all_named) (List.length configs) sf
+    (List.length entries) (List.length Workloads.all_named) (List.length configs) sf;
+  if !regressions <> [] then begin
+    List.iter
+      (fun (q, c, s) ->
+        Printf.eprintf
+          "VECTOR REGRESSION: %s/%s ran at %.2fx the row engine (>= 0.95x required)\n%!"
+          q c s)
+      (List.rev !regressions);
+    exit 2
+  end
 
 (* --- concurrent mode: BENCH_6.json ------------------------------------- *)
 
@@ -398,6 +430,13 @@ let smoke ?(out = "BENCH_5.json") () =
    full configuration) and record throughput and latency percentiles
    per domain count.  Every reply is still differentially checked
    against the single-threaded row oracle — a wrong bag aborts.
+
+   Requested domain counts are clamped to the host's cores and each
+   distinct clamped count runs once: oversubscribed counts measure
+   scheduler interleaving, not scaling — minutes of bench time for a
+   misleadingly sub-1x row.  Clamped or skipped rows carry
+   ["oversubscribed": true] in the artifact so downstream dashboards
+   don't read them as regressions.
 
    The scaling assertion (4-domain throughput >= 2x single-domain) only
    fires when the host actually has >= 4 cores; on smaller hosts the
@@ -472,10 +511,36 @@ let concurrent ?(out = "BENCH_6.json") () =
   fmt "concurrent service bench: %d requests over %s (SF %.3f, %d cores)\n%!" requests
     (String.concat ", " (List.map (fun (n, _, _) -> n) apply_free))
     sf cores;
-  let runs = List.map run_at [ 1; 2; 4; 8 ] in
+  let plan =
+    let seen = Hashtbl.create 4 in
+    List.map
+      (fun want ->
+        let domains = min want cores in
+        if (want = 8 && cores < 2) || Hashtbl.mem seen domains then (want, None)
+        else begin
+          Hashtbl.add seen domains ();
+          (want, Some domains)
+        end)
+      [ 1; 2; 4; 8 ]
+  in
+  let runs =
+    List.map
+      (fun (want, action) ->
+        match action with
+        | None ->
+            fmt "  %d domain(s): skipped (host has %d core(s))\n%!" want cores;
+            (want, None)
+        | Some domains -> (want, Some (run_at domains)))
+      plan
+  in
   let speedup =
     let rps d =
-      List.find_map (fun (d', _, r, _) -> if d' = d then Some r else None) runs
+      List.find_map
+        (fun (_, r) ->
+          match r with
+          | Some (d', _, t, _) when d' = d -> Some t
+          | _ -> None)
+        runs
     in
     match (rps 1, rps 4) with
     | Some r1, Some r4 when r1 > 0. -> r4 /. r1
@@ -491,13 +556,20 @@ let concurrent ?(out = "BENCH_6.json") () =
       speedup
       (String.concat ",\n"
          (List.map
-            (fun (domains, elapsed, throughput, s) ->
-              Printf.sprintf
-                "  {\"domains\":%d,\"elapsed_s\":%.3f,\"throughput_rps\":%.1f,\
-                 \"latency\":%s,\"retried\":%d,\"degraded\":%d}"
-                domains elapsed throughput
-                (Service.Stats.percentiles_to_json s.Service.Stats.latency)
-                s.Service.Stats.retried s.Service.Stats.degraded)
+            (fun (want, r) ->
+              match r with
+              | None ->
+                  Printf.sprintf
+                    "  {\"requested\":%d,\"skipped\":true,\"oversubscribed\":true}"
+                    want
+              | Some (domains, elapsed, throughput, s) ->
+                  Printf.sprintf
+                    "  {\"requested\":%d,\"domains\":%d,\"oversubscribed\":%b,\
+                     \"elapsed_s\":%.3f,\"throughput_rps\":%.1f,\
+                     \"latency\":%s,\"retried\":%d,\"degraded\":%d}"
+                    want domains (want > domains) elapsed throughput
+                    (Service.Stats.percentiles_to_json s.Service.Stats.latency)
+                    s.Service.Stats.retried s.Service.Stats.degraded)
             runs))
   in
   let oc = open_out out in

@@ -125,6 +125,10 @@ type execution = {
   result : Exec.Executor.result;
   apply_invocations : int;
   rows_processed : int;
+  bridge_crossings : int;  (** vector mode: subtrees run on the row engine *)
+  apply_batches : int;  (** vector mode: batched-Apply outer batches *)
+  apply_bindings : int;  (** vector mode: distinct correlation bindings evaluated *)
+  apply_dedup_hits : int;  (** vector mode: outer rows that reused a binding *)
   elapsed_s : float;
   metrics : Exec.Metrics.node option;  (** per-operator tree, when collected *)
 }
@@ -155,6 +159,10 @@ let execute ?budget ?faults ?(collect_metrics = false) ?(mode = `Row) (t : t) (p
   { result = { col_names = List.map fst p.bound.outputs; rows };
     apply_invocations = ctx.apply_invocations;
     rows_processed = ctx.rows_processed;
+    bridge_crossings = ctx.bridge_crossings;
+    apply_batches = ctx.apply_batches;
+    apply_bindings = ctx.apply_bindings;
+    apply_dedup_hits = ctx.apply_dedup_hits;
     elapsed_s = t1 -. t0;
     metrics = Option.map Exec.Metrics.root metrics;
   }

@@ -55,6 +55,12 @@ type execution = {
   result : Exec.Executor.result;
   apply_invocations : int;  (** correlated inner evaluations performed *)
   rows_processed : int;
+  bridge_crossings : int;
+      (** vector mode: subtrees handed to the row interpreter; 0 means
+          the plan ran fully vectorized *)
+  apply_batches : int;  (** vector mode: batched-Apply outer batches *)
+  apply_bindings : int;  (** vector mode: distinct correlation bindings evaluated *)
+  apply_dedup_hits : int;  (** vector mode: outer rows that reused a binding *)
   elapsed_s : float;
   metrics : Exec.Metrics.node option;  (** per-operator tree, when collected *)
 }

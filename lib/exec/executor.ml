@@ -35,6 +35,12 @@ type ctx = {
       (** current SegmentApply segment: outer layout and segment rows *)
   mutable apply_invocations : int;  (** statistics for tests/benches *)
   mutable rows_processed : int;
+  mutable bridge_crossings : int;
+      (** vector mode: subtrees handed to this row interpreter *)
+  mutable apply_batches : int;  (** vector mode: batched-Apply outer batches *)
+  mutable apply_bindings : int;  (** vector mode: distinct parameter sets evaluated *)
+  mutable apply_dedup_hits : int;
+      (** vector mode: outer rows that reused an evaluated binding *)
   budget : Budget.t option;  (** cooperative resource limits *)
   faults : Faults.t option;  (** fault-injection plan (tests/harness) *)
   started : float;  (** Unix time at context creation, for timeouts *)
@@ -53,6 +59,10 @@ let make_ctx ?budget ?faults ?metrics db =
     seg = None;
     apply_invocations = 0;
     rows_processed = 0;
+    bridge_crossings = 0;
+    apply_batches = 0;
+    apply_bindings = 0;
+    apply_dedup_hits = 0;
     budget;
     faults;
     started = Unix.gettimeofday ();
@@ -565,31 +575,29 @@ and exec_join ctx env kind pred left right =
 (* Index fast path: the inner tree is Select(p, TableScan t) (possibly
    under a Project) where p contains an equality between an indexed
    column of t and an expression over outer columns only. *)
+and index_eq_pick tb (conj : expr list) (cols : Col.t list) :
+    (Col.t * expr * expr) option =
+  let scan_set = Col.Set.of_list cols in
+  let indexed (c : Col.t) = Storage.Table.find_index tb c.Col.name <> None in
+  List.find_map
+    (fun cj ->
+      let ok c e =
+        List.exists (Col.equal c) cols
+        && Col.Set.is_empty (Col.Set.inter (Expr.cols e) scan_set)
+        && indexed c
+      in
+      match cj with
+      | Cmp (Eq, ColRef c, e) when ok c e -> Some (c, e, cj)
+      | Cmp (Eq, e, ColRef c) when ok c e -> Some (c, e, cj)
+      | _ -> None)
+    conj
+
 and index_probe_path ctx (right : op) :
     (lookup -> row list) option =
   let try_scan pred table cols =
     let tb = Storage.Database.table ctx.db table in
     let conj = conjuncts pred in
-    let scan_set = Col.Set.of_list cols in
-    let indexed c = Storage.Table.find_index tb c.Col.name <> None in
-    let pick =
-      List.find_map
-        (fun cj ->
-          match cj with
-          | Cmp (Eq, ColRef c, e)
-            when List.exists (Col.equal c) cols
-                 && Col.Set.is_empty (Col.Set.inter (Expr.cols e) scan_set)
-                 && indexed c ->
-              Some (c, e, cj)
-          | Cmp (Eq, e, ColRef c)
-            when List.exists (Col.equal c) cols
-                 && Col.Set.is_empty (Col.Set.inter (Expr.cols e) scan_set)
-                 && indexed c ->
-              Some (c, e, cj)
-          | _ -> None)
-        conj
-    in
-    match pick with
+    match index_eq_pick tb conj cols with
     | None -> None
     | Some (c, probe_expr, used) ->
         let ix = Option.get (Storage.Table.find_index tb c.Col.name) in
@@ -619,6 +627,71 @@ and index_probe_path ctx (right : op) :
                 (f env)))
   | _ -> None
 
+(* The index fast path is a pure function of the inner tree: detect it
+   once per plan node, not once per Apply evaluation. *)
+and probe_path ctx (right : op) : (lookup -> row list) option =
+  match Metrics.PhysTbl.find_opt ctx.probe_cache right with
+  | Some f -> f
+  | None ->
+      let f = index_probe_path ctx right in
+      Metrics.PhysTbl.replace ctx.probe_cache right f;
+      f
+
+(* Parameterized inner-plan entry point: one evaluation of an Apply
+   inner tree under a binding of its correlation parameters.  The
+   vectorized engine's batched Apply calls this once per *distinct*
+   parameter set; the budget/fault accounting matches one row-mode
+   Apply iteration, so cooperative cancellation (deadlines, row and
+   apply caps) keeps firing inside batched execution.  Returns the
+   inner rows and whether the index fast path served them. *)
+(* Existence variant of the index fast path: a Semi/Anti Apply under a
+   constant-true predicate only needs to know whether ANY inner row
+   matches, so the residual filter can stop at the first candidate that
+   passes instead of materializing them all.  Early exit skips residual
+   evaluations the materializing path would perform, so it is offered
+   only when the residual cannot raise on one row but not another:
+   subquery-bearing residuals (Max1row violations are data-dependent)
+   are excluded, while comparisons/arithmetic are total by construction
+   ([Value.cmp_sql]/[Value.arith]) and boolean/LIKE type errors depend
+   only on column types, not row values.  A Project wrapper never
+   changes emptiness and its projections are skipped entirely, so the
+   same subquery-free condition applies to them. *)
+and probe_exists_path ctx (right : op) : (lookup -> bool) option =
+  let try_scan pred table cols =
+    let tb = Storage.Database.table ctx.db table in
+    let conj = conjuncts pred in
+    match index_eq_pick tb conj cols with
+    | None -> None
+    | Some (c, probe_expr, used) ->
+        let residual = conj_list (List.filter (fun x -> x != used) conj) in
+        if Expr.has_subquery residual then None
+        else
+          let ix = Option.get (Storage.Table.find_index tb c.Col.name) in
+          let pos = positions cols in
+          Some
+            (fun (env : lookup) ->
+              let v = eval ctx env probe_expr in
+              (not (Value.is_null v))
+              && List.exists
+                   (fun r -> eval_pred ctx (row_lookup pos r env) residual)
+                   (Storage.Table.index_lookup ix tb v))
+  in
+  match right with
+  | Select (p, TableScan { table; cols }) -> try_scan p table cols
+  | Project (projs, Select (p, TableScan { table; cols }))
+    when not (List.exists (fun (pr : proj) -> Expr.has_subquery pr.expr) projs)
+    ->
+      try_scan p table cols
+  | _ -> None
+
+and run_inner (ctx : ctx) (env : lookup) (right : op) : row list * bool =
+  ctx.apply_invocations <- ctx.apply_invocations + 1;
+  ctx.rows_processed <- ctx.rows_processed + 1;
+  check_budget ctx;
+  match probe_path ctx right with
+  | Some f -> (f env, true)
+  | None -> (run ctx env right, false)
+
 and exec_apply ctx env kind pred left right =
   let mnode = ctx.mnode in
   let lrows = run ctx env left in
@@ -627,16 +700,7 @@ and exec_apply ctx env kind pred left right =
   let lpos = pos_of ctx left and rpos = pos_of ctx right in
   let rarity = List.length rschema in
   let nulls = Array.make rarity Value.Null in
-  (* the index fast path is a pure function of the inner tree: detect
-     it once per plan node, not once per Apply evaluation *)
-  let fast =
-    match Metrics.PhysTbl.find_opt ctx.probe_cache right with
-    | Some f -> f
-    | None ->
-        let f = index_probe_path ctx right in
-        Metrics.PhysTbl.replace ctx.probe_cache right f;
-        f
-  in
+  let fast = probe_path ctx right in
   let out = ref [] in
   List.iter
     (fun (l : row) ->

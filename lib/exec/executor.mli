@@ -27,6 +27,12 @@ type ctx = {
       (** current SegmentApply segment (outer layout, rows) *)
   mutable apply_invocations : int;  (** statistics for benches/tests *)
   mutable rows_processed : int;
+  mutable bridge_crossings : int;
+      (** vector mode: subtrees handed to this row interpreter *)
+  mutable apply_batches : int;  (** vector mode: batched-Apply outer batches *)
+  mutable apply_bindings : int;  (** vector mode: distinct parameter sets evaluated *)
+  mutable apply_dedup_hits : int;
+      (** vector mode: outer rows that reused an evaluated binding *)
   budget : Budget.t option;  (** cooperative resource limits *)
   faults : Faults.t option;  (** fault-injection plan (tests/harness) *)
   started : float;  (** Unix time at context creation, for timeouts *)
@@ -88,6 +94,31 @@ val eval_pred : ctx -> lookup -> expr -> bool
 
 (** Execute a tree; rows are positional per {!Op.schema}. *)
 val run : ctx -> lookup -> op -> row list
+
+(** One evaluation of an Apply inner tree under a binding of its
+    correlation parameters (the environment).  Shared with the
+    vectorized engine's batched Apply, which calls it once per distinct
+    parameter set; accounts budget/counters like one row-mode Apply
+    iteration.  Returns the inner rows and whether the memoized index
+    fast path served them. *)
+val run_inner : ctx -> lookup -> op -> row list * bool
+
+(** The memoized index fast path for an Apply inner tree, when one
+    exists: [Some f] probes the index under a binding instead of
+    interpreting the tree.  Exposed so the vectorized engine can hoist
+    the (hash-consed but still per-call) cache lookup out of its
+    per-binding loop, as [exec_apply] does for its per-row loop; callers
+    taking this path must account budget/counters per invocation
+    themselves. *)
+val probe_path : ctx -> op -> (lookup -> row list) option
+
+(** Existence variant of the index fast path, for Semi/Anti Apply under
+    a constant-true predicate: [Some f] tests whether any inner row
+    matches a binding, stopping at the first candidate that passes the
+    residual filter.  Only offered when the residual (and any Project
+    wrapper) is subquery-free, so early exit cannot skip a
+    data-dependent error the materializing path would raise. *)
+val probe_exists_path : ctx -> op -> (lookup -> bool) option
 
 type result = { col_names : string list; rows : row list }
 

@@ -28,7 +28,10 @@ module PhysTbl = Hashtbl.Make (struct
 end)
 
 type node = {
-  label : string;  (** operator rendering, [Pp.label] *)
+  label : string Lazy.t;
+      (** operator rendering, [Pp.label] — lazy because rendering every
+          node eagerly made [create] the dominant fixed cost of
+          metrics-enabled execution on sub-millisecond queries *)
   mutable invocations : int;  (** times the operator was evaluated *)
   mutable rows_in : int;  (** cumulative input rows consumed *)
   mutable rows_out : int;  (** cumulative output rows produced *)
@@ -39,6 +42,11 @@ type node = {
   mutable bridge_crossings : int;
       (** times the vectorized engine handed this subtree to the row
           interpreter and converted the rows back into batches *)
+  mutable apply_batches : int;  (** outer batches processed by batched Apply *)
+  mutable apply_bindings : int;  (** distinct correlation-parameter sets evaluated *)
+  mutable apply_dedup_hits : int;
+      (** outer rows served by an already-evaluated binding (batched
+          Apply dedup; row mode evaluates the inner once per row) *)
   children : node list;
 }
 
@@ -64,7 +72,7 @@ let create (plan : op) : t =
   let rec build ?(sub = false) (o : op) : node =
     let subs = List.concat_map expr_subqueries (Op.local_exprs o) in
     let node =
-      { label = (if sub then "(sub) " else "") ^ Pp.label o;
+      { label = lazy ((if sub then "(sub) " else "") ^ Pp.label o);
         invocations = 0;
         rows_in = 0;
         rows_out = 0;
@@ -73,6 +81,9 @@ let create (plan : op) : t =
         hash_build_rows = 0;
         batches = 0;
         bridge_crossings = 0;
+        apply_batches = 0;
+        apply_bindings = 0;
+        apply_dedup_hits = 0;
         children =
           List.map (fun c -> build c) (Op.children o)
           @ List.map (build ~sub:true) subs;
@@ -97,6 +108,15 @@ let add_hash_build (n : node) (k : int) = n.hash_build_rows <- n.hash_build_rows
 let add_batch (n : node) = n.batches <- n.batches + 1
 let add_bridge (n : node) = n.bridge_crossings <- n.bridge_crossings + 1
 
+let add_apply_batch (n : node) ~(bindings : int) ~(dedup_hits : int) =
+  n.apply_batches <- n.apply_batches + 1;
+  n.apply_bindings <- n.apply_bindings + bindings;
+  n.apply_dedup_hits <- n.apply_dedup_hits + dedup_hits
+
+(* Tree-wide totals, for bench artifacts that need one number per run. *)
+let rec total (f : node -> int) (n : node) : int =
+  f n + List.fold_left (fun acc c -> acc + total f c) 0 n.children
+
 (* Output rows per input row, when the node consumed anything; the
    vector-mode rendering reports it as the operator's selectivity. *)
 let selectivity (n : node) : float option =
@@ -110,7 +130,7 @@ let render ?(times = true) (root : node) : string =
   let buf = Buffer.create 1024 in
   let rec go indent (n : node) =
     Buffer.add_string buf indent;
-    Buffer.add_string buf n.label;
+    Buffer.add_string buf (Lazy.force n.label);
     if n.invocations = 0 then Buffer.add_string buf "  [not executed]"
     else begin
       Buffer.add_string buf
@@ -128,6 +148,10 @@ let render ?(times = true) (root : node) : string =
       end;
       if n.bridge_crossings > 0 then
         Buffer.add_string buf (Printf.sprintf " bridged=%d" n.bridge_crossings);
+      if n.apply_batches > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf " apply-batches=%d bindings=%d dedup-hits=%d" n.apply_batches
+             n.apply_bindings n.apply_dedup_hits);
       Buffer.add_string buf ")"
     end;
     Buffer.add_char buf '\n';
@@ -157,9 +181,10 @@ let json_string (s : string) : string =
 
 let rec to_json (n : node) : string =
   Printf.sprintf
-    "{\"op\":%s,\"invocations\":%d,\"rows_in\":%d,\"rows_out\":%d,\"elapsed_s\":%.6f,\"fast_path_hits\":%d,\"hash_build_rows\":%d,\"batches\":%d,\"bridge_crossings\":%d%s,\"children\":[%s]}"
-    (json_string n.label) n.invocations n.rows_in n.rows_out n.elapsed_s
-    n.fast_path_hits n.hash_build_rows n.batches n.bridge_crossings
+    "{\"op\":%s,\"invocations\":%d,\"rows_in\":%d,\"rows_out\":%d,\"elapsed_s\":%.6f,\"fast_path_hits\":%d,\"hash_build_rows\":%d,\"batches\":%d,\"bridge_crossings\":%d,\"apply_batches\":%d,\"apply_bindings\":%d,\"apply_dedup_hits\":%d%s,\"children\":[%s]}"
+    (json_string (Lazy.force n.label)) n.invocations n.rows_in n.rows_out n.elapsed_s
+    n.fast_path_hits n.hash_build_rows n.batches n.bridge_crossings n.apply_batches
+    n.apply_bindings n.apply_dedup_hits
     (match selectivity n with
     | Some s when n.batches > 0 -> Printf.sprintf ",\"selectivity\":%.4f" s
     | _ -> "")

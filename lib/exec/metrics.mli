@@ -14,7 +14,8 @@ open Relalg.Algebra
 module PhysTbl : Hashtbl.S with type key = op
 
 type node = {
-  label : string;  (** operator rendering, [Pp.label] *)
+  label : string Lazy.t;
+      (** operator rendering, [Pp.label]; forced only when rendered *)
   mutable invocations : int;  (** times the operator was evaluated *)
   mutable rows_in : int;  (** cumulative input rows consumed *)
   mutable rows_out : int;  (** cumulative output rows produced *)
@@ -25,6 +26,10 @@ type node = {
   mutable bridge_crossings : int;
       (** times the vectorized engine handed this subtree to the row
           interpreter and converted the rows back into batches *)
+  mutable apply_batches : int;  (** outer batches processed by batched Apply *)
+  mutable apply_bindings : int;  (** distinct correlation-parameter sets evaluated *)
+  mutable apply_dedup_hits : int;
+      (** outer rows served by an already-evaluated binding *)
   children : node list;
 }
 
@@ -50,6 +55,14 @@ val add_batch : node -> unit
 (** One batch↔row bridge crossing (vector mode fell back to the row
     interpreter for this subtree). *)
 val add_bridge : node -> unit
+
+(** One batched-Apply outer batch: [bindings] distinct
+    correlation-parameter sets evaluated, [dedup_hits] outer rows that
+    reused an already-evaluated binding. *)
+val add_apply_batch : node -> bindings:int -> dedup_hits:int -> unit
+
+(** Sum a counter over the whole tree (bench artifacts). *)
+val total : (node -> int) -> node -> int
 
 (** rows_out / rows_in, when the node consumed any input. *)
 val selectivity : node -> float option

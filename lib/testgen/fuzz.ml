@@ -46,6 +46,12 @@ type config = {
   exec_mode : Engine.exec_mode;
       (** engine for the candidate side of every differential check;
           [`Vector] turns the sweep into a row-vs-vector harness *)
+  candidate : Optimizer.Config.t;
+      (** optimizer config for the candidate side; the reference stays
+          the correlated-only oracle.  [correlated_only] here makes the
+          candidate retain its Apply operators, so a [`Vector] sweep
+          exercises the batched-Apply paths instead of decorrelated
+          joins *)
 }
 
 let default_config ~seed ~cases =
@@ -56,6 +62,7 @@ let default_config ~seed ~cases =
     fault = None;
     shrink = true;
     exec_mode = `Row;
+    candidate = Optimizer.Config.full;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -79,12 +86,12 @@ let bag rows =
    verdict; everything else that is not agreement is a failure — in a
    fuzzer, even a Bind error is a bug (the generator emitted SQL the
    front end rejects). *)
-let classify ?budget ?mode (eng : Engine.t) (sql : string) : outcome =
+let classify ?budget ?mode ?candidate (eng : Engine.t) (sql : string) : outcome =
   match
     try
       `R
         (Engine.Errors.protect ~sql (fun () ->
-             Engine.check ?budget ?mode ~float_digits eng sql))
+             Engine.check ?candidate ?budget ?mode ~float_digits eng sql))
     with exn -> `Exn exn
   with
   | `R (Ok r) when r.Engine.agree && r.Engine.lint_errors <> [] ->
@@ -135,7 +142,8 @@ let classify_fault ?budget ~(fspec : Exec.Faults.spec) (eng : Engine.t) (sql : s
 let classify_spec (cfg : config) (eng : Engine.t) (spec : Qgen.spec) : outcome =
   let sql = Qgen.render spec in
   match cfg.fault with
-  | None -> classify ?budget:cfg.budget ~mode:cfg.exec_mode eng sql
+  | None ->
+      classify ?budget:cfg.budget ~mode:cfg.exec_mode ~candidate:cfg.candidate eng sql
   | Some fspec -> classify_fault ?budget:cfg.budget ~fspec eng sql
 
 let is_failure = function Mismatch _ | Failed _ -> true | Agree | Skipped _ -> false

@@ -85,6 +85,21 @@ let gather b c : Value.t array =
   let col = Lazy.force b.cols.(c) in
   Array.map (fun i -> col.(i)) b.sel
 
+(* Row-major scatter: columns over an array of source rows, extracted
+   lazily per column; [None] entries expand to all-NULL rows (the
+   padding side of outer Apply).  This is how batched Apply scatters
+   inner-plan results back against the outer selection vector. *)
+let scatter (schema : Col.t list) (rows : Value.t array option array) : t =
+  let n = Array.length rows in
+  let cols =
+    Array.init (List.length schema) (fun c ->
+        lazy
+          (Array.map
+             (function Some (r : Value.t array) -> r.(c) | None -> Value.Null)
+             rows))
+  in
+  { schema; cols; sel = iota n }
+
 (* Sub-batch of the given slots (slot indices, not physical); columns
    gather lazily, only if read. *)
 let take b (slots : int array) : t =

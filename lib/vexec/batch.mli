@@ -37,6 +37,11 @@ val to_rows : t -> Relalg.Value.t array list
 (** Column [c] gathered into a dense slot-indexed array. *)
 val gather : t -> int -> Relalg.Value.t array
 
+(** Row-major scatter: lazy columns over an array of source rows;
+    [None] entries expand to all-NULL rows (outer-Apply padding). *)
+val scatter :
+  Relalg.Col.t list -> Relalg.Value.t array option array -> t
+
 (** Dense sub-batch of the given slot indices. *)
 val take : t -> int array -> t
 

@@ -7,12 +7,23 @@
    arithmetic) minus short-circuiting, which is observationally
    equivalent on type-correct plans.
 
+   Apply and SegmentApply execute natively as *batched nested
+   iteration* (Guravannavar): collect an outer batch, deduplicate the
+   correlation-parameter tuples (NULL-safe value hashing), evaluate
+   the inner plan once per distinct binding through the row engine's
+   parameterized entry point — or, when the inner is a non-indexed
+   filterable scan, rewrite at exec time into one hash-probe pass over
+   the table against the batched bindings — then scatter the inner
+   results back through the selection vector with the bag semantics of
+   each Apply variant (cross/outer/semi/anti, SegmentApply's
+   per-segment grouping).
+
    Coverage is per node: any subtree rooted at an operator this engine
-   does not vectorize (Apply, SegmentApply, Max1row, Rownum, non-equi
-   joins, subquery-bearing expressions) is handed to the row
-   interpreter wholesale and its rows converted back into batches — the
-   bridge keeps the two engines bag-identical on every plan while
-   letting the vectorized operators carry the decorrelated fast paths.
+   does not vectorize (Max1row, Rownum,
+   subquery-bearing expressions) is handed to the row interpreter
+   wholesale and its rows converted back into batches — the bridge
+   keeps the two engines bag-identical on every plan while letting the
+   vectorized operators carry the decorrelated fast paths.
 
    Budget accounting and fault injection run at batch granularity:
    every pull of every compiled operator ticks the operator's fault
@@ -170,8 +181,31 @@ let rec eval_flags (b : Batch.t) (pos : (int, int) Hashtbl.t) (e : expr) : bool 
               | Gt -> c > 0
               | Ge -> c >= 0))
   | And (x, y) ->
-      let fx = eval_flags b pos x and fy = eval_flags b pos y in
-      Array.init n (fun i -> fx.(i) && fy.(i))
+      (* batch-level short-circuit: evaluate [y] only on rows surviving
+         [x] — the row engine's lazy AND, column-at-a-time, so a cheap
+         selective first conjunct keeps an expensive second one (LIKE,
+         arithmetic) proportional to survivors *)
+      let fx = eval_flags b pos x in
+      let m = ref 0 in
+      Array.iter (fun f -> if f then incr m) fx;
+      if !m = n then eval_flags b pos y
+      else if !m = 0 then fx
+      else begin
+        let idx = Array.make !m 0 in
+        let j = ref 0 in
+        for i = 0 to n - 1 do
+          if fx.(i) then begin
+            idx.(!j) <- i;
+            incr j
+          end
+        done;
+        let fy = eval_flags (Batch.take b idx) pos y in
+        let out = Array.make n false in
+        for j = 0 to !m - 1 do
+          out.(idx.(j)) <- fy.(j)
+        done;
+        out
+      end
   | Or (x, y) ->
       let fx = eval_flags b pos x and fy = eval_flags b pos y in
       Array.init n (fun i -> fx.(i) || fy.(i))
@@ -195,21 +229,15 @@ let rec eval_flags (b : Batch.t) (pos : (int, int) Hashtbl.t) (e : expr) : bool 
 (* ------------------------------------------------------------------ *)
 
 (* Node-local coverage check; a node whose own shape the engine cannot
-   vectorize routes its whole subtree over the bridge.  Joins need at
-   least one equi-conjunct (the hash path); pure theta joins go to the
-   row interpreter's nested loop. *)
+   vectorize routes its whole subtree over the bridge.  Joins with an
+   equi-conjunct take the hash path; cross and pure theta joins run as
+   a batch nested loop. *)
 let node_supported (o : op) : bool =
   match o with
   | TableScan _ | ConstTable _ | UnionAll _ | Except _ -> true
   | Select (p, _) -> vectorizable_expr p
   | Project (projs, _) -> List.for_all (fun (p : proj) -> vectorizable_expr p.expr) projs
-  | Join { pred; left; right; _ } ->
-      vectorizable_expr pred
-      &&
-      let equi, _ =
-        Ex.split_equi_conjuncts pred (Op.schema_set left) (Op.schema_set right)
-      in
-      equi <> []
+  | Join { pred; _ } -> vectorizable_expr pred
   | GroupBy { aggs; _ } | LocalGroupBy { aggs; _ } | ScalarAgg { aggs; _ } ->
       List.for_all
         (fun (a : agg) ->
@@ -217,7 +245,9 @@ let node_supported (o : op) : bool =
           | None -> true
           | Some e -> vectorizable_expr e)
         aggs
-  | Apply _ | SegmentApply _ | SegmentHole _ | Max1row _ | Rownum _ -> false
+  | Apply { pred; _ } -> vectorizable_expr pred
+  | SegmentApply _ | SegmentHole _ -> true
+  | Max1row _ | Rownum _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Growable int arrays (join pair collection)                         *)
@@ -303,6 +333,7 @@ let bridge (v : vctx) (o : op) : source =
       | Some bs -> bs
       | None ->
           (match node with Some nd -> Metrics.add_bridge nd | None -> ());
+          v.ctx.Ex.bridge_crossings <- v.ctx.Ex.bridge_crossings + 1;
           (* The row interpreter does its own fault/budget/metrics
              accounting for the whole subtree. *)
           let rows = Ex.run v.ctx Ex.empty_lookup o in
@@ -369,8 +400,10 @@ end)
    flat [int array] and hashing needs no boxed values at all.
    [min_int] is the table sentinel, so columns containing it (or any
    non-int value) fall back to the generic value-keyed path; NULLs are
-   admitted only when the caller treats the sentinel as "no key" (join
-   keys, where NULL never matches). *)
+   admitted only when the caller gives the sentinel a NULL-consistent
+   meaning — "no key" for join keys (NULL never matches), "NULL class"
+   for multi-column grouping keys (NULL groups with NULL, matching
+   [Value.equal]). *)
 let int_sentinel = min_int
 
 let int_key_view ~nulls_ok (col : Value.t array) : int array option =
@@ -463,29 +496,72 @@ let group_indices (key_cols : Value.t array list) (n : int) :
           done);
       (gidx, !ng, [ Array.sub !keys_out 0 !ng ])
   | key_cols ->
-      let groups = Ex.VTbl.create 256 in
-      let order = ref [] in
-      let ng = ref 0 in
-      for s = 0 to n - 1 do
-        let k = List.map (fun kc -> kc.(s)) key_cols in
-        let g =
-          match Ex.VTbl.find_opt groups k with
-          | Some g -> g
-          | None ->
-              let g = !ng in
-              Ex.VTbl.add groups k g;
-              order := k :: !order;
-              incr ng;
-              g
-        in
-        gidx.(s) <- g
+      (* multi-column keys: open addressing over representative slots —
+         rows compare column-wise against each group's first row, so no
+         per-row key list is ever allocated (the row engine's [VTbl]
+         path allocates one per input row, which dominated wide-key
+         grouping) *)
+      let cols = Array.of_list key_cols in
+      let k = Array.length cols in
+      let cap = ref 64 in
+      while !cap < 2 * (n + 1) do
+        cap := !cap * 2
       done;
-      let keys_arr = Array.of_list (List.rev !order) in
-      let out =
-        List.mapi
-          (fun ki _ -> Array.init !ng (fun g -> List.nth keys_arr.(g) ki))
-          key_cols
+      let table = Array.make !cap (-1) in
+      let mask = !cap - 1 in
+      let reps = ref (Array.make 64 0) in
+      let ng = ref 0 in
+      (* per-column int views (NULL -> sentinel: NULL groups with NULL,
+         exactly [Value.equal]'s answer) let both hashing and equality
+         run on flat ints; hashes accumulate column-major into one
+         per-row array, so the boxed [Value.hash] only runs on columns
+         that are genuinely non-int *)
+      let views = Array.map (int_key_view ~nulls_ok:true) cols in
+      let hrow = Array.make n 7 in
+      for c = 0 to k - 1 do
+        match views.(c) with
+        | Some iv ->
+            for s = 0 to n - 1 do
+              hrow.(s) <- (hrow.(s) * 31) + (iv.(s) * 0x9E3779B1 land max_int)
+            done
+        | None ->
+            let col = cols.(c) in
+            for s = 0 to n - 1 do
+              hrow.(s) <- (hrow.(s) * 31) + Value.hash col.(s)
+            done
+      done;
+      let equal_rows a b =
+        let rec go c =
+          c >= k
+          || ((match views.(c) with
+             | Some iv -> iv.(a) = iv.(b)
+             | None -> Value.equal cols.(c).(a) cols.(c).(b))
+             && go (c + 1))
+        in
+        go 0
       in
+      for s = 0 to n - 1 do
+        let i = ref (hrow.(s) land max_int land mask) in
+        let g = ref (-1) in
+        while !g < 0 do
+          match table.(!i) with
+          | -1 ->
+              if !ng >= Array.length !reps then begin
+                let a = Array.make (2 * !ng) 0 in
+                Array.blit !reps 0 a 0 !ng;
+                reps := a
+              end;
+              !reps.(!ng) <- s;
+              table.(!i) <- !ng;
+              g := !ng;
+              incr ng
+          | g0 when equal_rows !reps.(g0) s -> g := g0
+          | _ -> i := (!i + 1) land mask
+        done;
+        gidx.(s) <- !g
+      done;
+      let reps = Array.sub !reps 0 !ng in
+      let out = List.map (fun kc -> Array.map (fun s -> kc.(s)) reps) key_cols in
       (gidx, !ng, out)
 
 (* Kernel dispatch: a numeric column whose live values are all Float
@@ -612,6 +688,127 @@ let agg_grouped (fn : agg_fn) (input : Value.t array option) (gidx : int array)
                   if seen.(g) then Value.Int best.(g) else Value.Null)
           | Mixed -> generic ()))
 
+(* ------------------------------------------------------------------ *)
+(* Batched Apply: batched nested iteration over distinct bindings     *)
+(* ------------------------------------------------------------------ *)
+
+(* Exec-time hash-join rewrite: the inner is a filtered scan (possibly
+   under a projection) with an equality conjunct between a scan column
+   and an outer-only expression, and the column has NO index — an
+   indexed key already gets O(1) probes per binding through the row
+   engine's fast path, so the rewrite targets exactly the case where
+   the row engine re-scans the table once per outer row.  One
+   hash-probe pass over the table per outer batch serves every
+   distinct binding at once. *)
+type apply_rewrite = {
+  rw_table : string;
+  rw_cols : Col.t list;  (** scan schema *)
+  rw_key : int;  (** scan-side key column position *)
+  rw_probe : expr;  (** outer-only key expression *)
+  rw_residual : expr;  (** remaining scan-filter conjuncts *)
+  rw_projs : proj list option;  (** Project wrapper, if any *)
+}
+
+let detect_apply_rewrite (v : vctx) (right : op) : apply_rewrite option =
+  let try_scan projs pred table cols =
+    let tb = Storage.Database.table v.ctx.Ex.db table in
+    let scan_set = Col.Set.of_list cols in
+    let spos = positions cols in
+    let conj = conjuncts pred in
+    let indexed (c : Col.t) = Storage.Table.find_index tb c.Col.name <> None in
+    List.find_map
+      (fun cj ->
+        let candidate (c : Col.t) e =
+          if
+            List.exists (Col.equal c) cols
+            && Col.Set.is_empty (Col.Set.inter (Relalg.Expr.cols e) scan_set)
+            && not (indexed c)
+          then
+            Option.map
+              (fun key ->
+                { rw_table = table;
+                  rw_cols = cols;
+                  rw_key = key;
+                  rw_probe = e;
+                  rw_residual = conj_list (List.filter (fun x -> x != cj) conj);
+                  rw_projs = projs;
+                })
+              (Hashtbl.find_opt spos c.Col.id)
+          else None
+        in
+        match cj with
+        | Cmp (Eq, ColRef c, e) -> candidate c e
+        | Cmp (Eq, e, ColRef c) -> candidate c e
+        | _ -> None)
+      conj
+  in
+  match right with
+  | Select (p, TableScan { table; cols }) -> try_scan None p table cols
+  | Project (projs, Select (p, TableScan { table; cols })) ->
+      try_scan (Some projs) p table cols
+  | _ -> None
+
+(* Evaluate the rewrite for [ng] distinct bindings: hash the binding
+   keys, scan the table once, bucket matching rows per binding in table
+   order (the row engine's output order for a filtered scan).  Budget
+   accounting matches one row-mode Apply iteration per binding, so
+   cooperative cancellation fires exactly as in [Ex.run_inner].
+   [Value.equal]/[Value.hash] agree with [cmp_sql] on non-NULL values
+   (Int/Float coercion included), so hash matching is exact. *)
+let run_rewrite (v : vctx) (rw : apply_rewrite) (ng : int) (env_of : int -> Ex.lookup) :
+    Ex.row array array =
+  let ctx = v.ctx in
+  let tb = Storage.Database.table ctx.Ex.db rw.rw_table in
+  let spos = positions rw.rw_cols in
+  let envs = Array.init ng env_of in
+  let build = VTbl1.create (max 16 (2 * ng)) in
+  for g = 0 to ng - 1 do
+    ctx.Ex.apply_invocations <- ctx.Ex.apply_invocations + 1;
+    ctx.Ex.rows_processed <- ctx.Ex.rows_processed + 1;
+    Ex.check_budget ctx;
+    let k = Ex.eval ctx envs.(g) rw.rw_probe in
+    if not (Value.is_null k) then
+      VTbl1.replace build k (g :: (try VTbl1.find build k with Not_found -> []))
+  done;
+  let rows = tb.Storage.Table.rows in
+  Ex.account_rows ctx (Array.length rows);
+  let residual_true = is_true_const rw.rw_residual in
+  let out = Array.make (max 1 ng) [] in
+  for i = 0 to Array.length rows - 1 do
+    let r = rows.(i) in
+    let key = r.(rw.rw_key) in
+    if not (Value.is_null key) then
+      match VTbl1.find_opt build key with
+      | None -> ()
+      | Some gs ->
+          List.iter
+            (fun g ->
+              let lenv id =
+                match Hashtbl.find_opt spos id with
+                | Some ix -> Some r.(ix)
+                | None -> envs.(g) id
+              in
+              if residual_true || Ex.eval_pred ctx lenv rw.rw_residual then
+                out.(g) <- r :: out.(g))
+            gs
+  done;
+  Array.init ng (fun g ->
+      let matched = List.rev out.(g) in
+      match rw.rw_projs with
+      | None -> Array.of_list matched
+      | Some projs ->
+          Array.of_list
+            (List.map
+               (fun (r : Ex.row) ->
+                 let lenv id =
+                   match Hashtbl.find_opt spos id with
+                   | Some ix -> Some r.(ix)
+                   | None -> envs.(g) id
+                 in
+                 Array.of_list
+                   (List.map (fun (p : proj) -> Ex.eval ctx lenv p.expr) projs))
+               matched))
+
 let rec compile (v : vctx) (o : op) : source =
   if not (node_supported o) then bridge v o
   else begin
@@ -629,8 +826,15 @@ let rec compile (v : vctx) (o : op) : source =
       | ScalarAgg { aggs; input } -> compile_scalar_agg v node aggs input
       | UnionAll (l, r) -> compile_union v node (Op.schema o) l r
       | Except (l, r) -> compile_except v node l r
-      | Apply _ | SegmentApply _ | SegmentHole _ | Max1row _ | Rownum _ ->
-          assert false (* node_supported routed these to the bridge *)
+      | Apply { kind; pred; left; right } -> compile_apply v node kind pred left right
+      | SegmentApply { seg_cols; outer; inner } ->
+          compile_segment_apply v node seg_cols outer inner
+      | SegmentHole { cols; src } -> compile_segment_hole v cols src
+      | Max1row _ | Rownum _ ->
+          (* node_supported routes these to the bridge; reaching here is
+             a coverage bug, but one the service can degrade from *)
+          runtime_error "vectorized compile reached unsupported operator: %s"
+            (Relalg.Pp.label o)
     in
     instrument v o node src
   end
@@ -703,7 +907,10 @@ and compile_project (v : vctx) node (projs : proj list) (i : op) : source =
                        | None ->
                            runtime_error "unbound column in projection: %s#%d"
                              c.Col.name c.Col.id)
-                   | _ -> assert false)
+                   | _ ->
+                       runtime_error
+                         "vectorized projection reached a computed expression on \
+                          the rename-only path")
                  projs)
           in
           Some { Batch.schema; cols; sel = b.Batch.sel }
@@ -742,6 +949,16 @@ and compile_join (v : vctx) node (kind : join_kind) (pred : expr) (left : op) (r
       let built = ref 0 in
       let pls = Ints.create () and prs = Ints.create () in
       (match equi with
+      | [] ->
+          (* no equi-conjunct (cross or pure theta join): every (l, r)
+             pair, with the whole predicate as residual — the row
+             engine's nested loop, batch-at-a-time *)
+          for s = 0 to nl - 1 do
+            for t = 0 to nr - 1 do
+              Ints.push pls s;
+              Ints.push prs t
+            done
+          done
       | [ (ae, be) ] -> (
           let rkey = eval_cols rb rpos be in
           let lkey = eval_cols lb lpos ae in
@@ -984,6 +1201,403 @@ and compile_except (v : vctx) node (l : op) (r : op) : source =
               incr k
         done;
         Some { b with Batch.sel = Array.sub keep 0 !k }
+
+(* Batched Apply.  Per outer batch: deduplicate the correlation
+   parameter tuples (NULL-safe, same value equality as grouping),
+   evaluate the inner plan once per *distinct* binding — via the
+   exec-time hash-join rewrite when the inner is a non-indexed filtered
+   scan, else through the row engine's parameterized entry point (which
+   itself memoizes the index-probe fast path) — then scatter the inner
+   rows back against the outer selection vector.  Pairs are emitted
+   slot-major (outer order) with inner rows in inner order, matching
+   the row engine's Apply output order exactly. *)
+and compile_apply (v : vctx) node (kind : join_kind) (pred : expr) (left : op)
+    (right : op) : source =
+  let child = consuming node (compile v left) in
+  let lschema = Op.schema left and rschema = Op.schema right in
+  let out_schema = lschema @ rschema in
+  let free = Op.free_cols right in
+  (* correlation parameters: outer columns the inner tree references *)
+  let params =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun (c : Col.t) ->
+        Col.Set.mem c free
+        && not (Hashtbl.mem seen c.Col.id)
+        && (Hashtbl.add seen c.Col.id ();
+            true))
+      lschema
+  in
+  let lpos = positions lschema in
+  let param_ids = Array.of_list (List.map (fun (c : Col.t) -> c.Col.id) params) in
+  let nparams = Array.length param_ids in
+  let rewrite = if nparams = 0 then None else detect_apply_rewrite v right in
+  let true_pred = is_true_const pred in
+  let cpos = lazy (positions out_schema) in
+  let ctx = v.ctx in
+  (* hoist the probe-path cache lookup out of the per-binding loop —
+     the row engine's [exec_apply] does the same for its per-row loop *)
+  let probe = Ex.probe_path ctx right in
+  let run_binding : (Ex.lookup -> Ex.row list) =
+    match probe with
+    | Some f ->
+        fun env ->
+          ctx.Ex.apply_invocations <- ctx.Ex.apply_invocations + 1;
+          ctx.Ex.rows_processed <- ctx.Ex.rows_processed + 1;
+          Ex.check_budget ctx;
+          (match node with Some nd -> Metrics.add_fast_hit nd | None -> ());
+          f env
+    | None -> fun env -> fst (Ex.run_inner ctx env right)
+  in
+  (* Semi/Anti under a constant-true predicate only need existence per
+     binding — no pair construction, no row materialization; with an
+     index on the whole inner predicate, not even a row list *)
+  let existence_only =
+    match kind with Semi | Anti -> true_pred | _ -> false
+  in
+  let exists_probe =
+    if existence_only then Ex.probe_exists_path ctx right else None
+  in
+  let param_pos =
+    Array.of_list
+      (List.map
+         (fun (c : Col.t) ->
+           match Hashtbl.find_opt lpos c.Col.id with
+           | Some i -> i
+           | None -> runtime_error "correlation parameter missing: %s" c.Col.name)
+         params)
+  in
+  let process (lb : Batch.t) : Batch.t list =
+    let n = Batch.length lb in
+    let pcols = Array.map (fun i -> Batch.gather lb i) param_pos in
+    let gidx, ng, _ = group_indices (Array.to_list pcols) n in
+    (match node with
+    | Some nd -> Metrics.add_apply_batch nd ~bindings:ng ~dedup_hits:(n - ng)
+    | None -> ());
+    ctx.Ex.apply_batches <- ctx.Ex.apply_batches + 1;
+    ctx.Ex.apply_bindings <- ctx.Ex.apply_bindings + ng;
+    ctx.Ex.apply_dedup_hits <- ctx.Ex.apply_dedup_hits + (n - ng);
+    (* representative outer slot per binding *)
+    let reps = Array.make (max 1 ng) 0 in
+    for s = n - 1 downto 0 do
+      reps.(gidx.(s)) <- s
+    done;
+    let env_of g =
+      let s = reps.(g) in
+      fun id ->
+        let rec go k =
+          if k >= nparams then None
+          else if param_ids.(k) = id then Some pcols.(k).(s)
+          else go (k + 1)
+        in
+        go 0
+    in
+    (* one reusable binding environment for the eager per-binding calls
+       (a closure per binding only matters at this scale because the
+       whole query is tens of microseconds); [run_rewrite] keeps
+       [env_of] — it retains one env per binding *)
+    let cursor = ref 0 in
+    let cursor_env : Ex.lookup =
+      if nparams = 1 then (
+        let id0 = param_ids.(0) and col0 = pcols.(0) in
+        fun id -> if id = id0 then Some col0.(reps.(!cursor)) else None)
+      else
+        fun id ->
+          let s = reps.(!cursor) in
+          let rec go k =
+            if k >= nparams then None
+            else if param_ids.(k) = id then Some pcols.(k).(s)
+            else go (k + 1)
+          in
+          go 0
+    in
+    let result =
+      match rewrite with
+      | None when existence_only ->
+          (* existence only: no pair construction, no predicate pass,
+             and the inner row lists are never materialized as arrays *)
+          let want = kind = Semi in
+          let nonempty =
+            match exists_probe with
+            | Some f ->
+                Array.init ng (fun g ->
+                    cursor := g;
+                    ctx.Ex.apply_invocations <- ctx.Ex.apply_invocations + 1;
+                    ctx.Ex.rows_processed <- ctx.Ex.rows_processed + 1;
+                    Ex.check_budget ctx;
+                    (match node with
+                    | Some nd -> Metrics.add_fast_hit nd
+                    | None -> ());
+                    f cursor_env)
+            | None ->
+                Array.init ng (fun g ->
+                    cursor := g;
+                    match run_binding cursor_env with
+                    | [] -> false
+                    | _ :: _ -> true)
+          in
+          let keep = Ints.create () in
+          for s = 0 to n - 1 do
+            if nonempty.(gidx.(s)) = want then Ints.push keep s
+          done;
+          Batch.take lb (Ints.to_array keep)
+      | _ ->
+          let group_rows =
+            match rewrite with
+            | Some rw -> run_rewrite v rw ng env_of
+            | None ->
+                Array.init ng (fun g ->
+                    cursor := g;
+                    Array.of_list (run_binding cursor_env))
+          in
+          (match kind with
+          | (Semi | Anti) when true_pred ->
+              (* existence only off the rewrite's per-group arrays *)
+              let want = kind = Semi in
+              let keep = Ints.create () in
+              for s = 0 to n - 1 do
+                if Array.length group_rows.(gidx.(s)) > 0 = want then
+                  Ints.push keep s
+              done;
+              Batch.take lb (Ints.to_array keep)
+          | Inner when true_pred ->
+              (* every (outer slot, inner row) pair survives: build the
+                 output columns in one pass straight off the group row
+                 arrays — outer values replicate run-length per slot, no
+                 pair-index/row/option intermediates.  This is the hot
+                 shape (correlated scan feeding an aggregate). *)
+              let counts = Array.make (max 1 n) 0 in
+              let npairs = ref 0 in
+              for s = 0 to n - 1 do
+                let m = Array.length group_rows.(gidx.(s)) in
+                counts.(s) <- m;
+                npairs := !npairs + m
+              done;
+              let npairs = !npairs in
+              let lcols =
+                Array.map
+                  (fun col ->
+                    lazy
+                      (let src = Lazy.force col in
+                       let out = Array.make npairs Value.Null in
+                       let p = ref 0 in
+                       for s = 0 to n - 1 do
+                         let v = src.(lb.Batch.sel.(s)) in
+                         for _ = 1 to counts.(s) do
+                           out.(!p) <- v;
+                           incr p
+                         done
+                       done;
+                       out))
+                  lb.Batch.cols
+              in
+              let rcols =
+                Array.init (List.length rschema) (fun c ->
+                    lazy
+                      (let out = Array.make npairs Value.Null in
+                       let p = ref 0 in
+                       for s = 0 to n - 1 do
+                         let rows = group_rows.(gidx.(s)) in
+                         for j = 0 to Array.length rows - 1 do
+                           out.(!p) <- rows.(j).(c);
+                           incr p
+                         done
+                       done;
+                       out))
+              in
+              { Batch.schema = out_schema;
+                cols = Array.append lcols rcols;
+                sel = Batch.iota npairs
+              }
+          | _ ->
+          (* scatter: one (outer slot, inner row) pair list, slot-major *)
+          let starts = Array.make (n + 1) 0 in
+          for s = 0 to n - 1 do
+            starts.(s + 1) <- starts.(s) + Array.length group_rows.(gidx.(s))
+          done;
+          let npairs = starts.(n) in
+          let pair_slots = Array.make npairs 0 in
+          let pair_rows = Array.make (max 1 npairs) [||] in
+          for s = 0 to n - 1 do
+            let rows = group_rows.(gidx.(s)) in
+            let base = starts.(s) in
+            Array.iteri
+              (fun j r ->
+                pair_slots.(base + j) <- s;
+                pair_rows.(base + j) <- r)
+              rows
+          done;
+          let flags =
+            if true_pred then [||] (* unused: every pair is kept *)
+            else begin
+              let lpart = Batch.take lb pair_slots in
+              let rpart =
+                Batch.scatter rschema (Array.init npairs (fun p -> Some pair_rows.(p)))
+              in
+              let combined =
+                { Batch.schema = out_schema;
+                  cols = Array.append lpart.Batch.cols rpart.Batch.cols;
+                  sel = Batch.iota npairs
+                }
+              in
+              eval_flags combined (Lazy.force cpos) pred
+            end
+          in
+          let kept p = true_pred || flags.(p) in
+          let paired slots rows =
+            let lpart = Batch.take lb slots and rpart = Batch.scatter rschema rows in
+            { Batch.schema = out_schema;
+              cols = Array.append lpart.Batch.cols rpart.Batch.cols;
+              sel = Batch.iota (Array.length slots)
+            }
+          in
+          (match kind with
+          | Inner ->
+              let keep = Ints.create () in
+              Array.iteri (fun p f -> if f then Ints.push keep p) flags;
+              let keep = Ints.to_array keep in
+              paired
+                (Array.map (fun p -> pair_slots.(p)) keep)
+                (Array.map (fun p -> Some pair_rows.(p)) keep)
+          | LeftOuter ->
+              (* matched pairs in place; an unmatched outer slot emits one
+                 NULL-padded row ([Batch.scatter] expands [None]) *)
+              let slots = Ints.create () and rows = ref [] in
+              for s = 0 to n - 1 do
+                let matched = ref false in
+                for p = starts.(s) to starts.(s + 1) - 1 do
+                  if kept p then begin
+                    matched := true;
+                    Ints.push slots s;
+                    rows := Some pair_rows.(p) :: !rows
+                  end
+                done;
+                if not !matched then begin
+                  Ints.push slots s;
+                  rows := None :: !rows
+                end
+              done;
+              paired (Ints.to_array slots) (Array.of_list (List.rev !rows))
+          | Semi | Anti ->
+              let want = kind = Semi in
+              let keep = Ints.create () in
+              for s = 0 to n - 1 do
+                let matched = ref false in
+                for p = starts.(s) to starts.(s + 1) - 1 do
+                  if kept p then matched := true
+                done;
+                if !matched = want then Ints.push keep s
+              done;
+              Batch.take lb (Ints.to_array keep)))
+    in
+    Batch.chunks ~size:v.batch_size result
+  in
+  let pending = ref [] in
+  let rec pull () =
+    match !pending with
+    | b :: rest ->
+        pending := rest;
+        Some b
+    | [] -> (
+        match child () with
+        | None -> None
+        | Some lb ->
+            if Batch.length lb = 0 then pull ()
+            else begin
+              pending := process lb;
+              pull ()
+            end)
+  in
+  pull
+
+(* SegmentApply: drain the outer, partition by the segment columns
+   (first-seen order, like the row engine), run the inner once per
+   segment with [ctx.seg] bound, and pair each inner row with the
+   segment's proto row — segment key columns carry the defining values,
+   other outer columns are NULL. *)
+and compile_segment_apply (v : vctx) node (seg_cols : Col.t list) (outer : op)
+    (inner : op) : source =
+  let osrc = consuming node (compile v outer) in
+  let oschema = Op.schema outer and ischema = Op.schema inner in
+  let out_schema = oschema @ ischema in
+  let oarity = List.length oschema in
+  emit (fun () ->
+      let ob = drain oschema osrc in
+      let opos = positions oschema in
+      let seg_pos =
+        Array.of_list
+          (List.map
+             (fun (c : Col.t) ->
+               match Hashtbl.find_opt opos c.Col.id with
+               | Some i -> i
+               | None -> runtime_error "segment column missing: %s" c.Col.name)
+             seg_cols)
+      in
+      let n = Batch.length ob in
+      let key_cols = Array.map (Batch.gather ob) seg_pos in
+      let gidx, ng, _ = group_indices (Array.to_list key_cols) n in
+      (match node with
+      | Some nd -> Metrics.add_apply_batch nd ~bindings:ng ~dedup_hits:(n - ng)
+      | None -> ());
+      v.ctx.Ex.apply_batches <- v.ctx.Ex.apply_batches + 1;
+      v.ctx.Ex.apply_bindings <- v.ctx.Ex.apply_bindings + ng;
+      v.ctx.Ex.apply_dedup_hits <- v.ctx.Ex.apply_dedup_hits + (n - ng);
+      (* member slots per segment, in row order *)
+      let members = Array.make (max 1 ng) [] in
+      for s = n - 1 downto 0 do
+        members.(gidx.(s)) <- s :: members.(gidx.(s))
+      done;
+      let out = ref [] in
+      for g = 0 to ng - 1 do
+        let slots = members.(g) in
+        let seg_rows = List.map (Batch.row ob) slots in
+        let rep = List.hd slots in
+        let saved = v.ctx.Ex.seg in
+        v.ctx.Ex.seg <- Some (oschema, seg_rows);
+        let ib =
+          Fun.protect
+            ~finally:(fun () -> v.ctx.Ex.seg <- saved)
+            (fun () -> drain ischema (compile v inner))
+        in
+        let m = Batch.length ib in
+        if m > 0 then begin
+          let proto = Array.make oarity Value.Null in
+          Array.iteri (fun k p -> proto.(p) <- key_cols.(k).(rep)) seg_pos;
+          let lcols = Array.init oarity (fun c -> lazy (Array.make m proto.(c))) in
+          let ibd = Batch.take ib (Batch.iota m) in
+          out :=
+            { Batch.schema = out_schema;
+              cols = Array.append lcols ibd.Batch.cols;
+              sel = Batch.iota m
+            }
+            :: !out
+        end
+      done;
+      List.concat_map (Batch.chunks ~size:v.batch_size) (List.rev !out))
+
+(* SegmentHole: the leaf inside a SegmentApply inner tree that reads
+   the current segment.  [ctx.seg] is consulted at pull time, so each
+   per-segment compilation of the inner sees its own segment. *)
+and compile_segment_hole (v : vctx) (cols : Col.t list) (src : Col.t list) : source =
+  emit (fun () ->
+      match v.ctx.Ex.seg with
+      | None -> runtime_error "SegmentHole outside SegmentApply"
+      | Some (layout, rows) ->
+          let pos = positions layout in
+          let idx =
+            List.map
+              (fun (c : Col.t) ->
+                match Hashtbl.find_opt pos c.Col.id with
+                | Some i -> i
+                | None -> runtime_error "segment source column missing: %s" c.Col.name)
+              src
+          in
+          let projected =
+            List.map
+              (fun (r : Ex.row) -> Array.of_list (List.map (fun i -> r.(i)) idx))
+              rows
+          in
+          Batch.chunks ~size:v.batch_size (Batch.of_rows cols projected))
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                        *)

@@ -2,12 +2,17 @@
 
     Operators pull {!Batch.t} values (full columns plus a selection
     vector) through compiled pipelines; scalar expressions evaluate
-    column-wise with the row interpreter's exact semantics.  Subtrees
-    the engine does not vectorize (Apply, SegmentApply, Max1row,
-    Rownum, non-equi joins, subquery-bearing expressions) are executed
-    by the row interpreter and bridged back into batches, so every
-    plan runs in either mode with bag-identical results — the row
-    engine remains the semantic oracle.
+    column-wise with the row interpreter's exact semantics.  Apply and
+    SegmentApply run natively as batched nested iteration: the outer
+    batch's correlation-parameter tuples are deduplicated and the inner
+    plan is evaluated once per distinct binding (or rewritten at exec
+    time into one hash-probe pass when the inner is a non-indexed
+    filtered scan), then the results are scattered back under each
+    variant's bag semantics.  Subtrees the engine does not vectorize
+    (Max1row, Rownum, subquery-bearing expressions) are
+    executed by the row interpreter and bridged back into batches, so
+    every plan runs in either mode with bag-identical results — the
+    row engine remains the semantic oracle.
 
     Budget accounting and fault injection tick per batch per operator;
     metrics record batches produced and bridge crossings alongside the

@@ -107,13 +107,15 @@ let rec tree_nodes (n : Exec.Metrics.node) : Exec.Metrics.node list =
 
 let find_node label nodes =
   match
-    List.find_opt (fun (n : Exec.Metrics.node) -> Support.contains n.label label) nodes
+    List.find_opt
+      (fun (n : Exec.Metrics.node) -> Support.contains (Lazy.force n.label) label)
+      nodes
   with
   | Some n -> n
   | None ->
       Alcotest.failf "no metrics node labeled %s among [%s]" label
         (String.concat "; "
-           (List.map (fun (n : Exec.Metrics.node) -> n.label) nodes))
+           (List.map (fun (n : Exec.Metrics.node) -> Lazy.force n.label) nodes))
 
 let test_metrics_tree_counters () =
   let eng = Engine.create (Lazy.force db) in

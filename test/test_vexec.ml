@@ -199,6 +199,140 @@ let test_bag_operators () =
   let s4, _, _ = bag_scan () in
   check_modes ~batch_size:1 "except all subtracts multiplicities" db (Except (s4, ones))
 
+(* --- batched Apply / SegmentApply ----------------------------------- *)
+
+(* a correlated Apply: for each outer row, filter dept on did = <param> *)
+let dept_probe param =
+  let did = Col.fresh "did" Value.TInt in
+  let dname = Col.fresh "dname" Value.TStr in
+  Select
+    ( Cmp (Eq, ColRef did, ColRef param),
+      TableScan { table = "dept"; cols = [ did; dname ] } )
+
+let apply_kinds = [ ("inner", Inner); ("leftouter", LeftOuter); ("semi", Semi); ("anti", Anti) ]
+
+let test_apply_empty_outer () =
+  (* the outer side vanishes before the Apply: zero batches reach it,
+     and every kind must still produce the oracle's (empty) answer *)
+  let db = Support.toy_db () in
+  List.iter
+    (fun (kname, kind) ->
+      let scan, _, _, dept, _ = emp_scan () in
+      let left = Select (Const (Value.Bool false), scan) in
+      let o = Apply { kind; pred = true_; left; right = dept_probe dept } in
+      List.iter
+        (fun bs ->
+          check_modes ~batch_size:bs (Printf.sprintf "%s apply over empty outer" kname) db o)
+        [ 1; 2; 1024 ])
+    apply_kinds
+
+let test_apply_all_null_params () =
+  (* every correlation binding is NULL: the batched dedup must place
+     them all in one class (NULL groups with NULL, per Value.equal) and
+     the probe must come back empty — NULL = did is UNKNOWN *)
+  let db = Support.toy_db () in
+  let mk_outer () =
+    let p = Col.fresh "p" Value.TInt in
+    ( p,
+      ConstTable
+        { cols = [ p ];
+          rows = [ [| Value.Null |]; [| Value.Null |]; [| Value.Null |] ]
+        } )
+  in
+  List.iter
+    (fun (kname, kind) ->
+      let p, outer = mk_outer () in
+      let o = Apply { kind; pred = true_; left = outer; right = dept_probe p } in
+      check_modes ~batch_size:2 (Printf.sprintf "%s apply, all-NULL params" kname) db o)
+    apply_kinds
+
+let test_apply_duplicate_params_across_batches () =
+  (* the same binding recurs inside a batch and again in later batches:
+     per-batch dedup must reuse evaluations without dropping duplicate
+     outer rows (bag semantics) or conflating the NULL class with 1 *)
+  let db = Support.toy_db () in
+  let mk_outer () =
+    let p = Col.fresh "p" Value.TInt in
+    let r v = [| v |] in
+    ( p,
+      ConstTable
+        { cols = [ p ];
+          rows =
+            List.map r
+              [ Value.Int 1; Value.Int 2; Value.Int 1; Value.Int 1; Value.Null;
+                Value.Int 2; Value.Int 3; Value.Int 1 ]
+        } )
+  in
+  List.iter
+    (fun (kname, kind) ->
+      let p, outer = mk_outer () in
+      let o = Apply { kind; pred = true_; left = outer; right = dept_probe p } in
+      List.iter
+        (fun bs ->
+          check_modes ~batch_size:bs
+            (Printf.sprintf "%s apply, duplicate params at batch size %d" kname bs)
+            db o)
+        [ 1; 2; 3; 1024 ])
+    apply_kinds
+
+let test_outer_apply_null_padding () =
+  (* LeftOuter Apply where some bindings find no inner row (dept 99
+     does not exist): the scatter must emit the outer row padded with
+     NULLs at the inner schema's width, including under a Project
+     wrapper on the inner side *)
+  let db = Support.toy_db () in
+  let mk o =
+    List.iter
+      (fun bs -> check_modes ~batch_size:bs "outer apply NULL padding" db o)
+      [ 1; 2; 1024 ]
+  in
+  let scan, _, _, dept, _ = emp_scan () in
+  mk (Apply { kind = LeftOuter; pred = true_; left = scan; right = dept_probe dept });
+  (* projected inner: the padded width is the projection's, not the scan's *)
+  let scan2, _, _, dept2, _ = emp_scan () in
+  let probe = dept_probe dept2 in
+  let dname = List.nth (Op.schema probe) 1 in
+  let projected =
+    Project ([ { expr = ColRef dname; out = Col.clone dname } ], probe)
+  in
+  mk (Apply { kind = LeftOuter; pred = true_; left = scan2; right = projected })
+
+let test_segment_apply_batch_boundaries () =
+  (* segments larger than the batch: the vectorized SegmentApply must
+     stitch a segment that starts in one batch and ends in another
+     before running the inner over it *)
+  let db = Support.toy_db () in
+  let mk_plan () =
+    let g = Col.fresh "g" Value.TInt in
+    let v = Col.fresh "v" Value.TInt in
+    let r a b = [| Value.Int a; Value.Int b |] in
+    let outer =
+      ConstTable
+        { cols = [ g; v ];
+          rows = [ r 1 10; r 1 11; r 1 12; r 2 20; r 2 21; r 3 30 ]
+        }
+    in
+    let hole_cols = List.map Col.clone [ g; v ] in
+    let hole = SegmentHole { cols = hole_cols; src = [ g; v ] } in
+    let hv = List.nth hole_cols 1 in
+    let inner =
+      ScalarAgg
+        { aggs =
+            [ { fn = CountStar; out = Col.fresh "cnt" Value.TInt };
+              { fn = Sum (ColRef hv); out = Col.fresh "s" Value.TInt }
+            ];
+          input = hole
+        }
+    in
+    SegmentApply { seg_cols = [ g ]; outer; inner }
+  in
+  List.iter
+    (fun bs ->
+      check_modes ~batch_size:bs
+        (Printf.sprintf "segment apply at batch size %d" bs)
+        db (mk_plan ()))
+    [ 1; 2; 3; 4; 1024 ]
+
 (* Regression: NDV estimates must not survive a table reload.  The
    stats cache is tagged with the table's mutation generation, so a
    load (which bumps the generation) invalidates the cached count. *)
@@ -226,5 +360,12 @@ let suite =
     Alcotest.test_case "mixed-type columns" `Quick test_mixed_type_columns;
     Alcotest.test_case "multi-key groupby" `Quick test_multi_key_groupby;
     Alcotest.test_case "bag operators" `Quick test_bag_operators;
+    Alcotest.test_case "apply: empty outer" `Quick test_apply_empty_outer;
+    Alcotest.test_case "apply: all-NULL params" `Quick test_apply_all_null_params;
+    Alcotest.test_case "apply: duplicate params across batches" `Quick
+      test_apply_duplicate_params_across_batches;
+    Alcotest.test_case "apply: outer NULL padding" `Quick test_outer_apply_null_padding;
+    Alcotest.test_case "segment apply: batch boundaries" `Quick
+      test_segment_apply_batch_boundaries;
     Alcotest.test_case "ndv tracks table generation" `Quick test_ndv_tracks_table_generation
   ]

@@ -6,7 +6,9 @@
    plan is identical on both sides.
 
    Part 2 sweeps generated queries (Testgen.Qgen) through the same
-   differential in vector mode.  Usage:
+   differential in vector mode, once with the full optimizer (mostly
+   decorrelated plans) and once with the correlated-only candidate so
+   the Apply-retaining plans drive the batched-Apply paths.  Usage:
 
      vexec_main.exe [CASES] [SEED...]      (default: 200 cases, seed 1) *)
 
@@ -55,26 +57,31 @@ let () =
   let fdb = Datagen.Tpch_gen.database ~sf:fuzz_sf () in
   let feng = Engine.create fdb in
   let budget = Exec.Budget.make ~max_rows:5_000_000 () in
+  let sweep ~label ~candidate seed =
+    let cfg =
+      { (Testgen.Fuzz.default_config ~seed ~cases) with
+        Testgen.Fuzz.budget = Some budget;
+        exec_mode = `Vector;
+        candidate;
+      }
+    in
+    let s = Testgen.Fuzz.run cfg feng in
+    Printf.printf "fuzz[vector/%s] seed %d: %d cases, %d agreed, %d skipped, %d failures\n%!"
+      label seed s.Testgen.Fuzz.total s.agreed s.skipped
+      (List.length s.failures);
+    List.iter
+      (fun (f : Testgen.Fuzz.case_result) ->
+        incr failures;
+        Printf.printf "  case %d: %s\n%s\n" f.case f.sql
+          (match f.outcome with
+          | Testgen.Fuzz.Mismatch m | Testgen.Fuzz.Failed m -> m
+          | _ -> ""))
+      s.failures
+  in
   List.iter
     (fun seed ->
-      let cfg =
-        { (Testgen.Fuzz.default_config ~seed ~cases) with
-          Testgen.Fuzz.budget = Some budget;
-          exec_mode = `Vector;
-        }
-      in
-      let s = Testgen.Fuzz.run cfg feng in
-      Printf.printf "fuzz[vector] seed %d: %d cases, %d agreed, %d skipped, %d failures\n%!"
-        seed s.Testgen.Fuzz.total s.agreed s.skipped
-        (List.length s.failures);
-      List.iter
-        (fun (f : Testgen.Fuzz.case_result) ->
-          incr failures;
-          Printf.printf "  case %d: %s\n%s\n" f.case f.sql
-            (match f.outcome with
-            | Testgen.Fuzz.Mismatch m | Testgen.Fuzz.Failed m -> m
-            | _ -> ""))
-        s.failures)
+      sweep ~label:"full" ~candidate:Optimizer.Config.full seed;
+      sweep ~label:"correlated" ~candidate:Optimizer.Config.correlated_only seed)
     seeds;
 
   if !failures > 0 then begin
