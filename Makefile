@@ -1,12 +1,12 @@
 # Convenience targets; `make verify` is the tier-1 gate.
 
-.PHONY: all verify test faults fuzz fuzz-smoke vexec-smoke bench bench-smoke bench-concurrent soak-smoke soak prove-rules lint-smoke clean
+.PHONY: all verify test faults fuzz fuzz-smoke vexec-smoke bench bench-smoke bench-concurrent bench-durability recover-smoke soak-smoke soak prove-rules lint-smoke clean
 
 all:
 	dune build
 
 verify:
-	dune build && dune runtest && $(MAKE) prove-rules && $(MAKE) fuzz-smoke && $(MAKE) vexec-smoke && $(MAKE) bench-smoke
+	dune build && dune runtest && $(MAKE) prove-rules && $(MAKE) fuzz-smoke && $(MAKE) vexec-smoke && $(MAKE) bench-smoke && $(MAKE) recover-smoke
 
 # bounded rule-soundness prover: every registered rewrite rule checked
 # for bag equivalence over all databases with <= 2 rows per table
@@ -56,6 +56,20 @@ bench-smoke:
 # assertion fires only on hosts with >= 4 cores)
 bench-concurrent:
 	dune exec bench/main.exe -- --concurrent
+
+# durability micro-bench: WAL journaling/append throughput, snapshot
+# write, snapshot recovery and cold WAL replay at SF 0.01 and 0.1;
+# writes BENCH_8.json; every recovery is row-count gated
+bench-durability:
+	dune exec bench/main.exe -- --durability
+
+# crash-recovery chaos sweep: the scripted writer is killed at every
+# I/O operation under short-write / torn-write / bit-flip / fsync-lie
+# faults; after each crash the store is reopened and all 8 benchmark
+# workloads are bag-compared against the row oracle applied to exactly
+# the committed mutation prefix (see test/recover_main.ml)
+recover-smoke:
+	dune build @recover
 
 # chaos soak of the concurrent query service: 2000 requests, 4 worker
 # domains, injected faults, tight deadlines, forced overload and

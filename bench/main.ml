@@ -19,6 +19,8 @@
      bench/main.exe --smoke    -- tiny-scale CI sweep (row + vector), writes BENCH_7.json
      bench/main.exe --concurrent -- service scaling at 1/2/4/8 domains (clamped
                                   to the host's cores), writes BENCH_6.json
+     bench/main.exe --durability -- WAL/snapshot write, recovery and replay
+                                  timings, writes BENCH_8.json
 *)
 
 let fmt = Printf.printf
@@ -584,6 +586,149 @@ let concurrent ?(out = "BENCH_6.json") () =
     exit 2
   end
 
+(* --- durability mode: BENCH_8.json ------------------------------------- *)
+
+(* Durability-layer bench: journaled table loads and per-append fsync
+   throughput through the WAL, snapshot write and snapshot-based
+   recovery, and cold recovery from a WAL alone (replay), at two scale
+   factors.  Every recovery is gated on restoring exactly the source
+   row counts — a wrong recovered state aborts the bench. *)
+
+let durability ?(out = "BENCH_8.json") () =
+  let module Durable = Storage.Durable in
+  let module Table = Storage.Table in
+  let module Db = Storage.Database in
+  let appends = 300 in
+  let now = Unix.gettimeofday in
+  let rec rm_rf path =
+    match (Unix.lstat path).Unix.st_kind with
+    | Unix.S_DIR ->
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Unix.rmdir path
+    | _ -> Sys.remove path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  let scratch name =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sq-bench-dur-%d-%s" (Unix.getpid ()) name)
+  in
+  let dir_bytes ~(suffix : string) (dir : string) =
+    Array.fold_left
+      (fun acc f ->
+        if Filename.check_suffix f suffix then
+          acc + (Unix.stat (Filename.concat dir f)).Unix.st_size
+        else acc)
+      0 (Sys.readdir dir)
+  in
+  let cat = Catalog.tpch () in
+  let tables = List.sort compare (Catalog.table_names cat) in
+  let marker i =
+    [| Relalg.Value.Int (20_000_000 + i); Relalg.Value.Int 1; Relalg.Value.Str "F";
+       Relalg.Value.Float 1000.; Relalg.Value.Date 9000; Relalg.Value.Str "bench"
+    |]
+  in
+  let cell sf =
+    let db = database sf in
+    let rows_of t = Table.to_rows (Db.table db t) in
+    let total_rows =
+      List.fold_left (fun a t -> a + Table.row_count (Db.table db t)) 0 tables
+    in
+    (* the recovery gate: exactly the committed state, nothing else *)
+    let expect_counts what (st : Durable.t) ~(extra_orders : int) =
+      List.iter
+        (fun t ->
+          let want =
+            Table.row_count (Db.table db t)
+            + if t = "orders" then extra_orders else 0
+          in
+          let got = Table.row_count (Db.table (Durable.db st) t) in
+          if got <> want then begin
+            Printf.eprintf
+              "DURABILITY RECOVERY MISMATCH (%s, SF %.2f): table %s has %d rows, \
+               want %d\n%!"
+              what sf t got want;
+            exit 2
+          end)
+        tables
+    in
+    let journal dir =
+      let st = Durable.open_db ~dir cat in
+      let t0 = now () in
+      List.iter (fun t -> Durable.load st t (rows_of t)) tables;
+      let load_s = now () -. t0 in
+      let t0 = now () in
+      for i = 1 to appends do
+        Durable.append st "orders" (marker i)
+      done;
+      (st, load_s, now () -. t0)
+    in
+    (* snapshot path: rotate, then recover from the anchor *)
+    let dir = scratch (Printf.sprintf "snap-%.2f" sf) in
+    let st, load_s, append_s = journal dir in
+    let wal_bytes = dir_bytes ~suffix:".log" dir in
+    let t0 = now () in
+    ignore (Durable.rotate st);
+    let snapshot_write_s = now () -. t0 in
+    let snapshot_bytes =
+      (Unix.stat (Storage.Snapshot.snapshot_path ~dir 1)).Unix.st_size
+    in
+    Durable.close st;
+    let t0 = now () in
+    let st2 = Durable.open_db ~dir cat in
+    let snapshot_recover_s = now () -. t0 in
+    expect_counts "snapshot recovery" st2 ~extra_orders:appends;
+    Durable.close st2;
+    rm_rf dir;
+    (* replay path: the same mutations recovered from the WAL alone *)
+    let dir2 = scratch (Printf.sprintf "wal-%.2f" sf) in
+    let st3, _, _ = journal dir2 in
+    Durable.close st3;
+    let t0 = now () in
+    let st4 = Durable.open_db ~dir:dir2 cat in
+    let wal_replay_s = now () -. t0 in
+    expect_counts "WAL replay" st4 ~extra_orders:appends;
+    let replayed = (Durable.recovery_info st4).Durable.rec_entries_replayed in
+    Durable.close st4;
+    rm_rf dir2;
+    let mutations = List.length tables + appends in
+    if replayed <> mutations then begin
+      Printf.eprintf "DURABILITY REPLAY MISMATCH (SF %.2f): %d entries, want %d\n%!"
+        sf replayed mutations;
+      exit 2
+    end;
+    fmt
+      "SF %.2f: %6d rows  load %.3fs  %d appends %.3fs (%.0f/s)  snapshot %.3fs \
+       (%d B)  snap-recover %.3fs  wal-replay %.3fs (%.0f rows/s)\n%!"
+      sf total_rows load_s appends append_s
+      (float_of_int appends /. Float.max 1e-9 append_s)
+      snapshot_write_s snapshot_bytes snapshot_recover_s wal_replay_s
+      (float_of_int (total_rows + appends) /. Float.max 1e-9 wal_replay_s);
+    Printf.sprintf
+      "  {\"sf\":%.2f,\"rows\":%d,\"appends\":%d,\"journal_load_s\":%.6f,\
+       \"journal_rows_per_s\":%.0f,\"append_s\":%.6f,\"appends_per_s\":%.0f,\
+       \"wal_bytes\":%d,\"snapshot_write_s\":%.6f,\"snapshot_bytes\":%d,\
+       \"snapshot_recover_s\":%.6f,\"wal_replay_s\":%.6f,\"replay_rows_per_s\":%.0f,\
+       \"entries_replayed\":%d}"
+      sf total_rows appends load_s
+      (float_of_int total_rows /. Float.max 1e-9 load_s)
+      append_s
+      (float_of_int appends /. Float.max 1e-9 append_s)
+      wal_bytes snapshot_write_s snapshot_bytes snapshot_recover_s wal_replay_s
+      (float_of_int (total_rows + appends) /. Float.max 1e-9 wal_replay_s)
+      replayed
+  in
+  let cells = List.map cell [ 0.01; 0.1 ] in
+  let json =
+    Printf.sprintf "{\"appends\":%d,\"cells\":[\n%s\n]}\n" appends
+      (String.concat ",\n" cells)
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  fmt "wrote %s (%d scale factors; every recovery row-count gated)\n" out
+    (List.length cells)
+
 (* --- Bechamel mode ----------------------------------------------------- *)
 
 let run_bechamel () =
@@ -635,6 +780,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--smoke" args then smoke ()
   else if List.mem "--concurrent" args then concurrent ()
+  else if List.mem "--durability" args then durability ()
   else if List.mem "--bechamel" args then run_bechamel ()
   else begin
     let selected =

@@ -12,13 +12,67 @@ type t = {
   db : Storage.Database.t;
   stats : Optimizer.Stats.t;
   props_env : Props.env;
+  store : Storage.Durable.t option;
+      (** durable backing when opened from disk; [None] = in-memory *)
 }
 
 let create (db : Storage.Database.t) : t =
   { db;
     stats = Optimizer.Stats.create db;
     props_env = Catalog.props_env db.Storage.Database.catalog;
+    store = None;
   }
+
+(* Open a durable engine rooted at [dir], running crash recovery
+   (newest valid snapshot + WAL replay + index rebuild).  [io_env]
+   routes storage I/O through the fault-injection layer (chaos
+   harness).  Corruption surfaces as a typed [Storage] error. *)
+let open_db ?(io_env : Storage.Io_faults.env option) ~(dir : string)
+    (catalog : Catalog.t) : t =
+  let store =
+    try Storage.Durable.open_db ?env:io_env ~dir catalog
+    with Storage.Codec.Storage_corrupt m ->
+      raise (Errors.Error (Errors.make Errors.Storage m))
+  in
+  let db = Storage.Durable.db store in
+  { db;
+    stats = Optimizer.Stats.create db;
+    props_env = Catalog.props_env catalog;
+    store = Some store;
+  }
+
+let database (t : t) = t.db
+let store (t : t) = t.store
+let recovery (t : t) = Option.map Storage.Durable.recovery_info t.store
+
+(* Mutations go through the store when one is attached — journaled
+   (write + fsync) before the in-memory apply — and fall back to plain
+   table operations for in-memory engines.  Either way the declared
+   indexes survive the mutation. *)
+let load_table (t : t) (table : string) (rows : Value.t array list) : unit =
+  match t.store with
+  | Some s -> Storage.Durable.load s table rows
+  | None ->
+      Storage.Table.load (Storage.Database.table t.db table) rows;
+      Storage.Database.build_declared_indexes t.db
+
+let append_row (t : t) (table : string) (row : Value.t array) : unit =
+  match t.store with
+  | Some s -> Storage.Durable.append s table row
+  | None -> Storage.Table.append (Storage.Database.table t.db table) row
+
+(* Snapshot the current state and rotate the WAL; returns the new
+   epoch. *)
+let snapshot (t : t) : int =
+  match t.store with
+  | Some s -> Storage.Durable.rotate s
+  | None ->
+      raise
+        (Errors.Error
+           (Errors.make Errors.Storage "engine is in-memory: no durable store to snapshot"))
+
+let close_store (t : t) : unit =
+  match t.store with Some s -> Storage.Durable.close s | None -> ()
 
 type prepared = {
   sql : string;

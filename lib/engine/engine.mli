@@ -12,6 +12,42 @@ type t
 
 val create : Storage.Database.t -> t
 
+(** {2 Durability}
+
+    An engine can be backed by a {!Storage.Durable} store: mutations
+    are journaled to a write-ahead log before they apply, and
+    {!snapshot} writes a checksummed full-state anchor.  [open_db]
+    runs crash recovery (newest valid snapshot, WAL replay up to the
+    first torn record, declared-index rebuild) before serving. *)
+
+(** Open a durable engine rooted at [dir].  [io_env] routes storage
+    I/O through the fault-injection layer (chaos harness only).
+    @raise Errors.Error with phase [Storage] when the on-disk state
+    cannot be restored to an exact committed prefix. *)
+val open_db : ?io_env:Storage.Io_faults.env -> dir:string -> Catalog.t -> t
+
+val database : t -> Storage.Database.t
+
+(** The durable backing, when opened with {!open_db}. *)
+val store : t -> Storage.Durable.t option
+
+(** Recovery report from {!open_db}; [None] for in-memory engines. *)
+val recovery : t -> Storage.Durable.recovery option
+
+(** Replace a table's contents.  Durable engines journal (write +
+    fsync) before applying; declared indexes are maintained. *)
+val load_table : t -> string -> Relalg.Value.t array list -> unit
+
+(** Append one row; same durability contract as {!load_table}. *)
+val append_row : t -> string -> Relalg.Value.t array -> unit
+
+(** Write a snapshot of the current state and rotate the WAL; returns
+    the new epoch.
+    @raise Errors.Error with phase [Storage] on in-memory engines. *)
+val snapshot : t -> int
+
+val close_store : t -> unit
+
 type prepared = {
   sql : string;
   bound : Sqlfront.Binder.bound;

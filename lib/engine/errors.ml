@@ -24,6 +24,10 @@ type phase =
   | Runtime  (** executor error (e.g. Max1row violation) *)
   | Budget  (** budget exhausted mid-execution *)
   | Fault  (** injected fault (testing harness) *)
+  | Storage
+      (** durable-store corruption ({!Storage.Codec.Storage_corrupt}):
+          the on-disk state cannot be restored to an exact committed
+          prefix *)
 
 type t = {
   phase : phase;
@@ -46,6 +50,7 @@ let phase_to_string = function
   | Runtime -> "runtime"
   | Budget -> "budget"
   | Fault -> "fault"
+  | Storage -> "storage"
 
 (* Point at the offending character:  "select 1 ^ 2"  with a caret line. *)
 let context_snippet (sql : string) (pos : int) : string =
@@ -68,7 +73,8 @@ let to_string (e : t) : string =
 let recoverable (e : t) : bool =
   match e.phase with
   | Runtime | Budget | Fault | Normalize | Plan | Invalid_plan -> true
-  | Lex | Parse | Bind -> false
+  (* a corrupt store is wrong however the query is planned *)
+  | Lex | Parse | Bind | Storage -> false
 
 (* Classify any exception the pipeline can raise.  [sql] enriches the
    diagnostic with source context when available. *)
@@ -84,6 +90,9 @@ let of_exn ?sql (exn : exn) : t option =
       Some (make ?sql Budget (Exec.Budget.to_string trip progress))
   | Exec.Faults.Injected { kind; call } ->
       Some (make ?sql Fault (Exec.Faults.injected_to_string kind call))
+  | Storage.Codec.Storage_corrupt m -> Some (make ?sql Storage m)
+  | Storage.Io_faults.Crash { kind; op } ->
+      Some (make ?sql Fault (Storage.Io_faults.crash_to_string kind op))
   | _ -> None
 
 (* Run [f], converting every pipeline exception into [Result.Error].

@@ -22,6 +22,10 @@ type phase =
   | Runtime  (** executor error (e.g. Max1row violation) *)
   | Budget  (** budget exhausted mid-execution *)
   | Fault  (** injected fault (testing harness) *)
+  | Storage
+      (** durable-store corruption ({!Storage.Codec.Storage_corrupt}):
+          the on-disk state cannot be restored to an exact committed
+          prefix — unrecoverable *)
 
 type t = {
   phase : phase;

@@ -331,11 +331,12 @@ and run_node (ctx : ctx) (env : lookup) (o : op) : row list =
   match o with
   | TableScan { table; _ } ->
       let tb = Storage.Database.table ctx.db table in
+      let rows, n = Storage.Table.rows_view tb in
       let out = ref [] in
-      for i = Array.length tb.rows - 1 downto 0 do
-        out := tb.rows.(i) :: !out
+      for i = n - 1 downto 0 do
+        out := rows.(i) :: !out
       done;
-      account_rows ctx (Array.length tb.rows);
+      account_rows ctx n;
       !out
   | ConstTable { rows; _ } -> rows
   | SegmentHole { src; _ } -> (

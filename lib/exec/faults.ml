@@ -191,3 +191,8 @@ let spec_to_string (s : spec) =
   | Nth n -> Printf.sprintf "%s:nth:%d" k n
   | Every n -> Printf.sprintf "%s:every:%d" k n
   | Probabilistic p -> Printf.sprintf "%s:p:%g:seed:%d" k p s.seed
+
+(* The I/O fault family lives in [Storage.Io_faults] (the storage
+   layer cannot depend on exec); re-exported here so harnesses have
+   one [Faults] namespace for both operator and I/O fault specs. *)
+module Io = Storage.Io_faults

@@ -85,3 +85,8 @@ val tick : t -> op_kind -> unit
 val parse : string -> (spec, string) result
 
 val spec_to_string : spec -> string
+
+(** The I/O fault family (crash injection for the durability layer),
+    re-exported from {!Storage.Io_faults} so harnesses have one
+    [Faults] namespace for both operator and I/O fault specs. *)
+module Io = Storage.Io_faults

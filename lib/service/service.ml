@@ -390,6 +390,9 @@ let classify (sql : string) (ex : exn) : attempt_failure =
           | _ -> (
               match err.Engine.Errors.phase with
               | Engine.Errors.Lex | Engine.Errors.Parse | Engine.Errors.Bind -> Fatal err
+              (* a corrupt store is wrong however the query is planned:
+                 retrying or degrading would re-read the same bad state *)
+              | Engine.Errors.Storage -> Fatal err
               | Engine.Errors.Fault -> Transient err
               | _ -> Plan_shaped err)))
 
@@ -616,10 +619,10 @@ and crash (t : t) (job : job) (ex : exn) : unit =
 (* Lifecycle                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(config = default_config) (db : Storage.Database.t) : t =
+let create_with ?(config = default_config) (eng : Engine.t) : t =
   let t =
     { cfg = config;
-      eng = Engine.create db;
+      eng;
       lock = Mutex.create ();
       work = Condition.create ();
       session_queues = Hashtbl.create 16;
@@ -641,6 +644,38 @@ let create ?(config = default_config) (db : Storage.Database.t) : t =
   done;
   t
 
+let create ?config (db : Storage.Database.t) : t =
+  create_with ?config (Engine.create db)
+
+(* Recovery-then-serve: open the durable store (running crash
+   recovery) before any worker is spawned, so the first admitted query
+   already sees exactly the committed prefix. *)
+let create_durable ?config ~(dir : string) (catalog : Catalog.t) : t =
+  create_with ?config (Engine.open_db ~dir catalog)
+
+(* ------------------------------------------------------------------ *)
+(* Journaled mutations                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Mutations bypass the query queue: they take the store's own lock,
+   so they serialize against each other and against snapshot rotation,
+   while running queries keep reading consistent (array, count) views.
+   On a durable engine each call is journaled (write + fsync) before
+   it applies and before it returns. *)
+
+let load_table (t : t) (table : string) (rows : Relalg.Value.t array list) : unit =
+  Engine.load_table t.eng table rows;
+  Stats.note_mutation t.stats
+
+let append_row (t : t) (table : string) (row : Relalg.Value.t array) : unit =
+  Engine.append_row t.eng table row;
+  Stats.note_mutation t.stats
+
+let snapshot_now (t : t) : int =
+  let epoch = Engine.snapshot t.eng in
+  Stats.note_snapshot t.stats;
+  epoch
+
 (* Stop admission, drain the queue (every admitted request still gets
    its reply), and join every worker domain — including replacements
    spawned by crashes while we were joining. *)
@@ -661,6 +696,9 @@ let shutdown (t : t) : unit =
         List.iter Domain.join ds;
         join_all ()
   in
-  join_all ()
+  join_all ();
+  (* every journaled mutation is already fsync'd, so closing only
+     releases the descriptor *)
+  Engine.close_store t.eng
 
 let live_workers (t : t) : int = Mutex.protect t.lock (fun () -> t.live)

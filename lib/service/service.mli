@@ -86,6 +86,17 @@ type t
 
 val create : ?config:config -> Storage.Database.t -> t
 
+(** Wrap an existing engine (e.g. one opened durably elsewhere). *)
+val create_with : ?config:config -> Engine.t -> t
+
+(** Recovery-then-serve: open the durable store at [dir] (newest valid
+    snapshot + WAL replay + index rebuild) before any worker spawns,
+    so the first admitted query already sees exactly the committed
+    prefix.
+    @raise Engine.Errors.Error with phase [Storage] when the on-disk
+    state cannot be restored. *)
+val create_durable : ?config:config -> dir:string -> Catalog.t -> t
+
 (** Stop admission, drain the queue (every admitted request still gets
     its reply) and join every worker domain. *)
 val shutdown : t -> unit
@@ -107,6 +118,22 @@ val run : t -> request -> reply
 
 (** Submit every request before awaiting any, preserving order. *)
 val run_many : t -> request list -> reply list
+
+(** {2 Journaled mutations}
+
+    Mutations bypass the query queue and serialize on the store's own
+    lock.  On a durable service each call is journaled (write + fsync)
+    before it applies in memory and before it returns — an
+    acknowledged mutation survives a crash. *)
+
+val load_table : t -> string -> Relalg.Value.t array list -> unit
+val append_row : t -> string -> Relalg.Value.t array -> unit
+
+(** Write a snapshot of the current state and rotate the WAL; returns
+    the new epoch.
+    @raise Engine.Errors.Error with phase [Storage] on in-memory
+    services. *)
+val snapshot_now : t -> int
 
 (** {2 Introspection} *)
 

@@ -59,6 +59,9 @@ type t = {
   mutable worker_respawns : int;  (** replacement workers spawned *)
   mutable queue_depth : int;
   mutable queue_high_water : int;
+  mutable mutations_journaled : int;
+      (** load/append mutations acknowledged through the WAL *)
+  mutable snapshots_written : int;  (** durable snapshot rotations *)
   global : series;  (** end-to-end latency of every finished request *)
   sessions : (string, series) Hashtbl.t;
 }
@@ -82,6 +85,8 @@ let create () =
     worker_respawns = 0;
     queue_depth = 0;
     queue_high_water = 0;
+    mutations_journaled = 0;
+    snapshots_written = 0;
     global = series_create ();
     sessions = Hashtbl.create 16;
   }
@@ -111,6 +116,8 @@ let note_breaker_trip t = locked t (fun () -> t.breaker_trips <- t.breaker_trips
 let note_poisoned t = locked t (fun () -> t.poisoned <- t.poisoned + 1)
 let note_worker_kill t = locked t (fun () -> t.worker_kills <- t.worker_kills + 1)
 let note_worker_respawn t = locked t (fun () -> t.worker_respawns <- t.worker_respawns + 1)
+let note_mutation t = locked t (fun () -> t.mutations_journaled <- t.mutations_journaled + 1)
+let note_snapshot t = locked t (fun () -> t.snapshots_written <- t.snapshots_written + 1)
 
 type finish_class = Completed | Degraded | Failed | Deadline_queued | Deadline_running
 
@@ -171,6 +178,8 @@ type snapshot = {
   worker_respawns : int;
   queue_depth : int;
   queue_high_water : int;
+  mutations_journaled : int;
+  snapshots_written : int;
   latency : percentiles;  (** all sessions pooled *)
   per_session : (string * percentiles) list;  (** sorted by session name *)
 }
@@ -199,6 +208,8 @@ let snapshot (t : t) : snapshot =
         worker_respawns = t.worker_respawns;
         queue_depth = t.queue_depth;
         queue_high_water = t.queue_high_water;
+        mutations_journaled = t.mutations_journaled;
+        snapshots_written = t.snapshots_written;
         latency = freeze t.global;
         per_session =
           Hashtbl.fold (fun name s acc -> (name, freeze s) :: acc) t.sessions []
@@ -230,6 +241,10 @@ let render (s : snapshot) : string =
        s.poisoned s.requeued s.worker_kills s.worker_respawns);
   Buffer.add_string b
     (Printf.sprintf "queue depth %d (high water %d)\n" s.queue_depth s.queue_high_water);
+  if s.mutations_journaled > 0 || s.snapshots_written > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "durability: mutations journaled %d  snapshots written %d\n"
+         s.mutations_journaled s.snapshots_written);
   Buffer.add_string b
     (Printf.sprintf "latency: %s\n" (percentiles_to_string s.latency));
   List.iter
@@ -248,10 +263,13 @@ let to_json (s : snapshot) : string =
      \"requeued\":%d,\"completed\":%d,\"failed\":%d,\
      \"deadline_queued\":%d,\"deadline_running\":%d,\"retried\":%d,\"degraded\":%d,\
      \"breaker_trips\":%d,\"poisoned\":%d,\"worker_kills\":%d,\"worker_respawns\":%d,\
-     \"queue_depth\":%d,\"queue_high_water\":%d,\"latency\":%s,\"sessions\":{%s}}"
+     \"queue_depth\":%d,\"queue_high_water\":%d,\
+     \"mutations_journaled\":%d,\"snapshots_written\":%d,\
+     \"latency\":%s,\"sessions\":{%s}}"
     s.submitted s.admitted s.shed s.shed_dispatch s.requeued s.completed s.failed
     s.deadline_queued s.deadline_running s.retried s.degraded s.breaker_trips
     s.poisoned s.worker_kills s.worker_respawns s.queue_depth s.queue_high_water
+    s.mutations_journaled s.snapshots_written
     (percentiles_to_json s.latency)
     (String.concat ","
        (List.map

@@ -36,6 +36,12 @@ val note_poisoned : t -> unit
 val note_worker_kill : t -> unit
 val note_worker_respawn : t -> unit
 
+(** A load/append mutation acknowledged through the WAL. *)
+val note_mutation : t -> unit
+
+(** A durable snapshot rotation completed. *)
+val note_snapshot : t -> unit
+
 type finish_class = Completed | Degraded | Failed | Deadline_queued | Deadline_running
 
 (** One finished request: classify and record its end-to-end latency
@@ -67,6 +73,8 @@ type snapshot = {
   worker_respawns : int;
   queue_depth : int;
   queue_high_water : int;
+  mutations_journaled : int;  (** WAL-acknowledged load/append mutations *)
+  snapshots_written : int;  (** durable snapshot rotations *)
   latency : percentiles;
   per_session : (string * percentiles) list;
 }

@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3) over strings and bytes, kept as an [int]
+    masked to 32 bits.  Covers every durable byte the storage layer
+    writes; see {!Codec}, {!Wal} and {!Snapshot}. *)
+
+(** [string ?init s ~pos ~len] folds the byte range into a running
+    CRC; chain regions by passing the previous result as [init].
+    @raise Invalid_argument when the range is out of bounds. *)
+val string : ?init:int -> string -> pos:int -> len:int -> int
+
+val bytes : ?init:int -> Bytes.t -> pos:int -> len:int -> int
+
+(** CRC of a whole string. *)
+val of_string : string -> int

@@ -1,0 +1,142 @@
+(* Binary (de)serialization shared by the WAL and the snapshot format,
+   plus the one typed error the whole durability layer speaks.
+
+   Layout rules: everything is little-endian; integers that can be
+   negative (Int, Date payloads) are stored as two's-complement i64,
+   sizes and counts as u32/u64.  Floats are stored as their IEEE-754
+   bit pattern, so -0.0, subnormals and NaNs round-trip bit-exactly —
+   the row oracle distinguishes -0.0 from 0.0 in aggregate seeding, so
+   the storage layer must too.
+
+   Readers never trust a length field before bounds-checking it
+   against the remaining input: a corrupt length must surface as
+   [Storage_corrupt], not as an [Invalid_argument] escape from
+   [String.sub] (let alone a huge allocation). *)
+
+module Value = Relalg.Value
+
+(* Raised by every storage-layer reader on checksum mismatch, torn or
+   truncated input, unknown tags, or an on-disk/catalog disagreement.
+   [Engine.Errors] classifies it as an unrecoverable [Storage] error:
+   no replanning of the same SQL can repair a corrupt store. *)
+exception Storage_corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Storage_corrupt m)) fmt
+
+(* ---------------- writers (Buffer-based) -------------------------- *)
+
+let add_u8 (b : Buffer.t) (v : int) = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let add_u32 (b : Buffer.t) (v : int) =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.add_u32: out of range";
+  Buffer.add_char b (Char.chr (v land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF))
+
+(* i64 two's-complement; also used for non-negative u64 counts. *)
+let add_i64 (b : Buffer.t) (v : int) =
+  let v = Int64.of_int v in
+  for i = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let add_str (b : Buffer.t) (s : string) =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let add_value (b : Buffer.t) (v : Value.t) =
+  match v with
+  | Value.Null -> add_u8 b 0
+  | Value.Int i ->
+      add_u8 b 1;
+      add_i64 b i
+  | Value.Float f ->
+      add_u8 b 2;
+      let bits = Int64.bits_of_float f in
+      for i = 0 to 7 do
+        Buffer.add_char b
+          (Char.chr
+             (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+      done
+  | Value.Str s ->
+      add_u8 b 3;
+      add_str b s
+  | Value.Bool x ->
+      add_u8 b 4;
+      add_u8 b (if x then 1 else 0)
+  | Value.Date d ->
+      add_u8 b 5;
+      add_i64 b d
+
+let add_row (b : Buffer.t) (row : Value.t array) =
+  add_u32 b (Array.length row);
+  Array.iter (add_value b) row
+
+(* ---------------- readers (string + cursor) ----------------------- *)
+
+type cursor = { src : string; mutable pos : int }
+
+let cursor (src : string) : cursor = { src; pos = 0 }
+let remaining (c : cursor) = String.length c.src - c.pos
+
+let need (c : cursor) (n : int) ~(what : string) =
+  if n < 0 || remaining c < n then
+    corrupt "truncated input: %s needs %d bytes, %d remain at offset %d" what n
+      (remaining c) c.pos
+
+let get_u8 (c : cursor) ~what : int =
+  need c 1 ~what;
+  let v = Char.code c.src.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 (c : cursor) ~what : int =
+  need c 4 ~what;
+  let b i = Char.code c.src.[c.pos + i] in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  c.pos <- c.pos + 4;
+  v
+
+let get_i64 (c : cursor) ~what : int =
+  need c 8 ~what;
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c.src.[c.pos + i]))
+  done;
+  c.pos <- c.pos + 8;
+  Int64.to_int !v
+
+let get_str (c : cursor) ~what : string =
+  let n = get_u32 c ~what in
+  need c n ~what;
+  let s = String.sub c.src c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_value (c : cursor) : Value.t =
+  match get_u8 c ~what:"value tag" with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (get_i64 c ~what:"int value")
+  | 2 ->
+      need c 8 ~what:"float value";
+      let bits = ref 0L in
+      for i = 7 downto 0 do
+        bits :=
+          Int64.logor (Int64.shift_left !bits 8)
+            (Int64.of_int (Char.code c.src.[c.pos + i]))
+      done;
+      c.pos <- c.pos + 8;
+      Value.Float (Int64.float_of_bits !bits)
+  | 3 -> Value.Str (get_str c ~what:"string value")
+  | 4 -> Value.Bool (get_u8 c ~what:"bool value" <> 0)
+  | 5 -> Value.Date (get_i64 c ~what:"date value")
+  | t -> corrupt "unknown value tag %d at offset %d" t (c.pos - 1)
+
+let get_row (c : cursor) : Value.t array =
+  let n = get_u32 c ~what:"row width" in
+  (* each value is at least one tag byte; reject absurd widths before
+     allocating *)
+  need c n ~what:"row values";
+  Array.init n (fun _ -> get_value c)

@@ -1,0 +1,49 @@
+(** Binary (de)serialization shared by {!Wal} and {!Snapshot}, plus
+    the typed corruption error of the durability layer.
+
+    Everything is little-endian; floats are stored as IEEE-754 bit
+    patterns so [-0.0], subnormals and NaNs round-trip bit-exactly. *)
+
+(** Raised by storage-layer readers on checksum mismatch, torn or
+    truncated input, unknown tags, or an on-disk/catalog mismatch. *)
+exception Storage_corrupt of string
+
+(** [corrupt fmt ...] raises {!Storage_corrupt} with a formatted
+    message. *)
+val corrupt : ('a, unit, string, 'b) format4 -> 'a
+
+(** {2 Writers} *)
+
+val add_u8 : Buffer.t -> int -> unit
+val add_u32 : Buffer.t -> int -> unit
+
+(** Two's-complement i64; also used for non-negative u64 counts. *)
+val add_i64 : Buffer.t -> int -> unit
+
+(** Length-prefixed (u32) string. *)
+val add_str : Buffer.t -> string -> unit
+
+val add_value : Buffer.t -> Relalg.Value.t -> unit
+
+(** u32 width + values. *)
+val add_row : Buffer.t -> Relalg.Value.t array -> unit
+
+(** {2 Readers}
+
+    All readers bounds-check before consuming and raise
+    {!Storage_corrupt} (never [Invalid_argument]) on truncation. *)
+
+type cursor = { src : string; mutable pos : int }
+
+val cursor : string -> cursor
+val remaining : cursor -> int
+
+(** Raise {!Storage_corrupt} unless [n] bytes remain. *)
+val need : cursor -> int -> what:string -> unit
+
+val get_u8 : cursor -> what:string -> int
+val get_u32 : cursor -> what:string -> int
+val get_i64 : cursor -> what:string -> int
+val get_str : cursor -> what:string -> string
+val get_value : cursor -> Relalg.Value.t
+val get_row : cursor -> Relalg.Value.t array

@@ -11,7 +11,12 @@ let create (catalog : Catalog.t) : t =
     (fun name ->
       match Catalog.find_table catalog name with
       | Some def -> Hashtbl.replace tables name (Table.create def)
-      | None -> ())
+      | None ->
+          (* A name with no definition is a malformed catalog; skipping
+             it silently would surface later as a confusing
+             unknown-table error at query time. *)
+          invalid_arg ("Database.create: catalog lists table " ^ name
+                       ^ " but has no definition for it"))
     (Catalog.table_names catalog);
   { catalog; tables }
 

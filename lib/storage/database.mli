@@ -5,6 +5,8 @@ type t = {
   tables : (string, Table.t) Hashtbl.t;
 }
 
+(** @raise Invalid_argument if the catalog lists a table name without a
+    definition (malformed catalog). *)
 val create : Catalog.t -> t
 
 (** @raise Invalid_argument for unknown tables. *)

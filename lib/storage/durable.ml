@@ -1,0 +1,336 @@
+(* Durable store: a database backed by checksummed snapshots plus a
+   write-ahead log, with crash recovery.
+
+   Directory layout ([dir]):
+
+     snap-<epoch>.snap   full-state anchor written at rotation
+     wal-<epoch>.log     mutations since snapshot <epoch>
+
+   Epoch 0 is the implicit empty database — no snapshot file exists
+   for it, only [wal-00000000.log].  Rotation ([rotate]) writes
+   snapshot e+1 (which embeds every mutation of wal-e), starts
+   wal-(e+1) at the continuing global sequence number, and prunes
+   epochs <= e-1.  The previous epoch's pair is retained on purpose:
+   if snapshot e+1 is later found corrupt (a doctored or bit-rotted
+   file), recovery falls back to snapshot e and replays wal-e in full
+   followed by wal-(e+1) — no acknowledged mutation is lost to a bad
+   snapshot.
+
+   Recovery ([open_db]):
+
+   1. delete leftover [*.tmp] files (crashed snapshot writes);
+   2. open the newest snapshot that validates, skipping (and
+      counting) corrupt ones;
+   3. replay every WAL of epoch >= the restored snapshot's, in epoch
+      order, checking the global sequence is dense across files and
+      each record's generation tag continues the table's generation
+      (a discontinuity means a hole — refuse with [Storage_corrupt]);
+      a torn tail is tolerated only on the final log (and truncated);
+      a file too short to hold its header is the residue of a torn
+      creation and is tolerated (recreated) only as the final log;
+   4. rebuild the declared indexes and reopen the final log for
+      appending.
+
+   Mutation protocol (the durability contract): serialize, write,
+   fsync, *then* apply in memory and acknowledge.  A crash before the
+   fsync completes loses only the unacknowledged record. *)
+
+module Value = Relalg.Value
+
+type recovery = {
+  rec_snapshot_epoch : int option;
+      (** epoch restored from; [None] = started from the empty db *)
+  rec_snapshots_rejected : (int * string) list;
+      (** corrupt snapshots skipped, newest first, with the defect *)
+  rec_entries_replayed : int;
+  rec_torn_bytes : int;  (** bytes truncated from the final WAL's tail *)
+  rec_wal_recreated : bool;
+      (** final WAL was missing or torn at creation and was recreated *)
+}
+
+let recovery_to_string (r : recovery) : string =
+  Printf.sprintf
+    "snapshot=%s rejected=%d replayed=%d torn_bytes=%d wal_recreated=%b"
+    (match r.rec_snapshot_epoch with None -> "none" | Some e -> string_of_int e)
+    (List.length r.rec_snapshots_rejected)
+    r.rec_entries_replayed r.rec_torn_bytes r.rec_wal_recreated
+
+type t = {
+  dir : string;
+  env : Io_faults.env;
+  db : Database.t;
+  mutable epoch : int;
+  mutable wal : Wal.writer;
+  mutable mutations : int;  (** records in the current epoch's WAL *)
+  mutable snapshots_taken : int;
+  recovery : recovery;
+  lock : Mutex.t;
+}
+
+let db (t : t) = t.db
+let dir (t : t) = t.dir
+let epoch (t : t) = t.epoch
+let mutations (t : t) = Mutex.protect t.lock (fun () -> t.mutations)
+let recovery_info (t : t) = t.recovery
+
+let wal_name (epoch : int) = Printf.sprintf "wal-%08d.log" epoch
+let wal_path ~(dir : string) (epoch : int) = Filename.concat dir (wal_name epoch)
+
+(* "wal-00000042.log" -> Some 42 *)
+let wal_epoch_of_name (f : string) : int option =
+  let pre = "wal-" and suf = ".log" in
+  let n = String.length f in
+  if n > String.length pre + String.length suf
+     && String.sub f 0 (String.length pre) = pre
+     && Filename.check_suffix f suf
+  then
+    let digits = String.sub f (String.length pre) (n - String.length pre - String.length suf) in
+    if String.for_all (fun c -> c >= '0' && c <= '9') digits then
+      int_of_string_opt digits
+    else None
+  else None
+
+let list_wal_epochs ~(dir : string) : int list =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map wal_epoch_of_name
+    |> List.sort compare
+
+(* ---------------- recovery ---------------------------------------- *)
+
+let apply_entry (db : Database.t) (e : Wal.entry) : unit =
+  let tname = Wal.op_table e.Wal.op in
+  let tb =
+    match Database.table_opt db tname with
+    | Some tb -> tb
+    | None -> Codec.corrupt "WAL replay: record for unknown table %s" tname
+  in
+  (* The generation tag is the continuity check: each record must take
+     the table from gen g to g+1.  A mismatch means the chain has a
+     hole (lost snapshot or skipped records) and replay would build a
+     state that never existed. *)
+  let expect = Table.generation tb + 1 in
+  if e.Wal.gen <> expect then
+    Codec.corrupt
+      "WAL replay: generation discontinuity on table %s (record seq %d has gen \
+       %d, table expects %d)"
+      tname e.Wal.seq e.Wal.gen expect;
+  (match e.Wal.op with
+  | Wal.Load (_, rows) -> Table.load tb rows
+  | Wal.Append (_, row) -> Table.append tb row)
+
+let file_size (path : string) : int =
+  try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0
+
+(* Open (or create) the store rooted at [dir], running recovery.
+   Raises [Codec.Storage_corrupt] when the on-disk state cannot be
+   restored to an exact committed prefix. *)
+let open_db ?(env : Io_faults.env option) ~(dir : string) (catalog : Catalog.t) : t
+    =
+  let env = match env with Some e -> e | None -> Io_faults.env () in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  (* leftover temp files are crashed snapshot writes: never valid *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".tmp" then
+        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  let db = Database.create catalog in
+  (* newest snapshot that validates, counting rejects *)
+  let rejected = ref [] in
+  let rec pick = function
+    | [] -> None
+    | e :: rest -> (
+        let path = Snapshot.snapshot_path ~dir e in
+        match Snapshot.read catalog path with
+        | se, tables ->
+            if se <> e then begin
+              rejected := (e, Printf.sprintf "embedded epoch %d, file named %d" se e)
+                          :: !rejected;
+              pick rest
+            end
+            else Some (e, tables)
+        | exception Codec.Storage_corrupt msg ->
+            rejected := (e, msg) :: !rejected;
+            pick rest)
+  in
+  let snap = pick (List.rev (Snapshot.list_epochs ~dir)) in
+  let snap_epoch = match snap with Some (e, _) -> e | None -> 0 in
+  (match snap with
+  | None -> ()
+  | Some (_, tables) ->
+      List.iter
+        (fun (s : Snapshot.table_state) ->
+          match Database.table_opt db s.Snapshot.ts_name with
+          | Some tb ->
+              Table.restore tb ~generation:s.Snapshot.ts_generation s.Snapshot.ts_rows
+          | None ->
+              (* Snapshot.read already checked names against the
+                 catalog, so this cannot happen. *)
+              Codec.corrupt "snapshot table %s not in database" s.Snapshot.ts_name)
+        tables);
+  (* WAL chain: every log of epoch >= the restored snapshot's *)
+  let all_wals = list_wal_epochs ~dir in
+  let chain = List.filter (fun e -> e >= snap_epoch) all_wals in
+  let nchain = List.length chain in
+  let current_epoch = List.fold_left max snap_epoch chain in
+  let replayed = ref 0 in
+  let torn_bytes = ref 0 in
+  let final_trunc = ref None in
+  let wal_recreated = ref false in
+  let last_seq = ref None in
+  List.iteri
+    (fun i e ->
+      let is_final = i = nchain - 1 in
+      let path = wal_path ~dir e in
+      let size = file_size path in
+      if size < Wal.header_len then begin
+        (* Torn creation: the header write never became durable, so no
+           record in this file was ever acknowledged.  Only legitimate
+           for the final log of the chain. *)
+        if is_final then wal_recreated := true
+        else
+          Codec.corrupt
+            "WAL %s: truncated header (%d bytes) but later epochs exist" path size
+      end
+      else begin
+        match Wal.read path with
+        | exception Codec.Storage_corrupt _
+          when is_final && size = Wal.header_len ->
+            (* A header-sized file whose header does not validate is the
+               residue of a torn header write: the file never held a
+               record, so nothing acknowledged is lost by recreating it.
+               Beyond header size, records may follow the bad header —
+               that stays a hard corruption. *)
+            wal_recreated := true
+        | log ->
+        if log.Wal.log_epoch <> e then
+          Codec.corrupt "WAL %s: embedded epoch %d, file named %d" path
+            log.Wal.log_epoch e;
+        (match !last_seq with
+        | Some ls when log.Wal.log_start_seq <> ls + 1 ->
+            Codec.corrupt
+              "WAL %s: sequence discontinuity across epochs (starts at %d, \
+               previous log ended at %d)"
+              path log.Wal.log_start_seq ls
+        | _ -> ());
+        (match log.Wal.log_tail with
+        | Wal.Clean -> ()
+        | Wal.Torn valid ->
+            if is_final then begin
+              torn_bytes := log.Wal.log_size - valid;
+              final_trunc := Some valid
+            end
+            else
+              Codec.corrupt
+                "WAL %s: torn tail at offset %d but later epochs exist — \
+                 acknowledged data would be lost"
+                path valid);
+        List.iter (apply_entry db) log.Wal.log_entries;
+        replayed := !replayed + List.length log.Wal.log_entries;
+        last_seq :=
+          Some
+            (match List.rev log.Wal.log_entries with
+            | last :: _ -> last.Wal.seq
+            | [] -> log.Wal.log_start_seq - 1)
+      end)
+    chain;
+  (* Global sequence for new records.  When the chain held no record —
+     e.g. a crash landed between snapshot rename and new-log creation
+     — fall back to the newest pre-snapshot log for the watermark. *)
+  let next_seq =
+    match !last_seq with
+    | Some ls -> ls + 1
+    | None -> (
+        match List.rev (List.filter (fun e -> e < snap_epoch) all_wals) with
+        | [] -> 1
+        | e :: _ -> (
+            let log = Wal.read (wal_path ~dir e) in
+            match List.rev log.Wal.log_entries with
+            | last :: _ -> last.Wal.seq + 1
+            | [] -> log.Wal.log_start_seq))
+  in
+  Database.build_declared_indexes db;
+  let wpath = wal_path ~dir current_epoch in
+  let wal =
+    if (not (Sys.file_exists wpath)) || !wal_recreated then begin
+      wal_recreated := true;
+      if Sys.file_exists wpath then Sys.remove wpath;
+      Wal.create env ~path:wpath ~epoch:current_epoch ~next_seq
+    end
+    else
+      Wal.reopen env ~path:wpath ~epoch:current_epoch ~next_seq
+        ~trunc_to:!final_trunc
+  in
+  let recovery =
+    { rec_snapshot_epoch = (match snap with Some (e, _) -> Some e | None -> None);
+      rec_snapshots_rejected = !rejected;
+      rec_entries_replayed = !replayed;
+      rec_torn_bytes = !torn_bytes;
+      rec_wal_recreated = !wal_recreated;
+    }
+  in
+  { dir;
+    env;
+    db;
+    epoch = current_epoch;
+    wal;
+    mutations = 0;
+    snapshots_taken = 0;
+    recovery;
+    lock = Mutex.create ();
+  }
+
+(* ---------------- journaled mutations ----------------------------- *)
+
+(* Both mutators follow the same protocol: journal (write + fsync)
+   first, apply in memory second.  If the journal write crashes, the
+   in-memory state is untouched and the caller never acknowledges. *)
+
+let load (t : t) (table : string) (rows : Value.t array list) : unit =
+  Mutex.protect t.lock (fun () ->
+      let tb = Database.table t.db table in
+      let gen = Table.generation tb + 1 in
+      ignore (Wal.append t.wal ~gen (Wal.Load (table, rows)));
+      Table.load tb rows;
+      t.mutations <- t.mutations + 1);
+  (* [Table.load] drops that table's indexes; restore the declared
+     set so index-backed plans keep working. *)
+  Database.build_declared_indexes t.db
+
+let append (t : t) (table : string) (row : Value.t array) : unit =
+  Mutex.protect t.lock (fun () ->
+      let tb = Database.table t.db table in
+      let gen = Table.generation tb + 1 in
+      ignore (Wal.append t.wal ~gen (Wal.Append (table, row)));
+      Table.append tb row;
+      t.mutations <- t.mutations + 1)
+
+(* ---------------- rotation ---------------------------------------- *)
+
+(* Write snapshot e+1, start wal-(e+1), prune epochs <= e-1 (the pair
+   for epoch e is retained as the fallback for a corrupt snapshot
+   e+1).  Returns the new epoch. *)
+let rotate (t : t) : int =
+  Mutex.protect t.lock (fun () ->
+      let e' = t.epoch + 1 in
+      ignore (Snapshot.write t.env ~dir:t.dir ~epoch:e' t.db);
+      let next_seq = Wal.next_seq t.wal in
+      let fresh = Wal.create t.env ~path:(wal_path ~dir:t.dir e') ~epoch:e' ~next_seq in
+      Wal.close t.wal;
+      t.wal <- fresh;
+      t.epoch <- e';
+      t.mutations <- 0;
+      t.snapshots_taken <- t.snapshots_taken + 1;
+      let rm p = try Sys.remove p with Sys_error _ -> () in
+      List.iter
+        (fun e -> if e <= e' - 2 then rm (Snapshot.snapshot_path ~dir:t.dir e))
+        (Snapshot.list_epochs ~dir:t.dir);
+      List.iter
+        (fun e -> if e <= e' - 2 then rm (wal_path ~dir:t.dir e))
+        (list_wal_epochs ~dir:t.dir);
+      e')
+
+let snapshots_taken (t : t) = t.snapshots_taken
+let close (t : t) : unit = Wal.close t.wal

@@ -1,0 +1,55 @@
+(** Durable store: a database backed by checksummed snapshots plus a
+    write-ahead log, with crash recovery.  See the .ml header for the
+    directory layout, the recovery procedure, and the fallback chain
+    that survives a corrupt (or doctored) newest snapshot. *)
+
+type recovery = {
+  rec_snapshot_epoch : int option;
+      (** epoch restored from; [None] = started from the empty db *)
+  rec_snapshots_rejected : (int * string) list;
+      (** corrupt snapshots skipped, newest first, with the defect *)
+  rec_entries_replayed : int;
+  rec_torn_bytes : int;  (** bytes truncated from the final WAL's tail *)
+  rec_wal_recreated : bool;
+      (** final WAL was missing or torn at creation and was recreated *)
+}
+
+val recovery_to_string : recovery -> string
+
+type t
+
+val db : t -> Database.t
+val dir : t -> string
+
+(** Current snapshot epoch (0 = the implicit empty baseline). *)
+val epoch : t -> int
+
+(** Mutations journaled to the current epoch's WAL. *)
+val mutations : t -> int
+
+(** Snapshots written by {!rotate} since open. *)
+val snapshots_taken : t -> int
+
+val recovery_info : t -> recovery
+
+(** Open (or create) the store rooted at [dir], running recovery:
+    newest valid snapshot, WAL-chain replay up to the first torn
+    record, declared-index rebuild.  [env] routes all writes through
+    fault-injectable I/O (chaos harness); omitted = real I/O.
+    @raise Codec.Storage_corrupt when the on-disk state cannot be
+    restored to an exact committed prefix. *)
+val open_db : ?env:Io_faults.env -> dir:string -> Catalog.t -> t
+
+(** Replace a table's contents; journaled (write + fsync) before the
+    in-memory apply, so once this returns the mutation survives a
+    crash. *)
+val load : t -> string -> Relalg.Value.t array list -> unit
+
+(** Append one row; same durability contract as {!load}. *)
+val append : t -> string -> Relalg.Value.t array -> unit
+
+(** Write a snapshot of the current state as epoch+1, rotate the WAL,
+    prune epochs older than the previous one; returns the new epoch. *)
+val rotate : t -> int
+
+val close : t -> unit

@@ -1,0 +1,267 @@
+(* Fault-injectable file I/O for the durability layer.
+
+   Every byte the WAL and snapshot writers persist goes through this
+   module, so one seeded fault specification can kill the writer at an
+   exact I/O operation and the chaos harness (test/recover_main.ml)
+   can sweep every crash point deterministically.  It is the I/O-side
+   sibling of the executor's operator fault family in
+   [lib/exec/faults.ml] (re-exported there as [Faults.Io]): same
+   philosophy — immutable spec, per-run mutable state, splitmix64
+   streams — applied to writes and fsyncs instead of operator
+   evaluations.
+
+   The four fault kinds model distinct failure physics:
+
+   - [Short_write]: the process dies mid-write; only a prefix of the
+     buffer reaches the file.  Data written *before* the crash
+     survives (process death does not empty the kernel page cache).
+   - [Torn_write]: the write completes at full length but the tail is
+     garbage — the classic torn page.  The process dies immediately
+     after.
+   - [Bit_flip]: one seeded bit of one write is flipped and the writer
+     continues, oblivious — media corruption discovered only at
+     recovery time, by checksum.
+   - [Fsync_lie]: fsync returns success but persists nothing (a
+     battery-less write cache on power loss).  The crash happens at
+     the next I/O operation; at cleanup, every file is truncated back
+     to its last *honest* fsync watermark, so the acknowledged-but-
+     lost window is exactly what recovery must cope with.
+
+   Crash simulation is in-process: the targeted operation raises
+   [Crash]; the harness catches it, calls [crash_cleanup] (which
+   applies the survival semantics above and closes every fd), and then
+   reopens the store with a clean environment — the moral equivalent
+   of kill -9 + restart, but sweepable and seeded. *)
+
+type kind = Short_write | Torn_write | Bit_flip | Fsync_lie
+
+let kind_to_string = function
+  | Short_write -> "short-write"
+  | Torn_write -> "torn-write"
+  | Bit_flip -> "bit-flip"
+  | Fsync_lie -> "fsync-lie"
+
+let kind_of_string = function
+  | "short-write" -> Some Short_write
+  | "torn-write" -> Some Torn_write
+  | "bit-flip" -> Some Bit_flip
+  | "fsync-lie" -> Some Fsync_lie
+  | _ -> None
+
+type spec = {
+  kind : kind;
+  at_op : int;
+      (** 1-based index of the targeted operation: writes and fsyncs
+          share one counter, except [Fsync_lie] which counts fsyncs
+          only (targeting a write with a lying fsync is meaningless) *)
+  seed : int;  (** positions the torn-tail garbage / flipped bit *)
+}
+
+exception Crash of { kind : kind; op : int }
+
+let crash_to_string (kind : kind) (op : int) =
+  Printf.sprintf "injected I/O crash: %s at operation #%d" (kind_to_string kind) op
+
+(* "io:torn-write:17", "io:bit-flip:4:seed:9" — the harness / CLI
+   surface syntax, deliberately shaped like Exec.Faults specs. *)
+let parse (s : string) : (spec, string) result =
+  let int_of v = try Ok (int_of_string v) with _ -> Error ("bad integer: " ^ v) in
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' s with
+  | [ "io"; k; n ] | [ "io"; k; n; "seed"; _ ] as parts -> (
+      match kind_of_string k with
+      | None -> Error ("unknown I/O fault kind: " ^ k)
+      | Some kind ->
+          let* at_op = int_of n in
+          let* seed =
+            match parts with
+            | [ _; _; _; _; sd ] -> int_of sd
+            | _ -> Ok 0
+          in
+          Ok { kind; at_op; seed })
+  | _ -> Error ("cannot parse I/O fault spec: " ^ s)
+
+let spec_to_string (s : spec) =
+  if s.seed = 0 then Printf.sprintf "io:%s:%d" (kind_to_string s.kind) s.at_op
+  else Printf.sprintf "io:%s:%d:seed:%d" (kind_to_string s.kind) s.at_op s.seed
+
+(* Splitmix64, matching the stream discipline of Exec.Faults.Rng
+   (storage cannot depend on exec — the executor scans tables — so the
+   few lines are duplicated rather than the dependency inverted). *)
+let mix (state : int64 ref) : int64 =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Per-file bookkeeping.  [written] and [synced] are absolute offsets;
+   [synced] only advances on an honest fsync, so [crash_cleanup] can
+   truncate a lied-to file back to its durable prefix. *)
+type tracked = {
+  path : string;
+  mutable fd : Unix.file_descr option;  (** [None] once closed *)
+  mutable written : int;
+  mutable synced : int;
+}
+
+type env = {
+  spec : spec option;
+  mutable ops : int;  (** writes + fsyncs *)
+  mutable fsyncs : int;
+  mutable lied : bool;  (** a lying fsync happened; crash at next op *)
+  mutable dead : bool;  (** after [Crash]: every further op re-raises *)
+  rng : int64 ref;
+  mutable files : tracked list;  (** every file touched, newest first *)
+}
+
+let env ?spec () : env =
+  let seed = match spec with Some s -> s.seed | None -> 0 in
+  { spec;
+    ops = 0;
+    fsyncs = 0;
+    lied = false;
+    dead = false;
+    rng = ref (Int64.of_int ((seed * 2) + 1));
+    files = [];
+  }
+
+let op_count (e : env) = e.ops
+let crashed (e : env) = e.dead
+
+type file = { env : env; t : tracked }
+
+let die (e : env) (kind : kind) : 'a =
+  e.dead <- true;
+  raise (Crash { kind; op = e.ops })
+
+(* Raised before performing any operation once the environment is dead
+   or a lying fsync armed the crash: the caller's next touch of the
+   disk is where the process "dies". *)
+let check_alive (e : env) : unit =
+  if e.dead then
+    die e (match e.spec with Some s -> s.kind | None -> Short_write)
+  else
+    match e.spec with
+    | Some { kind = Fsync_lie; _ } when e.lied -> die e Fsync_lie
+    | _ -> ()
+
+let track (e : env) (path : string) (fd : Unix.file_descr) ~(written : int) : file =
+  let t = { path; fd = Some fd; written; synced = written } in
+  e.files <- t :: e.files;
+  { env = e; t }
+
+let create_file (e : env) (path : string) : file =
+  check_alive e;
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  track e path fd ~written:0
+
+let open_append (e : env) (path : string) ~(trunc_to : int option) : file =
+  check_alive e;
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  let size =
+    match trunc_to with
+    | Some n ->
+        Unix.ftruncate fd n;
+        n
+    | None -> (Unix.fstat fd).Unix.st_size
+  in
+  ignore (Unix.lseek fd size Unix.SEEK_SET);
+  track e path fd ~written:size
+
+let fd_exn (f : file) : Unix.file_descr =
+  match f.t.fd with
+  | Some fd -> fd
+  | None -> invalid_arg ("Io_faults: operation on closed file " ^ f.t.path)
+
+let write_all (fd : Unix.file_descr) (b : Bytes.t) (len : int) : unit =
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let write (f : file) (b : Bytes.t) : unit =
+  let e = f.env in
+  check_alive e;
+  e.ops <- e.ops + 1;
+  let len = Bytes.length b in
+  let fd = fd_exn f in
+  match e.spec with
+  | Some ({ kind = Short_write; at_op; _ } as s) when e.ops = at_op ->
+      let keep = len / 2 in
+      write_all fd b keep;
+      f.t.written <- f.t.written + keep;
+      die e s.kind
+  | Some ({ kind = Torn_write; at_op; _ } as s) when e.ops = at_op ->
+      (* full-length write, garbage tail: the torn page *)
+      let torn = Bytes.copy b in
+      let from = len / 2 in
+      for i = from to len - 1 do
+        Bytes.set torn i (Char.chr (Int64.to_int (Int64.logand (mix e.rng) 0xFFL)))
+      done;
+      write_all fd torn len;
+      f.t.written <- f.t.written + len;
+      die e s.kind
+  | Some { kind = Bit_flip; at_op; seed = _ } when e.ops = at_op && len > 0 ->
+      let flipped = Bytes.copy b in
+      let byte = Int64.to_int (Int64.rem (Int64.shift_right_logical (mix e.rng) 1)
+                                  (Int64.of_int len)) in
+      let bit = Int64.to_int (Int64.logand (mix e.rng) 7L) in
+      Bytes.set flipped byte
+        (Char.chr (Char.code (Bytes.get flipped byte) lxor (1 lsl bit)));
+      write_all fd flipped len;
+      f.t.written <- f.t.written + len
+      (* no crash: the writer sails on, none the wiser *)
+  | _ ->
+      write_all fd b len;
+      f.t.written <- f.t.written + len
+
+let fsync (f : file) : unit =
+  let e = f.env in
+  check_alive e;
+  e.ops <- e.ops + 1;
+  e.fsyncs <- e.fsyncs + 1;
+  match e.spec with
+  | Some { kind = Fsync_lie; at_op; _ } when e.fsyncs = at_op ->
+      (* report success, persist nothing; the next op crashes *)
+      e.lied <- true
+  | _ ->
+      Unix.fsync (fd_exn f);
+      f.t.synced <- f.t.written
+
+let close (f : file) : unit =
+  match f.t.fd with
+  | None -> ()
+  | Some fd ->
+      Unix.close fd;
+      f.t.fd <- None
+
+let rename (e : env) (src : string) (dst : string) : unit =
+  check_alive e;
+  Unix.rename src dst
+
+(* Apply the survival semantics of the armed fault kind and close
+   every fd, simulating what the filesystem holds after the process is
+   gone.  Under [Fsync_lie] the unsynced suffix of every file vanishes
+   (power loss); under the other kinds everything written survives
+   (process death keeps the page cache). *)
+let crash_cleanup (e : env) : unit =
+  let lose_unsynced =
+    match e.spec with Some { kind = Fsync_lie; _ } -> true | _ -> false
+  in
+  List.iter
+    (fun (t : tracked) ->
+      (match t.fd with
+      | Some fd ->
+          Unix.close fd;
+          t.fd <- None
+      | None -> ());
+      if lose_unsynced && Sys.file_exists t.path then begin
+        let fd = Unix.openfile t.path [ Unix.O_WRONLY ] 0o644 in
+        Unix.ftruncate fd (min t.synced (Unix.fstat fd).Unix.st_size);
+        Unix.close fd
+      end)
+    e.files;
+  e.files <- [];
+  e.dead <- true

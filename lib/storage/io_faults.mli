@@ -1,0 +1,71 @@
+(** Fault-injectable file I/O for the durability layer: every byte
+    {!Wal} and {!Snapshot} persist goes through an [env], so a seeded
+    fault spec can kill the writer at an exact I/O operation and the
+    crash-recovery chaos harness can sweep every crash point.
+
+    Crash simulation is in-process: the targeted operation raises
+    {!Crash}; the harness catches it, calls {!crash_cleanup} (which
+    applies the fault kind's survival semantics and closes every fd),
+    then reopens the store with a fresh environment. *)
+
+type kind =
+  | Short_write  (** process dies mid-write; the prefix survives *)
+  | Torn_write  (** full-length write with a garbage tail, then death *)
+  | Bit_flip  (** one bit of one write flipped; the writer continues *)
+  | Fsync_lie
+      (** fsync reports success but persists nothing; the crash hits
+          at the next I/O op and the unsynced suffix of every file is
+          lost (power-loss semantics) *)
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+type spec = {
+  kind : kind;
+  at_op : int;
+      (** 1-based index of the targeted operation (writes and fsyncs
+          share one counter; [Fsync_lie] counts fsyncs only) *)
+  seed : int;  (** positions the torn-tail garbage / flipped bit *)
+}
+
+exception Crash of { kind : kind; op : int }
+
+val crash_to_string : kind -> int -> string
+
+(** ["io:torn-write:17"], ["io:bit-flip:4:seed:9"]. *)
+val parse : string -> (spec, string) result
+
+val spec_to_string : spec -> string
+
+(** {2 Environments and files} *)
+
+type env
+type file
+
+(** Fresh environment; no [spec] = transparent pass-through I/O. *)
+val env : ?spec:spec -> unit -> env
+
+(** Writes + fsyncs performed so far (harness dry-runs size their
+    crash-point sweep with this). *)
+val op_count : env -> int
+
+(** True once {!Crash} was raised (or {!crash_cleanup} ran); every
+    further operation re-raises. *)
+val crashed : env -> bool
+
+(** Open for writing, truncating any existing content. *)
+val create_file : env -> string -> file
+
+(** Open for appending; [trunc_to] first truncates to that many bytes
+    (recovery drops a torn WAL tail this way). *)
+val open_append : env -> string -> trunc_to:int option -> file
+
+val write : file -> Bytes.t -> unit
+val fsync : file -> unit
+val close : file -> unit
+val rename : env -> string -> string -> unit
+
+(** Simulate the post-crash filesystem: apply the armed kind's
+    survival semantics (truncate unsynced suffixes under [Fsync_lie])
+    and close every fd. *)
+val crash_cleanup : env -> unit

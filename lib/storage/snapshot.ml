@@ -1,0 +1,272 @@
+(* Checksummed, versioned binary snapshots of whole databases.
+
+   A snapshot is the periodic full-state anchor the WAL extends: write
+   one, rotate the log, and recovery replays only the mutations since.
+   The format is column-major — per-table sections of per-column pages
+   — matching the vectorized engine's access pattern and keeping each
+   checksum over a bounded, cache-friendly extent.
+
+   On-disk layout (little-endian; Codec encoding):
+
+     file header:  magic "SQSNAP01" (8) | version u32 | epoch i64
+                   | ntables u32 | hcrc u32
+     per table:    section header: magic "TSEC" | name (u32+bytes)
+                   | generation i64 | nrows i64 | ncols u32 | hcrc u32
+                   (hcrc covers the section header bytes before it)
+       per column: pages of up to [page_rows] rows:
+                   magic "PAGE" | col u32 | first_row i64 | count u32
+                   | plen u32 | pcrc u32 | hcrc u32 | payload
+     footer:       magic "SEND" | body_crc u32 | hcrc u32
+                   (body_crc is the running CRC-32 of every byte
+                   before the footer — the commit record)
+
+   Write protocol: everything goes to [<final>.tmp] through the
+   fault-injectable I/O layer, is fsync'd, then renamed into place.  A
+   crash mid-write leaves only a .tmp (ignored and deleted by
+   recovery); a torn rename target cannot exist.  A file without a
+   valid footer — or with any failing CRC, or trailing bytes after the
+   footer — is rejected wholesale with [Storage_corrupt]: snapshots
+   are all-or-nothing, there is no partial replay.  Recovery then
+   falls back to the previous epoch's snapshot + WAL chain. *)
+
+module Value = Relalg.Value
+
+let file_magic = "SQSNAP01"
+let section_magic = "TSEC"
+let page_magic = "PAGE"
+let footer_magic = "SEND"
+let version = 1
+
+(* Rows per page: bounds each checksum extent and each reader
+   allocation; small enough that a torn page invalidates little, large
+   enough that header overhead vanishes. *)
+let page_rows = 4096
+
+let snapshot_name (epoch : int) = Printf.sprintf "snap-%08d.snap" epoch
+let snapshot_path ~(dir : string) (epoch : int) = Filename.concat dir (snapshot_name epoch)
+
+(* "snap-00000042.snap" -> Some 42 *)
+let epoch_of_name (f : string) : int option =
+  let pre = "snap-" and suf = ".snap" in
+  let n = String.length f in
+  if n > String.length pre + String.length suf
+     && String.sub f 0 (String.length pre) = pre
+     && Filename.check_suffix f suf
+  then
+    let digits = String.sub f (String.length pre) (n - String.length pre - String.length suf) in
+    if String.for_all (fun c -> c >= '0' && c <= '9') digits then
+      int_of_string_opt digits
+    else None
+  else None
+
+(* Epochs of the snapshot files present in [dir], ascending. *)
+let list_epochs ~(dir : string) : int list =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map epoch_of_name
+    |> List.sort compare
+
+(* ---------------- writer ------------------------------------------ *)
+
+(* The writer tracks a running CRC of everything it emits; the footer
+   seals it.  Buffers are flushed per table section so memory stays
+   bounded by one section, not the whole database. *)
+type out = {
+  file : Io_faults.file;
+  mutable body_crc : int;
+  buf : Buffer.t;
+}
+
+let flush (o : out) : unit =
+  if Buffer.length o.buf > 0 then begin
+    let s = Buffer.contents o.buf in
+    o.body_crc <- Checksum.string ~init:o.body_crc s ~pos:0 ~len:(String.length s);
+    Io_faults.write o.file (Buffer.to_bytes o.buf);
+    Buffer.clear o.buf
+  end
+
+let add_page (b : Buffer.t) ~(col : int) ~(first : int) (values : Value.t array)
+    ~(lo : int) ~(hi : int) : unit =
+  let pb = Buffer.create 1024 in
+  for i = lo to hi - 1 do
+    Codec.add_value pb values.(i)
+  done;
+  let payload = Buffer.contents pb in
+  let h = Buffer.create 28 in
+  Buffer.add_string h page_magic;
+  Codec.add_u32 h col;
+  Codec.add_i64 h first;
+  Codec.add_u32 h (hi - lo);
+  Codec.add_u32 h (String.length payload);
+  Codec.add_u32 h (Checksum.of_string payload);
+  let hs = Buffer.contents h in
+  Buffer.add_string b hs;
+  Codec.add_u32 b (Checksum.of_string hs);
+  Buffer.add_string b payload
+
+(* Write the whole database as epoch [epoch]; returns the final path.
+   The caller (Durable) holds the store lock, so the row data is
+   quiescent. *)
+let write (env : Io_faults.env) ~(dir : string) ~(epoch : int) (db : Database.t) :
+    string =
+  let final = snapshot_path ~dir epoch in
+  let tmp = final ^ ".tmp" in
+  let names = List.sort compare (Catalog.table_names db.Database.catalog) in
+  let file = Io_faults.create_file env tmp in
+  let o = { file; body_crc = 0; buf = Buffer.create 65536 } in
+  (* file header *)
+  Buffer.add_string o.buf file_magic;
+  Codec.add_u32 o.buf version;
+  Codec.add_i64 o.buf epoch;
+  Codec.add_u32 o.buf (List.length names);
+  let hdr = Buffer.contents o.buf in
+  Codec.add_u32 o.buf (Checksum.of_string hdr);
+  flush o;
+  (* table sections *)
+  List.iter
+    (fun name ->
+      let tb = Database.table db name in
+      let rows, nrows = Table.rows_view tb in
+      let ncols = List.length tb.Table.def.Catalog.columns in
+      let sh = Buffer.create 64 in
+      Buffer.add_string sh section_magic;
+      Codec.add_str sh name;
+      Codec.add_i64 sh (Table.generation tb);
+      Codec.add_i64 sh nrows;
+      Codec.add_u32 sh ncols;
+      let shs = Buffer.contents sh in
+      Buffer.add_string o.buf shs;
+      Codec.add_u32 o.buf (Checksum.of_string shs);
+      (* column-major pages; extract one column at a time *)
+      let colv = Array.make nrows Value.Null in
+      for c = 0 to ncols - 1 do
+        for i = 0 to nrows - 1 do
+          colv.(i) <- rows.(i).(c)
+        done;
+        let lo = ref 0 in
+        while !lo < nrows do
+          let hi = min nrows (!lo + page_rows) in
+          add_page o.buf ~col:c ~first:!lo colv ~lo:!lo ~hi;
+          lo := hi
+        done
+      done;
+      flush o)
+    names;
+  (* footer: seal the running body CRC *)
+  let body_crc = o.body_crc in
+  Buffer.add_string o.buf footer_magic;
+  Codec.add_u32 o.buf body_crc;
+  let fs = Buffer.contents o.buf in
+  Codec.add_u32 o.buf (Checksum.of_string fs);
+  flush o;
+  Io_faults.fsync file;
+  Io_faults.close file;
+  Io_faults.rename env tmp final;
+  final
+
+(* ---------------- reader ------------------------------------------ *)
+
+type table_state = {
+  ts_name : string;
+  ts_generation : int;
+  ts_rows : Value.t array array;
+}
+
+(* Parse and fully validate a snapshot file.  Any defect — bad magic,
+   failing CRC at any level, truncated input, trailing garbage, or a
+   shape that disagrees with [catalog] — raises [Storage_corrupt]. *)
+let read (catalog : Catalog.t) (path : string) : int * table_state list =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let fail fmt = Codec.corrupt ("snapshot %s: " ^^ fmt) path in
+  if len < 24 + 12 then fail "file too short (%d bytes)" len;
+  (* footer first: no valid commit record, no snapshot *)
+  let flen = 12 in
+  let fpos = len - flen in
+  if String.sub s fpos 4 <> footer_magic then fail "missing commit footer";
+  let fc = Codec.cursor (String.sub s (fpos + 4) 8) in
+  let body_crc = Codec.get_u32 fc ~what:"footer body crc" in
+  let fcrc = Codec.get_u32 fc ~what:"footer crc" in
+  if fcrc <> Checksum.string s ~pos:fpos ~len:8 then fail "footer checksum mismatch";
+  if body_crc <> Checksum.string s ~pos:0 ~len:fpos then
+    fail "body checksum mismatch (whole-file)";
+  (* file header *)
+  let c = Codec.cursor s in
+  Codec.need c 8 ~what:"snapshot magic";
+  if String.sub s 0 8 <> file_magic then fail "bad file magic";
+  c.Codec.pos <- 8;
+  let ver = Codec.get_u32 c ~what:"version" in
+  if ver <> version then fail "unsupported version %d" ver;
+  let epoch = Codec.get_i64 c ~what:"epoch" in
+  let ntables = Codec.get_u32 c ~what:"table count" in
+  let hcrc = Codec.get_u32 c ~what:"header crc" in
+  if hcrc <> Checksum.string s ~pos:0 ~len:(c.Codec.pos - 4) then
+    fail "file header checksum mismatch";
+  (* table sections *)
+  let tables = ref [] in
+  for _ = 1 to ntables do
+    let spos = c.Codec.pos in
+    Codec.need c 4 ~what:"section magic";
+    if String.sub s c.Codec.pos 4 <> section_magic then
+      fail "bad table section magic at offset %d" c.Codec.pos;
+    c.Codec.pos <- c.Codec.pos + 4;
+    let name = Codec.get_str c ~what:"table name" in
+    let generation = Codec.get_i64 c ~what:"table generation" in
+    let nrows = Codec.get_i64 c ~what:"table row count" in
+    let ncols = Codec.get_u32 c ~what:"table column count" in
+    let shcrc = Codec.get_u32 c ~what:"section header crc" in
+    if shcrc <> Checksum.string s ~pos:spos ~len:(c.Codec.pos - 4 - spos) then
+      fail "table %s: section header checksum mismatch" name;
+    if nrows < 0 then fail "table %s: negative row count" name;
+    let def =
+      match Catalog.find_table catalog name with
+      | Some d -> d
+      | None -> fail "table %s not in catalog" name
+    in
+    let want_cols = List.length def.Catalog.columns in
+    if ncols <> want_cols then
+      fail "table %s: %d columns on disk, catalog declares %d" name ncols want_cols;
+    let rows = Array.init nrows (fun _ -> Array.make ncols Value.Null) in
+    (* pages, column-major, in write order *)
+    for col = 0 to ncols - 1 do
+      let filled = ref 0 in
+      while !filled < nrows do
+        let ppos = c.Codec.pos in
+        Codec.need c 4 ~what:"page magic";
+        if String.sub s c.Codec.pos 4 <> page_magic then
+          fail "table %s: bad page magic at offset %d" name c.Codec.pos;
+        c.Codec.pos <- c.Codec.pos + 4;
+        let pcol = Codec.get_u32 c ~what:"page column" in
+        let first = Codec.get_i64 c ~what:"page first row" in
+        let count = Codec.get_u32 c ~what:"page row count" in
+        let plen = Codec.get_u32 c ~what:"page payload length" in
+        let pcrc = Codec.get_u32 c ~what:"page payload crc" in
+        let phcrc = Codec.get_u32 c ~what:"page header crc" in
+        if phcrc <> Checksum.string s ~pos:ppos ~len:(c.Codec.pos - 4 - ppos) then
+          fail "table %s: page header checksum mismatch at offset %d" name ppos;
+        if pcol <> col || first <> !filled || count <= 0 || first + count > nrows
+        then
+          fail "table %s: page addresses col %d rows %d+%d, expected col %d row %d"
+            name pcol first count col !filled;
+        Codec.need c plen ~what:"page payload";
+        if Checksum.string s ~pos:c.Codec.pos ~len:plen <> pcrc then
+          fail "table %s: page payload checksum mismatch (col %d, row %d)" name col
+            first;
+        let pc = Codec.cursor (String.sub s c.Codec.pos plen) in
+        for i = first to first + count - 1 do
+          rows.(i).(col) <- Codec.get_value pc
+        done;
+        if Codec.remaining pc <> 0 then
+          fail "table %s: %d trailing bytes in page payload" name (Codec.remaining pc);
+        c.Codec.pos <- c.Codec.pos + plen;
+        filled := first + count
+      done
+    done;
+    tables := { ts_name = name; ts_generation = generation; ts_rows = rows } :: !tables
+  done;
+  if c.Codec.pos <> fpos then
+    fail "%d unparsed bytes between last section and footer" (fpos - c.Codec.pos);
+  (epoch, List.rev !tables)

@@ -1,0 +1,31 @@
+(** Checksummed, versioned binary database snapshots: column-major
+    per-table pages with a CRC per page and a whole-file commit
+    footer, written temp-file-then-rename.  See the .ml header for
+    the byte layout.  A snapshot is all-or-nothing: any failing
+    checksum rejects the whole file and recovery falls back to the
+    previous epoch. *)
+
+val snapshot_name : int -> string
+val snapshot_path : dir:string -> int -> string
+
+(** Epochs of the snapshot files present in the directory, ascending.
+    Empty if the directory does not exist. *)
+val list_epochs : dir:string -> int list
+
+(** Write the whole database as the given epoch through the
+    fault-injectable I/O layer (temp file, fsync, rename); returns the
+    final path.  The caller must hold the store lock so row data is
+    quiescent. *)
+val write : Io_faults.env -> dir:string -> epoch:int -> Database.t -> string
+
+type table_state = {
+  ts_name : string;
+  ts_generation : int;  (** table mutation generation at snapshot time *)
+  ts_rows : Relalg.Value.t array array;
+}
+
+(** Parse and fully validate a snapshot: (epoch, per-table states).
+    @raise Codec.Storage_corrupt on any defect — bad magic, failing
+    CRC at any level, truncation, trailing bytes, or a shape that
+    disagrees with the catalog. *)
+val read : Catalog.t -> string -> int * table_state list

@@ -1,21 +1,30 @@
 (* In-memory row store.
 
-   A table is an array of rows (value arrays, positionally matching the
-   catalog column order) plus optional hash indexes.  Indexes map a key
-   value (single column) to the list of row positions — enough for the
-   index-lookup-join execution alternative the paper's Section 4 calls
-   "the simplest and most common" correlated execution.
+   A table is a growable array of rows (value arrays, positionally
+   matching the catalog column order) plus optional hash indexes.
+   Indexes map a key value (single column) to the list of row
+   positions — enough for the index-lookup-join execution alternative
+   the paper's Section 4 calls "the simplest and most common"
+   correlated execution.
+
+   The backing [rows] array over-allocates (capacity doubling), so a
+   stream of [append]s — the WAL-replay workload of recovery — is
+   amortized O(1) per row instead of the O(n) full copy [Array.append]
+   used to pay.  [nrows] is the logical size; everything past it is
+   garbage and must never be read.  Readers outside this module go
+   through {!rows_view}, which hands out a consistent (array, count)
+   pair.
 
    Concurrency contract: row data is effectively read-only while
    queries run (a service loads tables before serving), so scans read
-   [rows] without coordination.  What *does* mutate under concurrent
-   readers is the derived state — the generation-tagged columnar cache,
-   the index list, and the distinct counts computed for the stats
-   cache — so every derived-state refresh and every mutation goes
-   through the per-table [lock].  Without it, two domains racing the
-   first [columns] call after a mutation could tear the cache, and a
-   mutation racing a refresh could pin a stale extraction under a new
-   generation. *)
+   a {!rows_view} without further coordination.  What *does* mutate
+   under concurrent readers is the derived state — the
+   generation-tagged columnar cache, the index list, and the distinct
+   counts computed for the stats cache — so every derived-state
+   refresh and every mutation goes through the per-table [lock].
+   Without it, two domains racing the first [columns] call after a
+   mutation could tear the cache, and a mutation racing a refresh
+   could pin a stale extraction under a new generation. *)
 
 module Value = Relalg.Value
 
@@ -27,6 +36,9 @@ type index = {
 type t = {
   def : Catalog.table;
   mutable rows : Value.t array array;
+      (** backing store; physical length is the capacity, logical size
+          is [nrows] — use {!rows_view} outside this module *)
+  mutable nrows : int;
   mutable indexes : index list;
   col_pos : (string, int) Hashtbl.t;
   mutable generation : int;
@@ -43,6 +55,7 @@ let create (def : Catalog.table) : t =
   List.iteri (fun i (c : Catalog.column) -> Hashtbl.replace col_pos c.col_name i) def.columns;
   { def;
     rows = [||];
+    nrows = 0;
     indexes = [];
     col_pos;
     generation = 0;
@@ -51,7 +64,17 @@ let create (def : Catalog.table) : t =
   }
 
 let name t = t.def.name
-let row_count t = Array.length t.rows
+let row_count t = t.nrows
+
+(* Consistent (backing array, logical size) pair for lock-free scans.
+   Read under the lock so a racing capacity-doubling append can never
+   hand out a count that exceeds the array we return. *)
+let rows_view t : Value.t array array * int =
+  Mutex.protect t.lock (fun () -> (t.rows, t.nrows))
+
+let to_rows t : Value.t array list =
+  let rows, n = rows_view t in
+  List.init n (fun i -> rows.(i))
 
 let column_position t cname = Hashtbl.find_opt t.col_pos cname
 
@@ -68,12 +91,40 @@ let generation t = t.generation
 let load t (rows : Value.t array list) =
   Mutex.protect t.lock (fun () ->
       t.rows <- Array.of_list rows;
+      t.nrows <- Array.length t.rows;
       t.indexes <- [];
       touch t)
 
+(* Restore persisted state wholesale (snapshot recovery): rows and the
+   saved mutation generation, exactly as they were at snapshot time.
+   Indexes are dropped — recovery rebuilds the declared set. *)
+let restore t ~(generation : int) (rows : Value.t array array) =
+  Mutex.protect t.lock (fun () ->
+      t.rows <- rows;
+      t.nrows <- Array.length rows;
+      t.indexes <- [];
+      t.generation <- generation;
+      t.col_cache <- None)
+
 let append t row =
   Mutex.protect t.lock (fun () ->
-      t.rows <- Array.append t.rows [| row |];
+      let cap = Array.length t.rows in
+      if t.nrows = cap then begin
+        let grown = Array.make (max 8 (2 * cap)) [||] in
+        Array.blit t.rows 0 grown 0 t.nrows;
+        t.rows <- grown
+      end;
+      t.rows.(t.nrows) <- row;
+      t.nrows <- t.nrows + 1;
+      (* Maintain existing indexes incrementally: an index that missed
+         appended rows would make index_lookup silently drop them from
+         every index-backed Apply (the stale-index bug). *)
+      List.iter
+        (fun ix ->
+          let v = row.(ix.idx_col) in
+          let prev = try Hashtbl.find ix.idx_map v with Not_found -> [] in
+          Hashtbl.replace ix.idx_map v ((t.nrows - 1) :: prev))
+        t.indexes;
       touch t)
 
 (* Column-major view of the table, for the vectorized scan: one value
@@ -85,7 +136,7 @@ let columns t : Value.t array array =
       match t.col_cache with
       | Some (gen, cols) when gen = t.generation -> cols
       | _ ->
-          let n = Array.length t.rows in
+          let n = t.nrows in
           let ncols = List.length t.def.columns in
           let cols = Array.init ncols (fun c -> Array.init n (fun i -> t.rows.(i).(c))) in
           t.col_cache <- Some (t.generation, cols);
@@ -97,13 +148,12 @@ let build_index t cname =
   | None -> invalid_arg ("build_index: no column " ^ cname)
   | Some pos ->
       Mutex.protect t.lock (fun () ->
-          let map = Hashtbl.create (max 16 (Array.length t.rows)) in
-          Array.iteri
-            (fun i row ->
-              let v = row.(pos) in
-              let prev = try Hashtbl.find map v with Not_found -> [] in
-              Hashtbl.replace map v (i :: prev))
-            t.rows;
+          let map = Hashtbl.create (max 16 t.nrows) in
+          for i = 0 to t.nrows - 1 do
+            let v = t.rows.(i).(pos) in
+            let prev = try Hashtbl.find map v with Not_found -> [] in
+            Hashtbl.replace map v (i :: prev)
+          done;
           t.indexes <- { idx_col = pos; idx_map = map } :: t.indexes)
 
 let find_index t cname =
@@ -117,7 +167,7 @@ let index_lookup (ix : index) (t : t) (v : Value.t) : Value.t array list =
   | Some positions -> List.rev_map (fun i -> t.rows.(i)) positions
 
 (* Distinct-count estimate for a column (exact, computed on demand;
-   cached by Stats).  Lock-guarded: it walks [rows] and must not
+   cached by Stats).  Lock-guarded: it walks the rows and must not
    observe a half-applied mutation. *)
 let distinct_count t cname =
   match column_position t cname with
@@ -125,5 +175,7 @@ let distinct_count t cname =
   | Some pos ->
       Mutex.protect t.lock (fun () ->
           let seen = Hashtbl.create 1024 in
-          Array.iter (fun row -> Hashtbl.replace seen row.(pos) ()) t.rows;
+          for i = 0 to t.nrows - 1 do
+            Hashtbl.replace seen t.rows.(i).(pos) ()
+          done;
           Hashtbl.length seen)

@@ -1,9 +1,12 @@
 (** In-memory row store.
 
-    A table is an array of rows (value arrays, positionally matching
-    the catalog column order) plus optional single-column hash indexes —
-    enough for the index-lookup-join execution alternative of the
-    paper's Section 4. *)
+    A table is a growable array of rows (value arrays, positionally
+    matching the catalog column order) plus optional single-column
+    hash indexes — enough for the index-lookup-join execution
+    alternative of the paper's Section 4.  The backing array
+    over-allocates (capacity doubling), so WAL replay of N appends is
+    amortized O(N); read rows through {!rows_view}, never past the
+    logical count. *)
 
 type index = {
   idx_col : int;  (** column position *)
@@ -13,6 +16,9 @@ type index = {
 type t = {
   def : Catalog.table;
   mutable rows : Relalg.Value.t array array;
+      (** backing store; physical length is the capacity, logical size
+          is [nrows] — use {!rows_view} instead of reading this *)
+  mutable nrows : int;
   mutable indexes : index list;
   col_pos : (string, int) Hashtbl.t;
   mutable generation : int;
@@ -28,6 +34,14 @@ type t = {
 val create : Catalog.table -> t
 val name : t -> string
 val row_count : t -> int
+
+(** Consistent (backing array, logical row count) pair for scans; only
+    indices below the count are valid rows. *)
+val rows_view : t -> Relalg.Value.t array array * int
+
+(** The logical rows as a list (row order preserved). *)
+val to_rows : t -> Relalg.Value.t array list
+
 val column_position : t -> string -> int option
 
 (** Current mutation generation; changes whenever rows change. *)
@@ -36,7 +50,13 @@ val generation : t -> int
 (** Replace the table contents (drops indexes, bumps the generation). *)
 val load : t -> Relalg.Value.t array list -> unit
 
-(** Append one row (bumps the generation). *)
+(** Restore persisted state wholesale (snapshot recovery): rows and
+    the saved mutation generation; indexes are dropped for the caller
+    to rebuild. *)
+val restore : t -> generation:int -> Relalg.Value.t array array -> unit
+
+(** Append one row (bumps the generation; existing indexes are
+    maintained incrementally). *)
 val append : t -> Relalg.Value.t array -> unit
 
 (** Column-major view of the rows (one array per catalog column),

@@ -1,0 +1,287 @@
+(* Write-ahead log: the journal that makes load/append mutations
+   durable before they are acknowledged.
+
+   One WAL file per snapshot epoch ([wal-<epoch>.log]); a mutation is
+   serialized, written and fsync'd *before* the in-memory table is
+   touched, so an acknowledged mutation is always on disk and a crash
+   mid-write loses only the unacknowledged record at the tail.
+
+   On-disk layout (everything little-endian; see Codec):
+
+     file header (28 bytes):
+       magic    8   "SQWAL001"
+       epoch    8   snapshot epoch this log extends
+       start    8   sequence number of the first record this log will
+                    hold (so an empty-but-valid log still pins the
+                    global sequence for recovery)
+       hcrc     4   CRC-32 of the 24 bytes above
+
+     record (32-byte header + payload):
+       magic    4   "WREC"
+       seq      8   global sequence number (dense across epochs)
+       gen      8   table mutation generation AFTER applying
+       len      4   payload length
+       pcrc     4   CRC-32 of the payload
+       hcrc     4   CRC-32 of the 28 bytes above (magic..pcrc)
+       payload      op tag, table name, rows (Codec encoding)
+
+   Reading distinguishes the two ways a log can be bad:
+
+   - Torn tail: the last record is short, or its checksum fails and
+     nothing valid follows.  That is the expected residue of a crash
+     mid-append — the record was never acknowledged — so recovery
+     truncates it and replays the clean prefix.
+   - Mid-log corruption: a record fails its checksum but a *valid*
+     record (magic + header CRC + advancing seq) exists beyond it.
+     Records after the bad one were acknowledged and cannot be
+     replayed without a hole, so recovery must refuse with
+     [Storage_corrupt] rather than silently drop acknowledged data.
+
+   The resync scan that tells them apart searches the remaining bytes
+   for the record magic and validates the candidate header — the same
+   trick journaled filesystems and Raft logs use.
+
+   Note the inherent ambiguity this leaves (documented in DESIGN.md
+   §14): a bit flip inside the *final* record is indistinguishable
+   from a torn write of that record, so it is truncated as a torn
+   tail.  The lost record was acknowledged, but every surviving prefix
+   is still exact — corruption never manufactures wrong rows. *)
+
+module Value = Relalg.Value
+
+let file_magic = "SQWAL001"
+let record_magic = "WREC"
+let header_len = 28
+let rec_header_len = 32
+
+type op =
+  | Load of string * Value.t array list  (** replace table contents *)
+  | Append of string * Value.t array  (** append one row *)
+
+type entry = { seq : int; gen : int; op : op }
+
+let op_table = function Load (t, _) -> t | Append (t, _) -> t
+
+(* ---------------- serialization ----------------------------------- *)
+
+let encode_op (op : op) : string =
+  let b = Buffer.create 64 in
+  (match op with
+  | Load (table, rows) ->
+      Codec.add_u8 b 0;
+      Codec.add_str b table;
+      Codec.add_i64 b (List.length rows);
+      List.iter (Codec.add_row b) rows
+  | Append (table, row) ->
+      Codec.add_u8 b 1;
+      Codec.add_str b table;
+      Codec.add_row b row);
+  Buffer.contents b
+
+let decode_op (payload : string) : op =
+  let c = Codec.cursor payload in
+  let op =
+    match Codec.get_u8 c ~what:"WAL op tag" with
+    | 0 ->
+        let table = Codec.get_str c ~what:"WAL table name" in
+        let n = Codec.get_i64 c ~what:"WAL load row count" in
+        if n < 0 then Codec.corrupt "negative WAL load row count %d" n;
+        (* explicit loop: List.init's application order is unspecified
+           and the cursor reads are side-effecting *)
+        let rows = ref [] in
+        for _ = 1 to n do
+          rows := Codec.get_row c :: !rows
+        done;
+        Load (table, List.rev !rows)
+    | 1 ->
+        let table = Codec.get_str c ~what:"WAL table name" in
+        Append (table, Codec.get_row c)
+    | t -> Codec.corrupt "unknown WAL op tag %d" t
+  in
+  if Codec.remaining c <> 0 then
+    Codec.corrupt "%d trailing bytes after WAL op" (Codec.remaining c);
+  op
+
+let encode_record ~(seq : int) ~(gen : int) (op : op) : Bytes.t =
+  let payload = encode_op op in
+  let b = Buffer.create (rec_header_len + String.length payload) in
+  Buffer.add_string b record_magic;
+  Codec.add_i64 b seq;
+  Codec.add_i64 b gen;
+  Codec.add_u32 b (String.length payload);
+  Codec.add_u32 b (Checksum.of_string payload);
+  let hcrc = Checksum.string (Buffer.contents b) ~pos:0 ~len:28 in
+  Codec.add_u32 b hcrc;
+  Buffer.add_string b payload;
+  Buffer.to_bytes b
+
+let encode_file_header ~(epoch : int) ~(start_seq : int) : Bytes.t =
+  let b = Buffer.create header_len in
+  Buffer.add_string b file_magic;
+  Codec.add_i64 b epoch;
+  Codec.add_i64 b start_seq;
+  Codec.add_u32 b (Checksum.string (Buffer.contents b) ~pos:0 ~len:24);
+  Buffer.to_bytes b
+
+(* ---------------- writer ------------------------------------------ *)
+
+type writer = {
+  file : Io_faults.file;
+  path : string;
+  mutable next_seq : int;
+}
+
+let path (w : writer) = w.path
+let next_seq (w : writer) = w.next_seq
+
+(* Fresh log for a new epoch: header written and fsync'd immediately,
+   so an empty-but-valid log is distinguishable from a missing one. *)
+let create (env : Io_faults.env) ~(path : string) ~(epoch : int) ~(next_seq : int) :
+    writer =
+  let file = Io_faults.create_file env path in
+  Io_faults.write file (encode_file_header ~epoch ~start_seq:next_seq);
+  Io_faults.fsync file;
+  { file; path; next_seq }
+
+(* Reopen the current epoch's log for appending after recovery;
+   [trunc_to] first cuts a torn tail at that byte offset. *)
+let reopen (env : Io_faults.env) ~(path : string) ~(epoch : int) ~(next_seq : int)
+    ~(trunc_to : int option) : writer =
+  ignore epoch;
+  let file = Io_faults.open_append env path ~trunc_to in
+  { file; path; next_seq }
+
+(* The durability contract: the record is on disk (write + fsync)
+   before [append] returns, so the caller may acknowledge and apply
+   the mutation.  One write call per record — the torn-write fault
+   tears *within* a record, as a real sector-spanning write would. *)
+let append (w : writer) ~(gen : int) (op : op) : int =
+  let seq = w.next_seq in
+  Io_faults.write w.file (encode_record ~seq ~gen op);
+  Io_faults.fsync w.file;
+  w.next_seq <- seq + 1;
+  seq
+
+let close (w : writer) : unit = Io_faults.close w.file
+
+(* ---------------- reader ------------------------------------------ *)
+
+type tail =
+  | Clean  (** every byte parsed into valid records *)
+  | Torn of int
+      (** valid prefix ends at this byte offset; the rest is the
+          residue of a crashed append and must be truncated *)
+
+(* Is there a valid-looking record header at [pos] whose seq advances
+   past [after_seq]?  Used to tell mid-log corruption from a torn
+   tail. *)
+let valid_header_at (s : string) (pos : int) ~(after_seq : int) : bool =
+  String.length s - pos >= rec_header_len
+  && String.sub s pos 4 = record_magic
+  &&
+  let c = Codec.cursor (String.sub s pos rec_header_len) in
+  c.Codec.pos <- 4;
+  let seq = Codec.get_i64 c ~what:"resync seq" in
+  let _gen = Codec.get_i64 c ~what:"resync gen" in
+  let _len = Codec.get_u32 c ~what:"resync len" in
+  let _pcrc = Codec.get_u32 c ~what:"resync pcrc" in
+  let hcrc = Codec.get_u32 c ~what:"resync hcrc" in
+  hcrc = Checksum.string s ~pos ~len:28 && seq > after_seq
+
+(* Scan forward for any valid record header after [pos]: finding one
+   means acknowledged records exist beyond the corruption. *)
+let exists_record_beyond (s : string) (pos : int) ~(after_seq : int) : bool =
+  let n = String.length s in
+  let rec scan i =
+    if i + rec_header_len > n then false
+    else
+      match String.index_from_opt s i record_magic.[0] with
+      | None -> false
+      | Some j ->
+          if j + rec_header_len > n then false
+          else if valid_header_at s j ~after_seq then true
+          else scan (j + 1)
+  in
+  scan pos
+
+type log = {
+  log_epoch : int;
+  log_start_seq : int;
+  log_entries : entry list;
+  log_tail : tail;
+  log_size : int;  (** file size in bytes *)
+}
+
+(* Parse a whole log file.  Raises [Storage_corrupt] on a bad file
+   header or mid-log corruption. *)
+let read (path : string) : log =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  if len < header_len then
+    Codec.corrupt "WAL %s: truncated file header (%d bytes)" path len;
+  if String.sub s 0 8 <> file_magic then
+    Codec.corrupt "WAL %s: bad file magic" path;
+  let hc = Codec.cursor (String.sub s 8 20) in
+  let epoch = Codec.get_i64 hc ~what:"WAL epoch" in
+  let start_seq = Codec.get_i64 hc ~what:"WAL start seq" in
+  let hcrc = Codec.get_u32 hc ~what:"WAL header crc" in
+  if hcrc <> Checksum.string s ~pos:0 ~len:24 then
+    Codec.corrupt "WAL %s: file header checksum mismatch" path;
+  let entries = ref [] in
+  (* seed the density check: the first record must carry [start_seq] *)
+  let last_seq = ref (start_seq - 1) in
+  let rec loop (pos : int) : tail =
+    if pos = len then Clean
+    else
+      (* Classify a parse failure at [pos]: torn tail if nothing valid
+         follows, mid-log corruption otherwise. *)
+      let bad (why : string) ~(scan_from : int) : tail =
+        if exists_record_beyond s scan_from ~after_seq:!last_seq then
+          Codec.corrupt
+            "WAL %s: corrupt record at offset %d (%s) with valid records beyond \
+             it — acknowledged data would be lost"
+            path pos why
+        else Torn pos
+      in
+      if len - pos < rec_header_len then bad "short header" ~scan_from:(pos + 1)
+      else if String.sub s pos 4 <> record_magic then
+        bad "bad record magic" ~scan_from:(pos + 1)
+      else begin
+        let hc = Codec.cursor (String.sub s (pos + 4) (rec_header_len - 4)) in
+        let seq = Codec.get_i64 hc ~what:"record seq" in
+        let gen = Codec.get_i64 hc ~what:"record gen" in
+        let plen = Codec.get_u32 hc ~what:"record len" in
+        let pcrc = Codec.get_u32 hc ~what:"record pcrc" in
+        let hcrc = Codec.get_u32 hc ~what:"record hcrc" in
+        if hcrc <> Checksum.string s ~pos ~len:28 then
+          (* header untrustworthy, plen included: resync from pos+1 *)
+          bad "header checksum mismatch" ~scan_from:(pos + 1)
+        else if seq <> !last_seq + 1 then
+          bad (Printf.sprintf "sequence gap (%d after %d)" seq !last_seq)
+            ~scan_from:(pos + 1)
+        else if len - pos - rec_header_len < plen then
+          bad "short payload" ~scan_from:(pos + 1)
+        else begin
+          let payload = String.sub s (pos + rec_header_len) plen in
+          if Checksum.of_string payload <> pcrc then
+            (* header is valid so the extent is known: anything beyond
+               this record decides torn vs corrupt *)
+            bad "payload checksum mismatch" ~scan_from:(pos + rec_header_len + plen)
+          else begin
+            let op = decode_op payload in
+            entries := { seq; gen; op } :: !entries;
+            last_seq := seq;
+            loop (pos + rec_header_len + plen)
+          end
+        end
+      end
+  in
+  let tail = loop header_len in
+  { log_epoch = epoch;
+    log_start_seq = start_seq;
+    log_entries = List.rev !entries;
+    log_tail = tail;
+    log_size = len;
+  }

@@ -1,0 +1,75 @@
+(** Write-ahead log: journals [load]/[append] mutations with
+    per-record checksums and generation tags, fsync'd before the
+    mutation is acknowledged.  One log file per snapshot epoch; see
+    the .ml header for the byte layout and the torn-tail vs mid-log
+    corruption classification. *)
+
+type op =
+  | Load of string * Relalg.Value.t array list
+      (** replace the named table's contents *)
+  | Append of string * Relalg.Value.t array  (** append one row *)
+
+type entry = {
+  seq : int;  (** global sequence number, dense across epochs *)
+  gen : int;  (** table mutation generation after applying *)
+  op : op;
+}
+
+val op_table : op -> string
+
+(** WAL file header size in bytes; a file shorter than this never held
+    an acknowledged record (torn creation). *)
+val header_len : int
+
+(** {2 Writer} *)
+
+type writer
+
+val path : writer -> string
+
+(** Sequence number the next appended record will carry. *)
+val next_seq : writer -> int
+
+(** Fresh log for a new epoch; the file header is written and fsync'd
+    immediately. *)
+val create :
+  Io_faults.env -> path:string -> epoch:int -> next_seq:int -> writer
+
+(** Reopen the current epoch's log after recovery; [trunc_to] first
+    cuts a torn tail at that byte offset. *)
+val reopen :
+  Io_faults.env ->
+  path:string ->
+  epoch:int ->
+  next_seq:int ->
+  trunc_to:int option ->
+  writer
+
+(** Write + fsync one record; returns its sequence number.  The record
+    is durable before this returns — only then may the caller apply
+    and acknowledge the mutation. *)
+val append : writer -> gen:int -> op -> int
+
+val close : writer -> unit
+
+(** {2 Reader} *)
+
+type tail =
+  | Clean  (** every byte parsed into valid records *)
+  | Torn of int
+      (** valid prefix ends at this byte offset; the rest is the
+          residue of a crashed append and must be truncated *)
+
+type log = {
+  log_epoch : int;
+  log_start_seq : int;  (** seq the first record carries *)
+  log_entries : entry list;  (** valid entries, in order *)
+  log_tail : tail;
+  log_size : int;  (** file size in bytes *)
+}
+
+(** Parse a log file.
+    @raise Codec.Storage_corrupt on a bad file header, or when a
+    corrupt record is followed by valid ones (acknowledged data would
+    be lost). *)
+val read : string -> log

@@ -770,11 +770,11 @@ let run_rewrite (v : vctx) (rw : apply_rewrite) (ng : int) (env_of : int -> Ex.l
     if not (Value.is_null k) then
       VTbl1.replace build k (g :: (try VTbl1.find build k with Not_found -> []))
   done;
-  let rows = tb.Storage.Table.rows in
-  Ex.account_rows ctx (Array.length rows);
+  let rows, nrows = Storage.Table.rows_view tb in
+  Ex.account_rows ctx nrows;
   let residual_true = is_true_const rw.rw_residual in
   let out = Array.make (max 1 ng) [] in
-  for i = 0 to Array.length rows - 1 do
+  for i = 0 to nrows - 1 do
     let r = rows.(i) in
     let key = r.(rw.rw_key) in
     if not (Value.is_null key) then

@@ -1,0 +1,61 @@
+(* Generator for the checked-in corrupt-snapshot corpus (test/corpus).
+
+   Writes one valid snapshot of a tiny deterministic TPC-H database
+   plus a family of doctored variants; test_storage.ml asserts that
+   the valid file parses and that every doctored sibling is rejected
+   with [Storage_corrupt].  The corpus is committed so the reader is
+   exercised against fixed historical bytes — a format change that
+   breaks compatibility fails loudly instead of silently regenerating
+   both sides.
+
+   Regenerate with:  dune exec test/corpus_main.exe -- test/corpus *)
+
+open Relalg
+
+let v_int i = Value.Int i
+let v_str s = Value.Str s
+
+let build_db () : Storage.Database.t =
+  let db = Storage.Database.create (Catalog.tpch ()) in
+  Storage.Table.load
+    (Storage.Database.table db "region")
+    [ [| v_int 0; v_str "AFRICA"; v_str "r0" |];
+      [| v_int 1; v_str "EUROPE"; v_str "r1" |]
+    ];
+  Storage.Table.load
+    (Storage.Database.table db "nation")
+    [ [| v_int 0; v_str "ALGERIA"; v_int 0; v_str "n0" |];
+      [| v_int 1; v_str "FRANCE"; v_int 1; v_str "n1" |];
+      [| v_int 2; v_str "GERMANY"; v_int 1; v_str "n2" |]
+    ];
+  db
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let flip (s : string) (off : int) : string =
+  let b = Bytes.of_string s in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 1));
+  Bytes.to_string b
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/corpus" in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let db = build_db () in
+  let valid_path =
+    Storage.Snapshot.write (Storage.Io_faults.env ()) ~dir ~epoch:7 db
+  in
+  let valid = read_file valid_path in
+  Sys.rename valid_path (Filename.concat dir "valid.snap");
+  let n = String.length valid in
+  let emit name s = write_file (Filename.concat dir name) s in
+  emit "empty.snap" "";
+  emit "bad-magic.snap" (flip valid 0);
+  emit "truncated-header.snap" (String.sub valid 0 11);
+  emit "torn-page.snap" (flip valid (n / 2));
+  emit "bad-footer.snap" (flip valid (n - 3));
+  emit "truncated-tail.snap" (String.sub valid 0 (n - (n / 3)));
+  emit "trailing-garbage.snap" (valid ^ "\000\255garbage");
+  Printf.printf "corpus written to %s (%d bytes valid snapshot)\n" dir n

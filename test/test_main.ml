@@ -20,5 +20,6 @@ let () =
       ("property-analysis", Test_property_analysis.suite);
       ("verify", Test_verify.suite);
       ("analysis", Test_analysis.suite);
-      ("service", Test_service.suite)
+      ("service", Test_service.suite);
+      ("storage", Test_storage.suite)
     ]
