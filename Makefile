@@ -1,18 +1,20 @@
 # Convenience targets; `make verify` is the tier-1 gate.
 
-.PHONY: all verify test faults fuzz fuzz-smoke vexec-smoke bench bench-smoke bench-concurrent bench-durability recover-smoke soak-smoke soak prove-rules lint-smoke clean
+.PHONY: all verify test faults fuzz fuzz-smoke vexec-smoke bench bench-smoke bench-properties bench-concurrent bench-durability recover-smoke soak-smoke soak prove-rules lint-smoke clean
 
 all:
 	dune build
 
 verify:
-	dune build && dune runtest && $(MAKE) prove-rules && $(MAKE) fuzz-smoke && $(MAKE) vexec-smoke && $(MAKE) bench-smoke && $(MAKE) recover-smoke
+	dune build && dune runtest && $(MAKE) prove-rules && $(MAKE) fuzz-smoke && $(MAKE) vexec-smoke && $(MAKE) bench-smoke && $(MAKE) bench-properties && $(MAKE) recover-smoke
 
 # bounded rule-soundness prover: every registered rewrite rule checked
 # for bag equivalence over all databases with <= 2 rows per table
-# (including NULLs); fails on any counterexample or untested rule
+# (including NULLs); fails on any counterexample, untested rule, or a
+# rule whose templates are all vacuous; writes the coverage table
+# (templates / firings / databases / vacuity per rule) as an artifact
 prove-rules:
-	dune exec test/prove_main.exe -- 2
+	dune exec test/prove_main.exe -- 2 --coverage-out PROVER_COVERAGE.txt
 
 # static plan analysis over the built-in TPC-H workloads; fails on any
 # ERROR-severity finding
@@ -50,6 +52,13 @@ bench:
 # vector speedup >= 0.95x row
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
+
+# property-rewrite operator census: every workload compiled with the
+# symbolic property engine's rewrites off and on, operator counts and
+# costs recorded, bags cross-checked; writes BENCH_9.json and gates on
+# at least one workload losing a GroupBy / Max1row / outer join
+bench-properties:
+	dune exec bench/main.exe -- --properties
 
 # concurrent service scaling at 1/2/4/8 worker domains over the
 # Apply-free workloads; writes BENCH_6.json (the >= 2x scaling

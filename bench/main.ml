@@ -17,6 +17,8 @@
      bench/main.exe e5 e6      -- selected experiments
      bench/main.exe --bechamel -- statistically robust timings (Bechamel)
      bench/main.exe --smoke    -- tiny-scale CI sweep (row + vector), writes BENCH_7.json
+     bench/main.exe --properties -- property-rewrite operator census (before/after
+                                  the symbolic property engine), writes BENCH_9.json
      bench/main.exe --concurrent -- service scaling at 1/2/4/8 domains (clamped
                                   to the host's cores), writes BENCH_6.json
      bench/main.exe --durability -- WAL/snapshot write, recovery and replay
@@ -424,6 +426,104 @@ let smoke ?(out = "BENCH_7.json") () =
     exit 2
   end
 
+(* --- properties mode: BENCH_9.json ------------------------------------- *)
+
+(* CI artifact for the symbolic property engine: compile every workload
+   (the standard named set plus the property-targeted ones) with the
+   property-proven rewrites off and on, and record the operator census
+   of both chosen plans — GroupBys, Max1rows, outer joins, total nodes
+   — together with costs and row counts.  Both plans execute and the
+   bags are cross-checked (a disagreement aborts).  The gate: at least
+   one workload's final plan must demonstrably lose a GroupBy, a
+   Max1row or an outer join. *)
+
+let properties ?(out = "BENCH_9.json") () =
+  let sf = 0.01 in
+  let db = database sf in
+  let eng = Engine.create db in
+  let count_ops o =
+    let open Relalg.Algebra in
+    let groupbys = ref 0
+    and max1rows = ref 0
+    and outerjoins = ref 0
+    and nodes = ref 0 in
+    let rec walk op =
+      incr nodes;
+      (match op with
+      | GroupBy _ -> incr groupbys
+      | Max1row _ -> incr max1rows
+      | Join { kind = LeftOuter; _ } | Apply { kind = LeftOuter; _ } ->
+          incr outerjoins
+      | _ -> ());
+      List.iter walk (Relalg.Op.children op)
+    in
+    walk o;
+    (!groupbys, !max1rows, !outerjoins, !nodes)
+  in
+  let bag (e : Engine.execution) =
+    List.sort compare
+      (List.map
+         (fun r -> String.concat "|" (Array.to_list (Array.map Relalg.Value.to_string r)))
+         e.Engine.result.rows)
+  in
+  let before_cfg = { Optimizer.Config.full with property_rewrites = false } in
+  let after_cfg = Optimizer.Config.full in
+  let wins = ref 0 in
+  let entries =
+    List.map
+      (fun (qname, sql) ->
+        let p_before = Engine.prepare ~config:before_cfg eng sql in
+        let p_after = Engine.prepare ~config:after_cfg eng sql in
+        let e_before = Engine.execute eng p_before in
+        let e_after = Engine.execute eng p_after in
+        if bag e_before <> bag e_after then begin
+          Printf.eprintf "PROPERTY-REWRITE DISAGREEMENT on %s\n%!" qname;
+          exit 2
+        end;
+        let gb0, m0, oj0, n0 = count_ops p_before.Engine.plan in
+        let gb1, m1, oj1, n1 = count_ops p_after.Engine.plan in
+        let lost_operator = gb1 < gb0 || m1 < m0 || oj1 < oj0 in
+        if lost_operator then incr wins;
+        fmt
+          "  %-14s groupbys %d->%d  max1rows %d->%d  outerjoins %d->%d  nodes \
+           %d->%d  cost %.0f->%.0f%s\n%!"
+          qname gb0 gb1 m0 m1 oj0 oj1 n0 n1 p_before.Engine.plan_cost
+          p_after.Engine.plan_cost
+          (if lost_operator then "  [operator eliminated]" else "");
+        Printf.sprintf
+          "  {\"query\":%s,\"rows\":%d,\"operator_eliminated\":%b,\
+           \"before\":{\"groupbys\":%d,\"max1rows\":%d,\"outerjoins\":%d,\
+           \"nodes\":%d,\"cost\":%.2f},\
+           \"after\":{\"groupbys\":%d,\"max1rows\":%d,\"outerjoins\":%d,\
+           \"nodes\":%d,\"cost\":%.2f}}"
+          (Exec.Metrics.json_string qname)
+          (List.length e_after.Engine.result.rows)
+          lost_operator gb0 m0 oj0 n0 p_before.Engine.plan_cost gb1 m1 oj1 n1
+          p_after.Engine.plan_cost)
+      Workloads.property_named
+  in
+  let json =
+    Printf.sprintf
+      "{\"sf\":%.3f,\"workloads\":%d,\"operator_eliminations\":%d,\"runs\":[\n%s\n]}\n"
+      sf
+      (List.length Workloads.property_named)
+      !wins
+      (String.concat ",\n" entries)
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  fmt "wrote %s (%d workloads, %d with an operator eliminated; bags cross-checked)\n"
+    out
+    (List.length Workloads.property_named)
+    !wins;
+  if !wins = 0 then begin
+    Printf.eprintf
+      "PROPERTY BENCH GATE: no workload lost a GroupBy, Max1row or outer join \
+       under the property rewrites\n%!";
+    exit 2
+  end
+
 (* --- concurrent mode: BENCH_6.json ------------------------------------- *)
 
 (* CI artifact for the service layer: drive the concurrent query
@@ -779,6 +879,7 @@ let all_experiments =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--smoke" args then smoke ()
+  else if List.mem "--properties" args then properties ()
   else if List.mem "--concurrent" args then concurrent ()
   else if List.mem "--durability" args then durability ()
   else if List.mem "--bechamel" args then run_bechamel ()

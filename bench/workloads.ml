@@ -96,3 +96,25 @@ let all_named =
     ("exists", exists_workload); ("big-orders", big_orders);
     ("inactive", inactive_customers)
   ]
+
+(* workloads for the property-rewrite bench (BENCH_9): plans whose
+   final shape loses an operator once the symbolic property engine
+   proves it redundant.  Kept out of [all_named] so the smoke sweep's
+   vector-engine gates are unaffected. *)
+
+(* GroupBy on the orders primary key: every group is a single row, so
+   the GroupBy collapses to per-row scalar expressions *)
+let groupby_on_key =
+  "select o_orderkey, sum(o_totalprice) as total from orders \
+   group by o_orderkey order by total desc limit 5"
+
+(* LEFT OUTER JOIN against a reference table whose columns are never
+   projected: the join predicate pins nation's primary key, so the
+   join neither duplicates nor filters and can be dropped whole *)
+let unused_lookup_join =
+  "select c_custkey, c_name from customer \
+   left outer join nation on n_nationkey = c_nationkey \
+   order by c_custkey limit 10"
+
+let property_named =
+  all_named @ [ ("groupby-key", groupby_on_key); ("lookup-join", unused_lookup_join) ]

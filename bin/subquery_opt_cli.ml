@@ -331,11 +331,19 @@ let explain_cmd =
     let doc = "Emit machine-readable JSON instead of text." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let no_properties_arg =
+    let doc =
+      "Suppress the per-node property section (derived keys, functional \
+       dependencies, non-nullable columns, cardinality intervals)."
+    in
+    Arg.(value & flag & info [ "no-properties" ] ~doc)
+  in
   let sql_opt_arg =
     let doc = "The SQL query; omit to explain the built-in TPC-H bench workloads." in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
   in
-  let action sf seed config mode stages analyze trace json sql =
+  let action sf seed config mode stages analyze trace json no_properties sql =
+    let properties = not no_properties in
     with_engine sf seed (fun eng ->
         let queries =
           match sql with Some s -> [ ("query", s) ] | None -> Workloads.all_named
@@ -344,7 +352,8 @@ let explain_cmd =
           match sql with
           | Some s ->
               print_endline
-                (or_die s (fun () -> Engine.explain_json ~config ~analyze ~mode eng s))
+                (or_die s (fun () ->
+                     Engine.explain_json ~config ~analyze ~properties ~mode eng s))
           | None ->
               let objs =
                 List.map
@@ -352,7 +361,8 @@ let explain_cmd =
                     or_die sql (fun () ->
                         Printf.sprintf "{\"workload\":%s,\"explain\":%s}"
                           (Exec.Metrics.json_string name)
-                          (Engine.explain_json ~config ~analyze ~mode eng sql)))
+                          (Engine.explain_json ~config ~analyze ~properties ~mode eng
+                             sql)))
                   queries
               in
               print_endline ("[" ^ String.concat ",\n" objs ^ "]")
@@ -363,10 +373,10 @@ let explain_cmd =
               if List.length queries > 1 then Printf.printf "=== %s ===\n" name;
               or_die sql (fun () ->
                   if analyze then
-                    print_string (Engine.explain_analyze ~config ~mode eng sql)
+                    print_string (Engine.explain_analyze ~config ~properties ~mode eng sql)
                   else begin
                     if stages then print_string (Engine.explain_stages ~config eng sql)
-                    else print_string (Engine.explain ~config eng sql);
+                    else print_string (Engine.explain ~config ~properties eng sql);
                     if trace then begin
                       let p = Engine.prepare ~config ~record_trace:true eng sql in
                       print_string "== optimizer trace ==\n";
@@ -386,7 +396,7 @@ let explain_cmd =
           trace, --json emits machine-readable output.")
     Term.(
       const action $ sf_arg $ seed_arg $ level_arg $ exec_mode_arg $ stages_arg
-      $ analyze_arg $ trace_arg $ json_arg $ sql_opt_arg)
+      $ analyze_arg $ trace_arg $ json_arg $ no_properties_arg $ sql_opt_arg)
 
 let repl_cmd =
   let action sf seed config =

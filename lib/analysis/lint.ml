@@ -214,6 +214,16 @@ let run ?(expect = relaxed) ~(env : Props.env) (plan : op) : finding list =
   let rec walk (o : op) =
     List.iter walk (Op.children o);
     let label = Pp.label o in
+    (* 0. contradictory cardinality interval: lo > hi means the node can
+       never execute successfully — today this arises exactly when a
+       Max1row guard sits over an input proven to hold two or more rows,
+       so the plan is statically guaranteed to raise *)
+    (let fd = Fd.analyze ~env o in
+     if Fd.contradiction fd then
+       add Error "contradictory-interval" label
+         (Printf.sprintf
+            "inferred cardinality %s is contradictory: this operator always fails"
+            (Fd.interval_to_string fd.Fd.card)));
     (* 1. comparisons whose operand types can never match *)
     List.iter
       (fun e ->
@@ -274,30 +284,53 @@ let run ?(expect = relaxed) ~(env : Props.env) (plan : op) : finding list =
         add Warning "residual-segment-apply" label
           "SegmentApply survived although segmented execution is disabled"
     | _ -> ());
-    (* 5. GroupBy whose groups are provably singletons *)
+    (* 5. GroupBy whose groups are provably singletons.  The FD-closure
+       derivation is strictly stronger than the old equivalence-class
+       expansion and also yields the proving chain for the diagnostic;
+       the Props path is kept as a belt-and-braces fallback. *)
     (match o with
-    | GroupBy { keys; input; _ } ->
-        let classes = Props.equiv_classes input in
-        let consts = Props.const_bindings input in
-        let const_cols =
-          List.filter
-            (fun (c : Col.t) -> Col.IdMap.mem c.id consts)
-            (Op.schema input)
-        in
-        let covered =
-          Col.Set.union
-            (Props.equate classes (Col.Set.of_list keys))
-            (Col.Set.of_list const_cols)
-        in
-        if Props.covers_key ~env input covered then
-          add Warning "redundant-groupby" label
-            "grouping columns cover a key of the input: every group has exactly one row"
+    | GroupBy { keys; input; _ } -> (
+        let fd = Fd.analyze ~env input in
+        let kset = Col.Set.of_list keys in
+        match Fd.cover_chain fd kset with
+        | Some (unique, chain) ->
+            add Warning "redundant-groupby" label
+              (Printf.sprintf
+                 "grouping columns %s determine key %s%s: every group has exactly one row"
+                 (Fd.cols_to_string kset)
+                 (if Col.Set.is_empty unique then "{} (input has at most one row)"
+                  else Fd.cols_to_string unique)
+                 (match chain with
+                 | [] -> ""
+                 | fds ->
+                     " via " ^ String.concat ", " (List.map Fd.fd_to_string fds)))
+        | None ->
+            let classes = Props.equiv_classes input in
+            let consts = Props.const_bindings input in
+            let const_cols =
+              List.filter
+                (fun (c : Col.t) -> Col.IdMap.mem c.id consts)
+                (Op.schema input)
+            in
+            let covered =
+              Col.Set.union (Props.equate classes kset) (Col.Set.of_list const_cols)
+            in
+            if Props.covers_key ~env input covered then
+              add Warning "redundant-groupby" label
+                "grouping columns cover a key of the input: every group has exactly one row")
     | _ -> ());
     (* 6. Max1row over a provably single-row input *)
     match o with
-    | Max1row i when Props.max_one_row ~env i ->
-        add Info "max1row-elidable" label
-          "input provably has at most one row; the guard can be elided"
+    | Max1row i ->
+        let fd = Fd.analyze ~env i in
+        if Fd.max_one fd then
+          add Info "max1row-elidable" label
+            (Printf.sprintf
+               "input provably has at most one row (card %s); the guard can be elided"
+               (Fd.interval_to_string fd.Fd.card))
+        else if Props.max_one_row ~env i then
+          add Info "max1row-elidable" label
+            "input provably has at most one row; the guard can be elided"
     | _ -> ()
   in
   walk plan;

@@ -337,6 +337,76 @@ let templates_for (cat : Catalog.t) (rule : string) : (string * op) list =
             Project ([ { expr = ColRef rc; out = p1 } ], r) )
       in
       [ t "filter (s join r)" pushable; t "project (project r)" stacked ]
+  | "groupby-eliminate-key" ->
+      (* grouping on a derived key: directly on the primary key with
+         every aggregate class (the rewrite substitutes a single-row
+         expression per class), as DISTINCT over a key superset, and
+         through the FD closure — the grouping column is merely
+         *equated* to the key by a filter underneath *)
+      let s, scols = scan cat "s" in
+      let sa = List.nth scols 0 and sb = List.nth scols 1 in
+      let aggs =
+        [ sum_of sb;
+          { fn = CountStar; out = Col.fresh "cstar" Value.TInt };
+          { fn = Count (ColRef sb); out = Col.fresh "cnt" Value.TInt };
+          { fn = Avg (ColRef sb); out = Col.fresh "av" Value.TFloat };
+          { fn = Min (ColRef sb); out = Col.fresh "mn" Value.TInt };
+          { fn = Max (ColRef sb); out = Col.fresh "mx" Value.TInt }
+        ]
+      in
+      let direct = GroupBy { keys = [ sa ]; aggs; input = s } in
+      let s2, scols2 = scan cat "s" in
+      let sa2 = List.nth scols2 0 and sb2 = List.nth scols2 1 in
+      let distinct = GroupBy { keys = [ sa2; sb2 ]; aggs = []; input = s2 } in
+      let s3, scols3 = scan cat "s" in
+      let sa3 = List.nth scols3 0 and sb3 = List.nth scols3 1 in
+      let closure =
+        GroupBy
+          { keys = [ sb3 ];
+            aggs = [ { fn = Min (ColRef sa3); out = Col.fresh "mn" Value.TInt } ];
+            input = Select (eq sb3 sa3, s3)
+          }
+      in
+      [ t "groupby s on pk, all agg classes" direct;
+        t "distinct s on pk superset" distinct;
+        t "groupby on column equated to pk (closure)" closure
+      ]
+  | "max1row-elide" ->
+      (* inputs proven [_,1]: a ScalarAgg (exactly one row) and a
+         primary-key point select (at most one row) *)
+      let r, rcols = scan cat "r" in
+      let rd = List.nth rcols 1 in
+      let u, ucols = scan cat "u" in
+      let ug = List.hd ucols in
+      [ t "max1row (scalaragg r)" (Max1row (ScalarAgg { aggs = [ sum_of rd ]; input = r }));
+        t "max1row (pk point select u)"
+          (Max1row (Select (Cmp (Eq, ColRef ug, Const (Value.Int 0)), u)))
+      ]
+  | "semijoin-to-inner" ->
+      (* the join predicate pins u's primary key to a left column, so
+         each left row matches at most one u row; checked with a
+         nullable and a non-nullable left join column *)
+      let mk leftcol_idx =
+        let s, scols = scan cat "s" and u, ucols = scan cat "u" in
+        let lc = List.nth scols leftcol_idx and ug = List.hd ucols in
+        Join { kind = Semi; pred = eq lc ug; left = s; right = u }
+      in
+      [ t "s semijoin u on nullable=pk" (mk 1); t "s semijoin u on pk=pk" (mk 0) ]
+  | "outerjoin-prune" ->
+      (* the projection above the outerjoin references only left
+         columns, and the right side is key-unique per left row: the
+         join can't drop rows (outer) nor duplicate them (key) *)
+      let s, scols = scan cat "s" and u, ucols = scan cat "u" in
+      let sa = List.nth scols 0 and sb = List.nth scols 1 in
+      let ug = List.hd ucols in
+      let p1 = Col.fresh "p1" Value.TInt and p2 = Col.fresh "p2" Value.TInt in
+      [ t "project-left (s loj u on pk)"
+          (Project
+             ( [ { expr = ColRef sa; out = p1 };
+                 { expr = Arith (Add, ColRef sb, Const (Value.Int 1)); out = p2 }
+               ],
+               Join { kind = LeftOuter; pred = eq sb ug; left = s; right = u } ))
+      ]
   | _ -> []
 
 (* ------------------------------------------------------------------ *)
@@ -485,6 +555,9 @@ type report = {
   rp_templates : int;
   rp_firings : int;  (** distinct valid rewrites proven *)
   rp_databases : int;  (** databases interpreted *)
+  rp_vacuous : string list;
+      (** labels of templates on which the rule never fired — dead proof
+          obligations worth tightening *)
   rp_counterexample : counterexample option;
 }
 
@@ -493,6 +566,7 @@ let passed_report (r : report) =
 
 let check_rule ?(k = 2) (cat : Catalog.t) (spec : rule_spec) : report =
   let firings = ref 0 and dbs_run = ref 0 and cx = ref None in
+  let vacuous = ref [] in
   List.iter
     (fun (label, tmpl) ->
       if !cx = None then begin
@@ -528,6 +602,7 @@ let check_rule ?(k = 2) (cat : Catalog.t) (spec : rule_spec) : report =
             afters
         in
         firings := !firings + List.length afters;
+        if afters = [] then vacuous := label :: !vacuous;
         if afters <> [] then
           let tables = tables_of tmpl in
           (* afters may scan tables the template does not (none today,
@@ -567,6 +642,7 @@ let check_rule ?(k = 2) (cat : Catalog.t) (spec : rule_spec) : report =
     rp_templates = List.length spec.sp_templates;
     rp_firings = !firings;
     rp_databases = !dbs_run;
+    rp_vacuous = List.rev !vacuous;
     rp_counterexample = !cx;
   }
 
@@ -613,8 +689,15 @@ let report_to_string (r : report) : string =
           "FAIL  %-28s vacuous: no template produced a valid firing (%d templates)\n"
           r.rp_rule r.rp_templates
     | None ->
-        Printf.sprintf "ok    %-28s %d rewrites over %d databases\n" r.rp_rule
-          r.rp_firings r.rp_databases
+        let vac =
+          match r.rp_vacuous with
+          | [] -> ""
+          | ls ->
+              Printf.sprintf "  [%d vacuous: %s]" (List.length ls)
+                (String.concat "; " ls)
+        in
+        Printf.sprintf "ok    %-28s %d rewrites over %d databases, %d templates%s\n"
+          r.rp_rule r.rp_firings r.rp_databases r.rp_templates vac
     | Some cx ->
         Printf.sprintf
           "FAIL  %-28s COUNTEREXAMPLE (template %s, %d total rows)\n\
@@ -628,3 +711,32 @@ let report_to_string (r : report) : string =
           (String.concat "; " cx.cx_after_bag)
 
 let passed (rs : report list) = List.for_all passed_report rs
+
+(* Aggregate coverage over a whole prover run: how much of the rewrite
+   surface the small-scope sweep actually exercised.  Written verbatim
+   to the CI artifact so a coverage regression (a rule going vacuous, a
+   database count collapsing) is visible in the build output. *)
+let coverage_to_string (rs : report list) : string =
+  let buf = Buffer.create 512 in
+  let sum f = List.fold_left (fun n r -> n + f r) 0 rs in
+  let vacuous = sum (fun r -> List.length r.rp_vacuous) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "prover coverage: %d rules, %d templates (%d vacuous), %d proven rewrites, %d databases interpreted\n"
+       (List.length rs)
+       (sum (fun r -> r.rp_templates))
+       vacuous
+       (sum (fun r -> r.rp_firings))
+       (sum (fun r -> r.rp_databases)));
+  Buffer.add_string buf
+    (Printf.sprintf "%-28s %9s %8s %9s %8s  %s\n" "rule" "templates" "firings"
+       "databases" "vacuous" "status");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %9d %8d %9d %8d  %s\n" r.rp_rule r.rp_templates
+           r.rp_firings r.rp_databases
+           (List.length r.rp_vacuous)
+           (if passed_report r then "ok" else "FAIL")))
+    rs;
+  Buffer.contents buf

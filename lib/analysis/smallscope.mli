@@ -48,6 +48,9 @@ type report = {
   rp_templates : int;
   rp_firings : int;  (** distinct valid rewrites proven *)
   rp_databases : int;  (** databases interpreted *)
+  rp_vacuous : string list;
+      (** labels of templates on which the rule never fired — dead proof
+          obligations worth tightening *)
   rp_counterexample : counterexample option;
 }
 
@@ -66,3 +69,9 @@ val check_all : ?k:int -> unit -> report list
 
 val report_to_string : report -> string
 val passed : report list -> bool
+
+(** Aggregate coverage over a whole run: rules, templates, vacuity
+    counts, firings and databases interpreted, one summary header plus
+    one line per rule.  The prove-rules driver writes this to the CI
+    coverage artifact. *)
+val coverage_to_string : report list -> string

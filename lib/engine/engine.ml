@@ -191,8 +191,8 @@ type exec_mode = [ `Row | `Vector ]
 
 let exec_mode_name = function `Row -> "row" | `Vector -> "vector"
 
-let execute ?budget ?faults ?(collect_metrics = false) ?(mode = `Row) (t : t) (p : prepared)
-    : execution =
+let execute ?budget ?faults ?(collect_metrics = false) ?(property_check = false)
+    ?(mode = `Row) (t : t) (p : prepared) : execution =
   let metrics = if collect_metrics then Some (Exec.Metrics.create p.plan) else None in
   let ctx = Exec.Executor.make_ctx ?budget ?faults ?metrics t.db in
   let t0 = Unix.gettimeofday () in
@@ -202,6 +202,25 @@ let execute ?budget ?faults ?(collect_metrics = false) ?(mode = `Row) (t : t) (p
     | `Vector -> Vexec.run ctx p.plan
   in
   let schema = Op.schema p.plan in
+  (* Runtime property cross-check: every fact the symbolic engine
+     inferred for the plan root (derived keys, non-nullability, the
+     cardinality interval) must hold on the actual result bag — before
+     ORDER BY / LIMIT / projection narrowing touch it.  A violation is
+     a soundness bug in the property engine or a rewrite, never a data
+     problem, so it is reported as an invalid plan. *)
+  if property_check then begin
+    let fd = Fd.analyze ~env:t.props_env p.plan in
+    match Fd.check_rows fd ~schema rows with
+    | [] -> ()
+    | vs ->
+        raise
+          (Errors.Error
+             (Errors.make ~sql:p.sql Errors.Invalid_plan
+                (Printf.sprintf "property cross-check failed (%d violation%s): %s"
+                   (List.length vs)
+                   (if List.length vs = 1 then "" else "s")
+                   (String.concat "; " vs))))
+  end;
   let rows = Exec.Executor.sort_rows schema p.bound.order rows in
   let rows = Exec.Executor.truncate p.bound.limit rows in
   let visible = List.length p.bound.outputs in
@@ -336,10 +355,10 @@ let take n l =
    row-vs-vector differential harness (same config on both sides pins
    any disagreement on the vectorized engine alone). *)
 let check ?(candidate = Optimizer.Config.full)
-    ?(reference = Optimizer.Config.correlated_only) ?budget ?float_digits ?(mode = `Row)
-    (t : t) (sql : string) : check_report =
+    ?(reference = Optimizer.Config.correlated_only) ?budget ?float_digits
+    ?property_check ?(mode = `Row) (t : t) (sql : string) : check_report =
   let pc = prepare ~config:candidate t sql in
-  let c = (execute ?budget ~mode t pc).result in
+  let c = (execute ?budget ?property_check ~mode t pc).result in
   let r = (execute ?budget t (prepare ~config:reference t sql)).result in
   let cb = List.sort compare (List.map (render_row ?float_digits) c.rows) in
   let rb = List.sort compare (List.map (render_row ?float_digits) r.rows) in
@@ -378,7 +397,49 @@ let format_check_report (r : check_report) : string =
 
 (* ------------------------------------------------------------------ *)
 
-let explain ?config (t : t) (sql : string) : string =
+(* Per-node property annotations for EXPLAIN: the plan tree again, one
+   line per operator, carrying what the symbolic engine proved about
+   its output — cardinality interval, derived keys, FD count, the
+   non-nullable column set. *)
+let plan_properties ~(env : Props.env) (plan : Algebra.op) : string =
+  let memo = Fd.create_memo () in
+  let b = Buffer.create 512 in
+  let rec walk depth o =
+    let fd = Fd.analyze ~env ~memo o in
+    Buffer.add_string b
+      (Printf.sprintf "%s%s  %s\n"
+         (String.make (2 * depth) ' ')
+         (Pp.label o)
+         (Fd.summary fd ~schema:(Op.schema o)));
+    List.iter (walk (depth + 1)) (Op.children o)
+  in
+  walk 0 plan;
+  Buffer.contents b
+
+let plan_properties_json ~(env : Props.env) (plan : Algebra.op) : string =
+  let memo = Fd.create_memo () in
+  let items = ref [] in
+  let rec walk depth o =
+    let fd = Fd.analyze ~env ~memo o in
+    let keys = Fd.derived_keys fd ~schema:(Op.schema o) in
+    items :=
+      Printf.sprintf
+        "{\"node\":%s,\"depth\":%d,\"card\":%s,\"keys\":[%s],\"fds\":%d,\"nonnull\":%s,\"contradiction\":%b}"
+        (Exec.Metrics.json_string (Pp.label o))
+        depth
+        (Exec.Metrics.json_string (Fd.interval_to_string fd.Fd.card))
+        (String.concat ","
+           (List.map (fun k -> Exec.Metrics.json_string (Fd.cols_to_string k)) keys))
+        (List.length fd.Fd.fds)
+        (Exec.Metrics.json_string (Fd.cols_to_string fd.Fd.nonnull))
+        (Fd.contradiction fd)
+      :: !items;
+    List.iter (walk (depth + 1)) (Op.children o)
+  in
+  walk 0 plan;
+  "[" ^ String.concat "," (List.rev !items) ^ "]"
+
+let explain ?config ?(properties = true) (t : t) (sql : string) : string =
   let p = prepare ?config t sql in
   let b = Buffer.create 1024 in
   Buffer.add_string b "== subquery class ==\n";
@@ -389,6 +450,10 @@ let explain ?config (t : t) (sql : string) : string =
     (Printf.sprintf "== chosen plan (cost %.0f, seed %.0f, %d alternatives) ==\n"
        p.plan_cost p.seed_cost p.explored);
   Buffer.add_string b (Pp.to_string p.plan);
+  if properties then begin
+    Buffer.add_string b "== plan properties ==\n";
+    Buffer.add_string b (plan_properties ~env:t.props_env p.plan)
+  end;
   Buffer.add_string b "== lint ==\n";
   Buffer.add_string b (Analysis.Lint.render p.lint);
   Buffer.contents b
@@ -396,8 +461,8 @@ let explain ?config (t : t) (sql : string) : string =
 (* EXPLAIN ANALYZE: compile with the search trace on, execute with the
    per-operator metrics tree, and render both.  [times:false] drops
    wall-clock figures so tests can compare output verbatim. *)
-let explain_analyze ?config ?budget ?(times = true) ?(mode = `Row) (t : t) (sql : string) :
-    string =
+let explain_analyze ?config ?budget ?(times = true) ?(properties = true) ?(mode = `Row)
+    (t : t) (sql : string) : string =
   let p = prepare ?config ~record_trace:true t sql in
   let e = execute ?budget ~collect_metrics:true ~mode t p in
   let b = Buffer.create 2048 in
@@ -423,14 +488,18 @@ let explain_analyze ?config ?budget ?(times = true) ?(mode = `Row) (t : t) (sql 
   (match p.trace with
   | Some tr -> Buffer.add_string b (Optimizer.Search.trace_to_string tr)
   | None -> Buffer.add_string b "(cost-based search disabled)\n");
+  if properties then begin
+    Buffer.add_string b "\n== plan properties ==\n";
+    Buffer.add_string b (plan_properties ~env:t.props_env p.plan)
+  end;
   Buffer.add_string b "\n== lint (chosen plan) ==\n";
   Buffer.add_string b (Analysis.Lint.render p.lint);
   Buffer.contents b
 
 (* Machine-readable EXPLAIN: plan, costs and trace; with [analyze] also
    the execution counters and the per-operator metrics tree. *)
-let explain_json ?config ?budget ?(analyze = false) ?(mode = `Row) (t : t) (sql : string) :
-    string =
+let explain_json ?config ?budget ?(analyze = false) ?(properties = true) ?(mode = `Row)
+    (t : t) (sql : string) : string =
   let p = prepare ?config ~record_trace:true t sql in
   let b = Buffer.create 2048 in
   Buffer.add_string b "{";
@@ -452,6 +521,9 @@ let explain_json ?config ?budget ?(analyze = false) ?(mode = `Row) (t : t) (sql 
        | Some tr -> Optimizer.Search.trace_to_json tr
        | None -> "null"));
   Buffer.add_string b (Printf.sprintf "\"lint\":%s," (Analysis.Lint.to_json p.lint));
+  Buffer.add_string b
+    (Printf.sprintf "\"properties\":%s,"
+       (if properties then plan_properties_json ~env:t.props_env p.plan else "null"));
   (if analyze then begin
      let e = execute ?budget ~collect_metrics:true ~mode t p in
      Buffer.add_string b

@@ -113,6 +113,12 @@ val exec_mode_name : exec_mode -> string
 (** [collect_metrics] attributes invocations, rows and wall time to a
     per-operator metrics tree returned in {!execution.metrics};
     [mode] (default [`Row]) selects the execution engine.
+    [property_check] asserts every property the symbolic engine
+    ({!Relalg.Fd}) inferred for the plan — derived keys,
+    non-nullability, the cardinality interval — against the actual
+    result bag before ORDER BY / LIMIT / narrowing; a violation raises
+    a typed [Invalid_plan] error (it is a soundness bug, not a data
+    problem).
     @raise Exec.Executor.Runtime_error for Max1row violations.
     @raise Exec.Budget.Exceeded when a budget limit trips.
     @raise Exec.Faults.Injected under an armed fault plan. *)
@@ -120,6 +126,7 @@ val execute :
   ?budget:Exec.Budget.t ->
   ?faults:Exec.Faults.t ->
   ?collect_metrics:bool ->
+  ?property_check:bool ->
   ?mode:exec_mode ->
   t ->
   prepared ->
@@ -223,12 +230,17 @@ type check_report = {
 
     [mode] selects the engine for the candidate side only; the
     reference always runs row-at-a-time.  With the same config on both
-    sides, [~mode:`Vector] is the row-vs-vector differential harness. *)
+    sides, [~mode:`Vector] is the row-vs-vector differential harness.
+
+    [property_check] additionally asserts the symbolic engine's
+    inferred properties against the candidate's result bag (see
+    {!execute}). *)
 val check :
   ?candidate:Optimizer.Config.t ->
   ?reference:Optimizer.Config.t ->
   ?budget:Exec.Budget.t ->
   ?float_digits:int ->
+  ?property_check:bool ->
   ?mode:exec_mode ->
   t ->
   string ->
@@ -236,29 +248,40 @@ val check :
 
 val format_check_report : check_report -> string
 
-(** Normalized tree, chosen plan, costs and subquery class. *)
-val explain : ?config:Optimizer.Config.t -> t -> string -> string
+(** Per-node property annotations (same tree shape as the plan
+    rendering): cardinality interval, derived keys, FD count and
+    non-nullable columns per operator, as inferred by {!Relalg.Fd}. *)
+val plan_properties : env:Props.env -> Algebra.op -> string
+
+(** Normalized tree, chosen plan, costs and subquery class.
+    [properties] (default true) appends the per-node property
+    section. *)
+val explain : ?config:Optimizer.Config.t -> ?properties:bool -> t -> string -> string
 
 (** EXPLAIN ANALYZE: execute the chosen plan with per-operator metrics
     and render the annotated plan, execution counters and the
     optimizer's rule-firing trace.  [times:false] omits wall-clock
-    figures (stable output for golden tests). *)
+    figures (stable output for golden tests); [properties] (default
+    true) appends the per-node property section. *)
 val explain_analyze :
   ?config:Optimizer.Config.t ->
   ?budget:Exec.Budget.t ->
   ?times:bool ->
+  ?properties:bool ->
   ?mode:exec_mode ->
   t ->
   string ->
   string
 
 (** Machine-readable EXPLAIN as a JSON object: plan, costs, search
-    trace, and (with [analyze]) execution counters plus the
+    trace, per-node properties (unless [properties:false], which emits
+    [null]), and (with [analyze]) execution counters plus the
     per-operator metrics tree. *)
 val explain_json :
   ?config:Optimizer.Config.t ->
   ?budget:Exec.Budget.t ->
   ?analyze:bool ->
+  ?properties:bool ->
   ?mode:exec_mode ->
   t ->
   string ->

@@ -1,0 +1,49 @@
+(** Query normalization driver (Section 4, "Query normalization").
+
+    Pipeline:
+    1. remove scalar/relational mutual recursion (Apply introduction) —
+       always possible;
+    2. remove correlations (Apply removal) — usually possible; Class 2/3
+       subqueries remain as residual Applies;
+    3. simplify outerjoins into joins under derived null-rejection;
+    4. cleanup: merge/eliminate trivial operators, push selections.
+
+    The {!stages} record exposes each intermediate tree so that callers
+    (tests, the EXPLAIN facility, the decorrelation walkthrough example)
+    can observe the Figure 5 progression. *)
+
+open Relalg
+
+(** The pass modules, re-exported: [normalize.ml] is the library's root
+    module, so submodules are reachable only through these aliases. *)
+module Apply_intro = Apply_intro
+
+module Decorrelate = Decorrelate
+module Oj_simplify = Oj_simplify
+module Simplify = Simplify
+module Prune = Prune
+module Classify = Classify
+
+type stages = {
+  bound : Algebra.op;  (** binder output: mutual recursion *)
+  applied : Algebra.op;  (** after Apply introduction (Figure 2 shape) *)
+  decorrelated : Algebra.op;  (** after Apply removal (Figure 5, line 2) *)
+  oj_simplified : Algebra.op;  (** after outerjoin simplification (line 4) *)
+  normalized : Algebra.op;  (** after cleanup/pushdown: the optimizer input *)
+  subquery_class : Classify.cls;
+}
+
+type options = {
+  env : Props.env;
+  decorrelate : bool;  (** master switch for Apply removal *)
+  simplify_oj : bool;
+  class2 : bool;  (** allow identities (5)-(7) during normalization *)
+}
+
+val default_options : Props.env -> options
+
+(** Run the full pipeline, keeping every intermediate tree. *)
+val run : options -> Algebra.op -> stages
+
+(** [run], returning only the normalized tree. *)
+val normalize : options -> Algebra.op -> Algebra.op

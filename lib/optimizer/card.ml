@@ -12,6 +12,8 @@ type env = {
   stats : Stats.t;
   origins : (int, string * string) Hashtbl.t;
   mutable hole_card : float;  (** estimated rows of the current segment *)
+  props : Props.env;  (** base-table keys/nullability for the property engine *)
+  fd_memo : Fd.memo;  (** per-plan memo so interval clamping stays linear *)
 }
 
 let build_origins (o : op) : (int, string * string) Hashtbl.t =
@@ -46,7 +48,13 @@ let build_origins (o : op) : (int, string * string) Hashtbl.t =
   walk o;
   h
 
-let make_env stats (o : op) = { stats; origins = build_origins o; hole_card = 1000. }
+let make_env stats (o : op) =
+  { stats;
+    origins = build_origins o;
+    hole_card = 1000.;
+    props = Catalog.props_env (Stats.catalog stats);
+    fd_memo = Fd.create_memo ();
+  }
 
 let ndv_of env (c : Col.t) : float option =
   match Hashtbl.find_opt env.origins c.id with
@@ -91,7 +99,23 @@ let group_card env (keys : Col.t list) (input_card : float) : float =
     in
     Float.max 1.0 (Float.min prod (Float.max 1.0 (input_card /. 1.5)))
 
-let rec estimate env (o : op) : float =
+(* Interval clamping: the symbolic property engine proves a per-node
+   cardinality interval [lo, hi]; the System-R arithmetic below is only
+   an estimate, so whenever the two disagree the proof wins.  A Max1row
+   caps its subtree at one row, a ScalarAgg is pinned to exactly one, a
+   key-equality point select cannot exceed one — whatever the
+   selectivity defaults would otherwise claim. *)
+let clamp env (o : op) (est : float) : float =
+  let fd = Fd.analyze ~env:env.props ~memo:env.fd_memo o in
+  let { Fd.lo; hi } = fd.Fd.card in
+  let est =
+    match hi with Some h when est > float_of_int h -> float_of_int h | _ -> est
+  in
+  Float.max (float_of_int lo) est
+
+let rec estimate env (o : op) : float = clamp env o (estimate_raw env o)
+
+and estimate_raw env (o : op) : float =
   match o with
   | TableScan { table; _ } -> float_of_int (Stats.row_count env.stats table)
   | ConstTable { rows; _ } -> float_of_int (List.length rows)

@@ -12,6 +12,8 @@ type env = {
   stats : Stats.t;
   origins : (int, string * string) Hashtbl.t;
   mutable hole_card : float;  (** estimated rows of the current segment *)
+  props : Props.env;  (** base-table keys/nullability for the property engine *)
+  fd_memo : Fd.memo;  (** per-plan memo so interval clamping stays linear *)
 }
 
 (** Column provenance of a tree (two passes, so SegmentHole source
@@ -29,5 +31,8 @@ val selectivity : env -> expr -> float
 (** Expected group count for grouping columns over [n] input rows. *)
 val group_card : env -> Col.t list -> float -> float
 
-(** Estimated output rows of a tree. *)
+(** Estimated output rows of a tree, clamped to the cardinality
+    interval proven by the symbolic property engine ({!Relalg.Fd}):
+    the interval is a hard bound, the selectivity arithmetic only an
+    estimate. *)
 val estimate : env -> op -> float

@@ -12,6 +12,10 @@ type t = {
   segment_apply : bool;  (** Section 3.4 segmented execution *)
   correlated_exec : bool;  (** re-introduce index-lookup Apply (Section 4) *)
   join_reorder : bool;  (** inner-join commute/associate (exposes patterns) *)
+  property_rewrites : bool;
+      (** rewrites proven by the symbolic property engine: FD-derived
+          keys, cardinality intervals (GroupBy elimination, Max1row
+          elision, semijoin-to-inner, outerjoin pruning) *)
   max_alternatives : int;  (** plan-space exploration budget *)
   max_rounds : int;
 }
@@ -25,6 +29,7 @@ let full =
     segment_apply = true;
     correlated_exec = true;
     join_reorder = true;
+    property_rewrites = true;
     max_alternatives = 400;
     max_rounds = 6;
   }

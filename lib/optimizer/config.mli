@@ -12,6 +12,9 @@ type t = {
   segment_apply : bool;  (** §3.4 segmented execution *)
   correlated_exec : bool;  (** re-introduce index-lookup Apply (§4) *)
   join_reorder : bool;  (** inner-join commute/associate/pull-ups *)
+  property_rewrites : bool;
+      (** rewrites proven by the symbolic property engine (FD-derived
+          keys, cardinality intervals) *)
   max_alternatives : int;  (** plan-space exploration budget *)
   max_rounds : int;  (** 0 disables cost-based search entirely *)
 }

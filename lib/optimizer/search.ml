@@ -44,6 +44,13 @@ let rules_for (cfg : Config.t) ~(env : Props.env) ~(cat : Catalog.t) : rule list
       (if cfg.correlated_exec then
          [ r "join-to-indexed-apply" (Rules.Correlated.join_to_apply ~cat) ]
        else []);
+      (if cfg.property_rewrites then
+         [ r "groupby-eliminate-key" (Rules.Property_rules.eliminate_groupby_on_key ~env);
+           r "max1row-elide" (Rules.Property_rules.elide_max1row ~env);
+           r "semijoin-to-inner" (Rules.Property_rules.semijoin_to_inner ~env);
+           r "outerjoin-prune" (Rules.Property_rules.prune_unused_outerjoin ~env)
+         ]
+       else []);
       (if cfg.join_reorder then
          [ r "join-commute" Rules.Join_rules.commute;
            rmulti "join-associate"

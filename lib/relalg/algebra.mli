@@ -1,0 +1,111 @@
+(** The logical algebra: scalar expressions and relational operators.
+
+    The two syntactic categories are mutually recursive, exactly as in
+    the paper's Section 2.1: the binder's output contains scalar
+    operators with relational children ([Subquery], [Exists], ...).
+    Normalization (lib/normalize) removes this mutual recursion by
+    introducing [Apply], and then removes [Apply] itself where possible.
+
+    All operators are bag-oriented; UNION is UNION ALL and duplicate
+    removal is an explicit no-aggregate [GroupBy] (paper, Section 1.1,
+    footnote 1). *)
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+type arithop = Add | Sub | Mul | Div | Mod
+type quant = Any | All
+
+(** Join variants.  [Semi]/[Anti] are the left semijoin / antijoin of
+    the paper; [FullOuter] is not needed by any technique in the paper
+    and is deliberately omitted. *)
+type join_kind = Inner | LeftOuter | Semi | Anti
+
+type agg_fn =
+  | CountStar
+  | Count of expr  (** count of non-null values *)
+  | Sum of expr
+  | Min of expr
+  | Max of expr
+  | Avg of expr
+
+and agg = { fn : agg_fn; out : Col.t }
+
+and expr =
+  | ColRef of Col.t
+  | Const of Value.t
+  | Arith of arithop * expr * expr
+  | Cmp of cmpop * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | IsNull of expr
+  | Like of expr * string  (** SQL LIKE with %% and _ wildcards *)
+  | Case of (expr * expr) list * expr option
+      (** CASE WHEN c1 THEN v1 ... [ELSE e] END *)
+  | Subquery of op  (** scalar-valued subquery: one column, at most one row *)
+  | Exists of op
+  | InSub of expr * op
+  | QuantCmp of cmpop * quant * expr * op  (** e op ANY/ALL (subquery) *)
+
+and proj = { expr : expr; out : Col.t }
+
+and op =
+  | TableScan of { table : string; cols : Col.t list }
+      (** one occurrence of a base table; [cols] are fresh per occurrence *)
+  | ConstTable of { cols : Col.t list; rows : Value.t array list }
+  | Select of expr * op
+  | Project of proj list * op
+  | Join of { kind : join_kind; pred : expr; left : op; right : op }
+  | Apply of { kind : join_kind; pred : expr; left : op; right : op }
+      (** [R A⊗(σ_pred E)]: evaluate [right] for each row of [left]
+          (free references into [left]'s columns are the correlation),
+          filter with [pred], combine per [kind].  [Inner] is the
+          paper's A× (cross apply). *)
+  | SegmentApply of
+      { seg_cols : Col.t list;  (** segmenting columns from [outer] *)
+        outer : op;
+        inner : op  (** uses [SegmentHole] leaves as the table parameter *)
+      }
+  | SegmentHole of { cols : Col.t list; src : Col.t list }
+      (** placeholder for the table-valued parameter S of SegmentApply;
+          [cols] are this occurrence's fresh ids, [src] the outer
+          columns they mirror, positionally *)
+  | GroupBy of { keys : Col.t list; aggs : agg list; input : op }
+      (** vector aggregate G_{A,F}; empty input => empty output *)
+  | ScalarAgg of { aggs : agg list; input : op }
+      (** scalar aggregate G^1_F; always exactly one output row *)
+  | LocalGroupBy of { keys : Col.t list; aggs : agg list; input : op }
+      (** partial (local) aggregation; same runtime behaviour as
+          GroupBy, distinct operator so that only the LocalGroupBy
+          reorderings of Section 3.3 apply to it *)
+  | UnionAll of op * op
+  | Except of op * op  (** bag difference (EXCEPT ALL) *)
+  | Max1row of op
+      (** passes rows through; runtime error if input has more than one *)
+  | Rownum of { out : Col.t; input : op }
+      (** appends a unique integer column: manufactures a key *)
+
+val true_ : expr
+
+val is_true_const : expr -> bool
+
+(** Conjunction that absorbs TRUE, used pervasively by rewrites. *)
+val conj : expr -> expr -> expr
+
+val conj_list : expr list -> expr
+
+(** Split a predicate into its top-level conjuncts. *)
+val conjuncts : expr -> expr list
+
+(** The aggregated expression, or [None] for [CountStar]. *)
+val agg_input_expr : agg_fn -> expr option
+
+(** The same aggregate function applied to a different input. *)
+val agg_with_input : agg_fn -> expr -> agg_fn
+
+val agg_name : agg_fn -> string
+
+(** agg(∅): the value a scalar aggregate yields on empty input
+    (paper, Section 1.1). *)
+val agg_on_empty : agg_fn -> Value.t
+
+val join_kind_name : join_kind -> string

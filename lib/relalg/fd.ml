@@ -1,0 +1,710 @@
+(* Symbolic plan-property engine: functional dependencies with
+   transitive closure, derived candidate keys, and cardinality
+   intervals, inferred bottom-up over an operator tree.
+
+   Everything here is a sound under-approximation in the GROUPING sense
+   of equality (NULL ≡ NULL, Int 5 ≡ Float 5.0) — the same notion the
+   executor's hash tables use for grouping and duplicate elimination,
+   so every inferred property can be asserted against actual result
+   bags (see [check_rows]).
+
+   The three property families:
+
+   - [fds]      functional dependencies det → dep that hold on every
+                pair of output rows.  An empty determinant encodes a
+                column constant across the output.  Dependencies may
+                mention "ghost" columns no longer in the schema (a
+                Project keeps its input's FDs): each output row still
+                corresponds to one input row, so chains through hidden
+                columns remain valid for key derivation.
+   - [uniques]  strict uniqueness facts: no two output rows agree on
+                all columns of the set.  The empty set means the
+                operator yields at most one row.  A set K of output
+                columns is a *derived key* iff the FD closure of K
+                covers some unique set — strictly stronger than
+                requiring K to be a superset of a key.
+   - [card]     a cardinality interval [lo, hi] on the number of
+                output rows ([hi = None] = unbounded).  [lo > hi] is a
+                contradiction: the plan cannot execute successfully
+                (e.g. Max1row over a provably-multi-row input).
+
+   Inside the right side of Apply/SegmentApply, equalities against
+   correlation parameters count as constants: the properties are then
+   per-invocation.  The Apply cases re-export only invocation-safe
+   facts (the key product, nonnullability), never the raw FDs. *)
+
+open Algebra
+
+type interval = { lo : int; hi : int option }
+
+type fd = { det : Col.Set.t; dep : Col.Set.t }
+
+type t = {
+  fds : fd list;
+  uniques : Col.Set.t list;
+  nonnull : Col.Set.t;
+  card : interval;
+}
+
+(* --- interval arithmetic (saturating; [None] = unbounded) ----------- *)
+
+let top = { lo = 0; hi = None }
+
+let mul_hi a b =
+  match (a, b) with
+  | Some 0, _ | _, Some 0 -> Some 0
+  | Some x, Some y when x < max_int / y -> Some (x * y)
+  | _ -> None
+
+let add_hi a b =
+  match (a, b) with
+  | Some x, Some y when x < max_int - y -> Some (x + y)
+  | _ -> None
+
+let min_hi a b =
+  match (a, b) with
+  | Some x, Some y -> Some (min x y)
+  | Some x, None | None, Some x -> Some x
+  | None, None -> None
+
+let mul_lo a b = if a > 0 && b > 0 && a < max_int / b then a * b else min a b
+
+let hi_le (h : int option) n = match h with Some h -> h <= n | None -> false
+
+let contradiction t = match t.card.hi with Some h -> t.card.lo > h | None -> false
+
+let interval_to_string { lo; hi } =
+  match hi with
+  | Some h -> Printf.sprintf "[%d,%d]" lo h
+  | None -> Printf.sprintf "[%d,*]" lo
+
+(* --- rendering ------------------------------------------------------- *)
+
+let cols_to_string (s : Col.Set.t) =
+  "{"
+  ^ String.concat "," (List.map (Format.asprintf "%a" Col.pp) (Col.Set.elements s))
+  ^ "}"
+
+let fd_to_string f =
+  Printf.sprintf "%s->%s" (cols_to_string f.det) (cols_to_string f.dep)
+
+(* --- closure and key derivation -------------------------------------- *)
+
+(* Fixpoint of [seed] under [fds], recording which dependencies
+   contributed (for rendering proof chains). *)
+let closure_trace (fds : fd list) (seed : Col.Set.t) : Col.Set.t * fd list =
+  let used = ref [] in
+  let rec fix s =
+    let s' =
+      List.fold_left
+        (fun acc f ->
+          if Col.Set.subset f.det acc && not (Col.Set.subset f.dep acc) then begin
+            used := f :: !used;
+            Col.Set.union acc f.dep
+          end
+          else acc)
+        s fds
+    in
+    if Col.Set.equal s s' then s else fix s'
+  in
+  let c = fix seed in
+  (c, List.rev !used)
+
+let closure t seed = fst (closure_trace t.fds seed)
+
+let covers_key t (cols : Col.Set.t) =
+  let c = closure t cols in
+  List.exists (fun u -> Col.Set.subset u c) t.uniques
+
+(* The unique set covered by [cols] plus the FD chain proving it. *)
+let cover_chain t (cols : Col.Set.t) : (Col.Set.t * fd list) option =
+  let c, used = closure_trace t.fds cols in
+  match List.find_opt (fun u -> Col.Set.subset u c) t.uniques with
+  | None -> None
+  | Some u -> Some (u, used)
+
+let max_one t = hi_le t.card.hi 1 || covers_key t Col.Set.empty
+
+(* Greedily minimize a set that covers a key: drop members whose removal
+   keeps coverage. *)
+let minimize t (k : Col.Set.t) : Col.Set.t =
+  List.fold_left
+    (fun k c ->
+      let k' = Col.Set.remove c k in
+      if covers_key t k' then k' else k)
+    k (Col.Set.elements k)
+
+(* Derived candidate keys restricted to [schema], minimized for display;
+   sorted smallest-first, deduplicated, capped. *)
+let derived_keys t ~(schema : Col.t list) : Col.Set.t list =
+  let sset = Col.set_of_list schema in
+  let candidates =
+    List.filter (fun u -> Col.Set.subset u sset) t.uniques
+    @ (if covers_key t sset then [ sset ] else [])
+  in
+  let minimized = List.map (minimize t) candidates in
+  let sorted =
+    List.sort_uniq
+      (fun a b ->
+        let c = compare (Col.Set.cardinal a) (Col.Set.cardinal b) in
+        if c <> 0 then c else Col.Set.compare a b)
+      minimized
+  in
+  (* drop supersets of an earlier (smaller) key *)
+  let rec prune acc = function
+    | [] -> List.rev acc
+    | k :: rest ->
+        if List.exists (fun k' -> Col.Set.subset k' k) acc then prune acc rest
+        else prune (k :: acc) rest
+  in
+  let pruned = prune [] sorted in
+  List.filteri (fun i _ -> i < 4) pruned
+
+(* --- bookkeeping ------------------------------------------------------ *)
+
+let fd_cap = 192
+let unique_cap = 8
+
+let fd_equal a b = Col.Set.equal a.det b.det && Col.Set.equal a.dep b.dep
+
+let dedup_fds fds =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | f :: rest ->
+        if Col.Set.subset f.dep f.det || List.exists (fd_equal f) acc then go acc rest
+        else go (f :: acc) rest
+  in
+  let all = go [] fds in
+  List.filteri (fun i _ -> i < fd_cap) all
+
+let dedup_uniques us =
+  let sorted =
+    List.sort_uniq
+      (fun a b ->
+        let c = compare (Col.Set.cardinal a) (Col.Set.cardinal b) in
+        if c <> 0 then c else Col.Set.compare a b)
+      us
+  in
+  (* keep only minimal facts: a superset of a unique set is redundant *)
+  let rec prune acc = function
+    | [] -> List.rev acc
+    | u :: rest ->
+        if List.exists (fun u' -> Col.Set.subset u' u) acc then prune acc rest
+        else prune (u :: acc) rest
+  in
+  let pruned = prune [] sorted in
+  List.filteri (fun i _ -> i < unique_cap) pruned
+
+(* Canonicalize a node result: dedup, sync the ≤1-row fact between the
+   interval and the uniqueness list. *)
+let finish (t : t) : t =
+  let t = { t with fds = dedup_fds t.fds; uniques = dedup_uniques t.uniques } in
+  let t =
+    if hi_le t.card.hi 1 && not (List.exists Col.Set.is_empty t.uniques) then
+      { t with uniques = Col.Set.empty :: t.uniques }
+    else t
+  in
+  if covers_key t Col.Set.empty then
+    { t with card = { t.card with hi = min_hi t.card.hi (Some 1) } }
+  else t
+
+(* --- per-predicate facts ---------------------------------------------- *)
+
+(* FDs contributed by an equality conjunct evaluated over rows with
+   schema [sch]: col = col gives a mutual dependency, col = expr whose
+   columns all come from outside [sch] (a literal or a correlation
+   parameter) pins the column to an (invocation-)constant. *)
+let pred_fds (sch : Col.Set.t) (conjs : expr list) : fd list =
+  List.concat_map
+    (fun c ->
+      match c with
+      | Cmp (Eq, ColRef a, ColRef b) when Col.Set.mem a sch && Col.Set.mem b sch ->
+          [ { det = Col.Set.singleton a; dep = Col.Set.singleton b };
+            { det = Col.Set.singleton b; dep = Col.Set.singleton a }
+          ]
+      | Cmp (Eq, ColRef a, e) | Cmp (Eq, e, ColRef a) ->
+          if
+            Col.Set.mem a sch
+            && (not (Expr.has_subquery e))
+            && Col.Set.is_empty (Col.Set.inter (Expr.cols e) sch)
+          then [ { det = Col.Set.empty; dep = Col.Set.singleton a } ]
+          else []
+      | _ -> [])
+    conjs
+
+(* Right-side columns pinned by the join predicate: equated to a
+   left-side column or to a constant.  If these cover a key of the
+   right input, each left row matches at most one right row. *)
+let pinned_right (lset : Col.Set.t) (rset : Col.Set.t) (conjs : expr list) :
+    Col.Set.t =
+  List.fold_left
+    (fun acc c ->
+      match c with
+      | Cmp (Eq, ColRef a, ColRef b) when Col.Set.mem a rset && Col.Set.mem b lset ->
+          Col.Set.add a acc
+      | Cmp (Eq, ColRef b, ColRef a) when Col.Set.mem a rset && Col.Set.mem b lset ->
+          Col.Set.add a acc
+      | Cmp (Eq, ColRef a, e) | Cmp (Eq, e, ColRef a) ->
+          if
+            Col.Set.mem a rset
+            && (not (Expr.has_subquery e))
+            && Col.Set.is_empty (Col.Set.inter (Expr.cols e) (Col.Set.union lset rset))
+          then Col.Set.add a acc
+          else acc
+      | _ -> acc)
+    Col.Set.empty conjs
+
+(* --- the analysis ------------------------------------------------------ *)
+
+(* Memoization on physical node identity: consumers that analyze every
+   node of a plan (cardinality clamping, the linter, EXPLAIN) would
+   otherwise pay O(n^2); with a memo shared across calls the whole plan
+   is analyzed once.  Sound because ops are immutable. *)
+module Memo_tbl = Hashtbl.Make (struct
+  type nonrec t = op
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type memo = t Memo_tbl.t
+
+let create_memo () : memo = Memo_tbl.create 64
+
+let rec analyze ?(env = Props.default_env) ?memo (o : op) : t =
+  match memo with
+  | Some m when Memo_tbl.mem m o -> Memo_tbl.find m o
+  | _ ->
+      let r = analyze_node ~env ?memo o in
+      (match memo with Some m -> Memo_tbl.replace m o r | None -> ());
+      r
+
+and analyze_node ~env ?memo (o : op) : t =
+  let analyze o = analyze ~env ?memo o in
+  let verdict ?(nonnull = Col.Set.empty) p = Props.pred_verdict ~nonnull p in
+  finish
+    (match o with
+    | TableScan { table; cols } ->
+        let names = env.Props.table_key table in
+        let find n = List.find_opt (fun (c : Col.t) -> c.name = n) cols in
+        let key = List.filter_map find names in
+        let uniques, fds =
+          if names <> [] && List.length key = List.length names then
+            let ks = Col.Set.of_list key in
+            ([ ks ], [ { det = ks; dep = Col.Set.of_list cols } ])
+          else ([], [])
+        in
+        let nullable = env.Props.table_nullable table in
+        let nonnull =
+          Col.Set.of_list
+            (List.filter (fun (c : Col.t) -> not (List.mem c.name nullable)) cols)
+        in
+        { fds; uniques; nonnull; card = top }
+    | ConstTable { cols; rows } ->
+        let n = List.length rows in
+        let fds =
+          List.concat
+            (List.mapi
+               (fun i (c : Col.t) ->
+                 match rows with
+                 | [] -> []
+                 | first :: rest ->
+                     if List.for_all (fun r -> Value.compare r.(i) first.(i) = 0) rest
+                     then [ { det = Col.Set.empty; dep = Col.Set.singleton c } ]
+                     else [])
+               cols)
+        in
+        let nonnull =
+          Col.Set.of_list
+            (List.filteri
+               (fun i _ ->
+                 List.for_all (fun (r : Value.t array) -> not (Value.is_null r.(i))) rows)
+               cols)
+        in
+        { fds;
+          uniques = (if n <= 1 then [ Col.Set.empty ] else []);
+          nonnull;
+          card = { lo = n; hi = Some n }
+        }
+    | SegmentHole _ ->
+        (* a SegmentApply partition: nonempty by construction *)
+        { fds = []; uniques = []; nonnull = Col.Set.empty; card = { lo = 1; hi = None } }
+    | Select (p, i) ->
+        let ci = analyze i in
+        let isch = Op.schema_set i in
+        let conjs = conjuncts p in
+        let fds = pred_fds isch conjs @ ci.fds in
+        let nonnull =
+          Col.Set.union ci.nonnull (Col.Set.inter (Expr.null_rejected_cols p) isch)
+        in
+        let card =
+          match verdict ~nonnull:ci.nonnull p with
+          | Props.Contradiction -> { lo = 0; hi = Some 0 }
+          | Props.Tautology -> ci.card
+          | Props.Unknown -> { lo = 0; hi = ci.card.hi }
+        in
+        let t = { fds; uniques = ci.uniques; nonnull; card } in
+        (* equality on a derived key pins at most one row *)
+        let pinned =
+          List.fold_left
+            (fun acc f -> if Col.Set.is_empty f.det then Col.Set.union acc f.dep else acc)
+            Col.Set.empty fds
+        in
+        if covers_key t pinned then { t with card = { card with hi = min_hi card.hi (Some 1) } }
+        else t
+    | Project (projs, i) ->
+        let ci = analyze i in
+        let isch = Op.schema_set i in
+        let extra =
+          List.concat_map
+            (fun pr ->
+              match pr.expr with
+              | ColRef c ->
+                  [ { det = Col.Set.singleton c; dep = Col.Set.singleton pr.out };
+                    { det = Col.Set.singleton pr.out; dep = Col.Set.singleton c }
+                  ]
+              | Const _ -> [ { det = Col.Set.empty; dep = Col.Set.singleton pr.out } ]
+              | e when not (Expr.has_subquery e) ->
+                  (* deterministic scalar: its input columns determine
+                     the output; columns bound outside [i] (correlation
+                     parameters) are invocation-constants *)
+                  [ { det = Col.Set.inter (Expr.cols e) isch;
+                      dep = Col.Set.singleton pr.out
+                    }
+                  ]
+              | _ -> [])
+            projs
+        in
+        let nonnull =
+          List.fold_left
+            (fun acc pr ->
+              match pr.expr with
+              | ColRef c when Col.Set.mem c ci.nonnull -> Col.Set.add pr.out acc
+              | Const v when not (Value.is_null v) -> Col.Set.add pr.out acc
+              | _ -> acc)
+            Col.Set.empty projs
+        in
+        (* projection is 1-1 on rows: input FDs and uniqueness facts
+           survive as ghost facts even when their columns leave the
+           schema *)
+        { fds = extra @ ci.fds; uniques = ci.uniques; nonnull; card = ci.card }
+    | Join { kind; pred; left; right } ->
+        join_props ~env ~apply:false kind pred (analyze left) (analyze right)
+          (Op.schema_set left) (Op.schema_set right)
+    | Apply { kind; pred; left; right } ->
+        join_props ~env ~apply:true kind pred (analyze left) (analyze right)
+          (Op.schema_set left) (Op.schema_set right)
+    | SegmentApply { seg_cols; outer; inner } ->
+        let co = analyze outer in
+        let ci = analyze inner in
+        let segset = Col.Set.of_list seg_cols in
+        let others =
+          Col.Set.diff (Op.schema_set outer) segset
+        in
+        let fds =
+          (* non-segment outer columns are padded NULL on every output
+             row — constant in the grouping sense *)
+          (if Col.Set.is_empty others then []
+           else [ { det = Col.Set.empty; dep = others } ])
+          @ List.filter
+              (fun f -> Col.Set.subset (Col.Set.union f.det f.dep) segset)
+              co.fds
+        in
+        let uniques =
+          List.map
+            (fun kr -> Col.Set.union segset kr)
+            (derived_keys ci ~schema:(Op.schema inner))
+        in
+        let nonnull =
+          Col.Set.union (Col.Set.inter segset co.nonnull) ci.nonnull
+        in
+        let card =
+          { lo = (if co.card.lo >= 1 then ci.card.lo else 0);
+            hi = mul_hi co.card.hi ci.card.hi
+          }
+        in
+        { fds; uniques; nonnull; card }
+    | GroupBy { keys; aggs; input } | LocalGroupBy { keys; aggs; input } ->
+        let ci = analyze input in
+        let kset = Col.Set.of_list keys in
+        let kept =
+          List.filter
+            (fun f -> Col.Set.subset (Col.Set.union f.det f.dep) kset)
+            ci.fds
+        in
+        let aouts = Col.Set.of_list (List.map (fun (a : agg) -> a.out) aggs) in
+        let fds =
+          (if Col.Set.is_empty aouts then [] else [ { det = kset; dep = aouts } ]) @ kept
+        in
+        let nonnull =
+          let keys_nn = Col.Set.inter kset ci.nonnull in
+          let aggs_nn =
+            List.filter_map
+              (fun (a : agg) ->
+                match a.fn with
+                | CountStar | Count _ -> Some a.out
+                | Sum e | Min e | Max e | Avg e -> (
+                    (* groups are non-empty in vector aggregation *)
+                    match e with
+                    | ColRef c when Col.Set.mem c ci.nonnull -> Some a.out
+                    | Const v when not (Value.is_null v) -> Some a.out
+                    | _ -> None))
+              aggs
+          in
+          Col.Set.union keys_nn (Col.Set.of_list aggs_nn)
+        in
+        let card =
+          if covers_key ci kset then
+            (* every input row is its own group: cardinality unchanged *)
+            ci.card
+          else
+            { lo = (if ci.card.lo >= 1 then 1 else 0);
+              hi = (if keys = [] then min_hi ci.card.hi (Some 1) else ci.card.hi)
+            }
+        in
+        { fds; uniques = [ kset ]; nonnull; card }
+    | ScalarAgg { aggs; _ } ->
+        let aouts = Col.Set.of_list (List.map (fun (a : agg) -> a.out) aggs) in
+        let nonnull =
+          List.fold_left
+            (fun acc (a : agg) ->
+              match a.fn with CountStar | Count _ -> Col.Set.add a.out acc | _ -> acc)
+            Col.Set.empty aggs
+        in
+        { fds = [ { det = Col.Set.empty; dep = aouts } ];
+          uniques = [ Col.Set.empty ];
+          nonnull;
+          card = { lo = 1; hi = Some 1 }
+        }
+    | Max1row i ->
+        let ci = analyze i in
+        (* on successful execution at most one row passes; an input
+           lower bound >= 2 makes the interval contradictory — the
+           operator always raises *)
+        { fds = ci.fds;
+          uniques = Col.Set.empty :: ci.uniques;
+          nonnull = ci.nonnull;
+          card = { lo = ci.card.lo; hi = min_hi ci.card.hi (Some 1) }
+        }
+    | UnionAll (l, r) ->
+        let cl = analyze l and cr = analyze r in
+        (* positional: output columns are the left schema's *)
+        let nonnull =
+          try
+            List.fold_left2
+              (fun acc (lc : Col.t) (rc : Col.t) ->
+                if Col.Set.mem lc cl.nonnull && Col.Set.mem rc cr.nonnull then
+                  Col.Set.add lc acc
+                else acc)
+              Col.Set.empty (Op.schema l) (Op.schema r)
+          with Invalid_argument _ -> Col.Set.empty
+        in
+        (* FDs and keys do not survive the union: a pair with one row
+           from each branch is unconstrained *)
+        { fds = [];
+          uniques = [];
+          nonnull;
+          card = { lo = cl.card.lo + cr.card.lo; hi = add_hi cl.card.hi cr.card.hi }
+        }
+    | Except (l, r) ->
+        let cl = analyze l and cr = analyze r in
+        (* output is a sub-bag of the left input: every property of the
+           left survives *)
+        let lo =
+          match cr.card.hi with Some h -> max 0 (cl.card.lo - h) | None -> 0
+        in
+        { cl with card = { lo; hi = cl.card.hi } }
+    | Rownum { out; input } ->
+        let ci = analyze input in
+        { fds = { det = Col.Set.singleton out; dep = Op.schema_set input } :: ci.fds;
+          uniques = Col.Set.singleton out :: ci.uniques;
+          nonnull = Col.Set.add out ci.nonnull;
+          card = ci.card
+        })
+
+and join_props ~env ~apply kind pred (cl : t) (cr : t) (lset : Col.Set.t)
+    (rset : Col.Set.t) : t =
+  ignore env;
+  let conjs = conjuncts pred in
+  let sch = Col.Set.union lset rset in
+  let v = Props.pred_verdict ~nonnull:(Col.Set.union cl.nonnull cr.nonnull) pred in
+  (* derived keys of the right side, computed before its FDs are
+     dropped: per-invocation facts are valid inside one binding, and
+     the key product is sound across bindings *)
+  let rkeys_raw =
+    let ks = derived_keys cr ~schema:(Col.Set.elements rset) in
+    if ks = [] then List.filter (fun u -> Col.Set.subset u rset) cr.uniques else ks
+  in
+  let right_pinned = pinned_right lset rset conjs in
+  let right_unique = covers_key cr right_pinned in
+  let left_pinned = pinned_right rset lset conjs in
+  let left_unique = covers_key cl left_pinned in
+  let product kls krs = List.concat_map (fun kl -> List.map (Col.Set.union kl) krs) kls in
+  match kind with
+  | Inner ->
+      let fds =
+        pred_fds sch conjs @ cl.fds @ if apply then [] else cr.fds
+      in
+      let uniques =
+        product cl.uniques rkeys_raw
+        @ (if right_unique then cl.uniques else [])
+        @ if left_unique && not apply then cr.uniques else []
+      in
+      let nonnull =
+        Col.Set.union
+          (Col.Set.union cl.nonnull cr.nonnull)
+          (Col.Set.inter (Expr.null_rejected_cols pred) sch)
+      in
+      let card =
+        match v with
+        | Props.Contradiction -> { lo = 0; hi = Some 0 }
+        | Props.Tautology | Props.Unknown ->
+            let lo =
+              if v = Props.Tautology then mul_lo cl.card.lo cr.card.lo else 0
+            in
+            let hi =
+              if right_unique then cl.card.hi
+              else if left_unique && not apply then cr.card.hi
+              else mul_hi cl.card.hi cr.card.hi
+            in
+            { lo; hi }
+      in
+      { fds; uniques; nonnull; card }
+  | LeftOuter ->
+      (* padded rows NULL every right column: right FDs survive only
+         when their determinant contains a non-nullable right column
+         (padding then never aliases a matched row), predicate facts
+         not at all *)
+      let right_fds =
+        if apply then []
+        else
+          List.filter
+            (fun f -> not (Col.Set.disjoint f.det cr.nonnull))
+            cr.fds
+      in
+      let rkeys_nn =
+        List.filter (fun kr -> Col.Set.subset kr cr.nonnull) rkeys_raw
+      in
+      let uniques =
+        product cl.uniques rkeys_nn @ if right_unique then cl.uniques else []
+      in
+      let card =
+        { lo = cl.card.lo;
+          hi =
+            (if right_unique then cl.card.hi
+             else
+               mul_hi cl.card.hi
+                 (match cr.card.hi with Some h -> Some (max 1 h) | None -> None))
+        }
+      in
+      { fds = cl.fds @ right_fds; uniques; nonnull = cl.nonnull; card }
+  | Semi ->
+      let card =
+        if hi_le cr.card.hi 0 || v = Props.Contradiction then { lo = 0; hi = Some 0 }
+        else if v = Props.Tautology && cr.card.lo >= 1 then cl.card
+        else { lo = 0; hi = cl.card.hi }
+      in
+      { fds = cl.fds; uniques = cl.uniques; nonnull = cl.nonnull; card }
+  | Anti ->
+      let card =
+        if v = Props.Tautology && cr.card.lo >= 1 then { lo = 0; hi = Some 0 }
+        else if hi_le cr.card.hi 0 || v = Props.Contradiction then cl.card
+        else { lo = 0; hi = cl.card.hi }
+      in
+      { fds = cl.fds; uniques = cl.uniques; nonnull = cl.nonnull; card }
+
+(* --- runtime cross-check ---------------------------------------------- *)
+
+module VMap = Map.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+(* Assert the inferred properties against an actual result bag.  [rows]
+   must be full-width rows in [schema] order (the executor's output
+   before the final projection).  Returns human-readable violations;
+   an empty list means every checkable property held. *)
+let check_rows (t : t) ~(schema : Col.t list) (rows : Value.t array list) :
+    string list =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let n = List.length rows in
+  if n < t.card.lo then
+    err "cardinality %d below interval %s" n (interval_to_string t.card);
+  (match t.card.hi with
+  | Some h when n > h ->
+      err "cardinality %d above interval %s" n (interval_to_string t.card)
+  | _ -> ());
+  let pos = Hashtbl.create 16 in
+  List.iteri (fun i (c : Col.t) -> Hashtbl.replace pos c.id i) schema;
+  let idx_of (s : Col.Set.t) : int list option =
+    let ids = Col.Set.elements s in
+    let resolved = List.filter_map (fun (c : Col.t) -> Hashtbl.find_opt pos c.id) ids in
+    if List.length resolved = List.length ids then Some resolved else None
+  in
+  (* nonnullability *)
+  Col.Set.iter
+    (fun c ->
+      match Hashtbl.find_opt pos c.Col.id with
+      | None -> ()
+      | Some i ->
+          List.iteri
+            (fun rn (r : Value.t array) ->
+              if Value.is_null r.(i) then
+                err "column %s inferred non-null but row %d is NULL"
+                  (Format.asprintf "%a" Col.pp c)
+                  rn)
+            rows)
+    t.nonnull;
+  let key_of idxs (r : Value.t array) = List.map (fun i -> r.(i)) idxs in
+  (* uniqueness facts (grouping-sense: NULL ≡ NULL, matching the
+     executor's hash tables) *)
+  List.iter
+    (fun u ->
+      match idx_of u with
+      | None -> ()
+      | Some idxs ->
+          let seen = ref VMap.empty in
+          List.iter
+            (fun r ->
+              let k = key_of idxs r in
+              match VMap.find_opt k !seen with
+              | Some () ->
+                  err "uniqueness violated on %s (duplicate combination)"
+                    (cols_to_string u)
+              | None -> seen := VMap.add k () !seen)
+            rows)
+    t.uniques;
+  (* functional dependencies whose columns are all visible *)
+  List.iter
+    (fun f ->
+      match (idx_of f.det, idx_of f.dep) with
+      | Some dets, Some deps ->
+          let seen = ref VMap.empty in
+          List.iter
+            (fun r ->
+              let k = key_of dets r in
+              let v = key_of deps r in
+              match VMap.find_opt k !seen with
+              | Some v' ->
+                  if List.compare Value.compare v v' <> 0 then
+                    err "FD %s violated" (fd_to_string f)
+              | None -> seen := VMap.add k v !seen)
+            rows
+      | _ -> ())
+    t.fds;
+  List.rev !errs
+
+(* One-line summary for EXPLAIN. *)
+let summary t ~(schema : Col.t list) : string =
+  let keys = derived_keys t ~schema in
+  let keys_s =
+    match keys with
+    | [] -> "none"
+    | ks -> String.concat " " (List.map cols_to_string ks)
+  in
+  let nn = Col.Set.inter t.nonnull (Col.set_of_list schema) in
+  Printf.sprintf "card=%s keys=%s fds=%d nonnull=%s%s"
+    (interval_to_string t.card) keys_s (List.length t.fds) (cols_to_string nn)
+    (if contradiction t then " CONTRADICTION" else "")

@@ -1,0 +1,77 @@
+(** Symbolic plan-property engine.
+
+    Bottom-up inference of functional dependencies (with transitive
+    closure), derived candidate keys, non-nullable columns, and
+    per-node cardinality intervals over an operator tree.  All facts
+    are sound under-approximations in the grouping sense of equality
+    (NULL ≡ NULL), the notion the executor's hash tables use — so
+    every inferred property can be asserted against an actual result
+    bag with {!check_rows}. *)
+
+open Algebra
+
+(** Cardinality interval; [hi = None] means unbounded. *)
+type interval = { lo : int; hi : int option }
+
+(** A functional dependency [det -> dep] over output rows.  An empty
+    determinant encodes columns constant across the output. *)
+type fd = { det : Col.Set.t; dep : Col.Set.t }
+
+type t = {
+  fds : fd list;  (** dependencies, possibly through ghost columns *)
+  uniques : Col.Set.t list;
+      (** strict uniqueness facts; [Col.Set.empty] = at most one row *)
+  nonnull : Col.Set.t;  (** columns never NULL in the output *)
+  card : interval;
+}
+
+(** Memoization table on physical node identity; pass one [memo] to
+    repeated {!analyze} calls over the same plan to make whole-plan
+    analysis linear instead of quadratic. *)
+type memo
+
+val create_memo : unit -> memo
+
+(** Infer the properties of an operator's output.  [env] supplies
+    base-table keys and nullability (see {!Props.env}). *)
+val analyze : ?env:Props.env -> ?memo:memo -> op -> t
+
+(** FD closure of a column set. *)
+val closure : t -> Col.Set.t -> Col.Set.t
+
+(** Is [cols] a derived key — does its FD closure cover some
+    uniqueness fact?  Strictly stronger than {!Props.covers_key}. *)
+val covers_key : t -> Col.Set.t -> bool
+
+(** The uniqueness fact covered by [cols] plus the FD chain proving
+    it, for rendering diagnostics. *)
+val cover_chain : t -> Col.Set.t -> (Col.Set.t * fd list) option
+
+(** Provably at most one output row. *)
+val max_one : t -> bool
+
+(** [lo > hi]: the plan cannot execute successfully. *)
+val contradiction : t -> bool
+
+(** Minimal derived candidate keys restricted to [schema], smallest
+    first (display; capped). *)
+val derived_keys : t -> schema:Col.t list -> Col.Set.t list
+
+(** Assert the inferred properties against an actual result bag of
+    full-width rows in [schema] order.  Returns human-readable
+    violations; empty = all checkable properties held. *)
+val check_rows : t -> schema:Col.t list -> Value.t array list -> string list
+
+(** [pinned_right lset rset conjs]: the columns of [rset] pinned by an
+    equality conjunct — equated to a column of [lset] or to an
+    expression free of both sides (a constant).  If these cover a key
+    of the right input, each left row matches at most one right
+    row. *)
+val pinned_right : Col.Set.t -> Col.Set.t -> expr list -> Col.Set.t
+
+(** One-line rendering for EXPLAIN. *)
+val summary : t -> schema:Col.t list -> string
+
+val interval_to_string : interval -> string
+val cols_to_string : Col.Set.t -> string
+val fd_to_string : fd -> string

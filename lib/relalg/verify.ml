@@ -373,8 +373,13 @@ let recheck_push_conditions ~env node keys (aggs : agg list) pred s r pushed_key
                (cols_str [ k ]))
       end)
     pk;
-  if not (Props.covers_key ~env s (Col.Set.inter a scols)) then
-    fail "push condition 2: grouping columns do not cover a key of the kept side";
+  (let scover = Col.Set.inter a scols in
+   if
+     not
+       (Props.covers_key ~env s scover
+       || Fd.covers_key (Fd.analyze ~env s) scover)
+   then
+     fail "push condition 2: grouping columns do not cover a key of the kept side");
   if not (agg_inputs_within aggs rcols) then
     fail "push condition 3: an aggregate input uses columns outside the aggregated side";
   List.rev !bad
@@ -524,6 +529,74 @@ let check_rewrite ~(env : Props.env) ~(rule : string) ~(before : op) ~(after : o
               node = after
             }
           ]
+      | _ -> [])
+  (* --- property-proven rewrites: re-derive each FD/interval fact ----- *)
+  | "groupby-eliminate-key" -> (
+      match before with
+      | GroupBy { keys; input; _ } ->
+          if
+            keys <> []
+            && Fd.covers_key (Fd.analyze ~env input)
+                 (Col.Set.of_list keys)
+          then []
+          else
+            [ { kind =
+                  Unsound_rewrite
+                    "groupby elimination: grouping columns do not derive a key of the input";
+                node = after
+              }
+            ]
+      | _ -> [])
+  | "max1row-elide" -> (
+      match before with
+      | Max1row i ->
+          if Fd.max_one (Fd.analyze ~env i) then []
+          else
+            [ { kind =
+                  Unsound_rewrite
+                    "max1row elision: input not proven to yield at most one row";
+                node = after
+              }
+            ]
+      | _ -> [])
+  | "semijoin-to-inner" -> (
+      match before with
+      | Join { kind = Semi; pred; left; right } ->
+          let pinned =
+            Fd.pinned_right (Op.schema_set left) (Op.schema_set right)
+              (conjuncts pred)
+          in
+          if Fd.covers_key (Fd.analyze ~env right) pinned then []
+          else
+            [ { kind =
+                  Unsound_rewrite
+                    "semijoin to inner: predicate does not pin a derived key of the right side";
+                node = after
+              }
+            ]
+      | _ -> [])
+  | "outerjoin-prune" -> (
+      match before with
+      | Project (projs, Join { kind = LeftOuter; pred; left; right }) ->
+          let rset = Op.schema_set right in
+          let clean =
+            List.for_all
+              (fun p ->
+                (not (Expr.has_subquery p.expr))
+                && Col.Set.disjoint (Expr.cols p.expr) rset)
+              projs
+          in
+          let pinned =
+            Fd.pinned_right (Op.schema_set left) rset (conjuncts pred)
+          in
+          if clean && Fd.covers_key (Fd.analyze ~env right) pinned then []
+          else
+            [ { kind =
+                  Unsound_rewrite
+                    "outerjoin prune: projection references the right side or the predicate does not pin a right key";
+                node = after
+              }
+            ]
       | _ -> [])
   | _ -> []
 

@@ -95,8 +95,12 @@ let push_below_join_keys ~env keys (aggs : agg list) pred s r : Col.t list optio
   in
   if
     List.for_all conj_ok (conjuncts pred)
-    (* 2 *)
-    && Props.covers_key ~env s (Col.Set.inter a scols)
+    (* 2: the S-side grouping columns cover a key of S — first the
+       direct superset test, then the strictly stronger FD-closure
+       derivation (a grouping set that *determines* a key suffices) *)
+    && (let scover = Col.Set.inter a scols in
+        Props.covers_key ~env s scover
+        || Fd.covers_key (Fd.analyze ~env s) scover)
     (* 3 *)
     && agg_uses_only aggs rcols
     && Col.Set.subset a (Col.Set.union rcols scols)

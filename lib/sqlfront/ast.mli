@@ -1,0 +1,63 @@
+(** SQL abstract syntax. *)
+
+type cmpop = Relalg.Algebra.cmpop
+type quant = Relalg.Algebra.quant
+
+type expr =
+  | EInt of int
+  | EFloat of float
+  | EStr of string
+  | EDate of string  (** DATE 'yyyy-mm-dd' *)
+  | EBool of bool
+  | ENull
+  | ECol of string option * string  (** optional qualifier, column name *)
+  | EArith of Relalg.Algebra.arithop * expr * expr
+  | ENeg of expr
+  | ECmp of cmpop * expr * expr
+  | EAnd of expr * expr
+  | EOr of expr * expr
+  | ENot of expr
+  | EIsNull of bool * expr  (** negated?, operand *)
+  | EBetween of bool * expr * expr * expr
+  | ELike of bool * expr * string
+  | EInList of bool * expr * expr list
+  | EInSub of bool * expr * query
+  | EExists of query
+  | EScalarSub of query
+  | EQuant of cmpop * quant * expr * query
+  | ECase of (expr * expr) list * expr option
+  | EAgg of string * bool * expr option
+      (** name (count/sum/avg/min/max), distinct?, argument (None = star) *)
+
+and select_item = SStar | SExpr of expr * string option
+
+and table_ref =
+  | TTable of string * string option  (** table, alias *)
+  | TDerived of query * string  (** derived table with required alias *)
+  | TJoin of table_ref * join_type * table_ref * expr  (** ... ON expr *)
+
+and join_type = JInner | JLeft
+
+and query = {
+  distinct : bool;
+  select : select_item list;
+  from : table_ref list;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  union_all : query list;  (** additional UNION ALL blocks *)
+  order_by : (expr * bool) list;  (** expr, descending? *)
+  limit : int option;
+}
+
+val mk_query :
+  ?distinct:bool ->
+  ?from:table_ref list ->
+  ?where:expr ->
+  ?group_by:expr list ->
+  ?having:expr ->
+  ?union_all:query list ->
+  ?order_by:(expr * bool) list ->
+  ?limit:int ->
+  select_item list ->
+  query

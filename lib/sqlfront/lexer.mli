@@ -1,0 +1,7 @@
+(** Hand-written SQL lexer. *)
+
+exception Lex_error of string * int  (** message, position *)
+
+(** Tokenize a SQL string; the result always ends with {!Token.EOF}.
+    @raise Lex_error on an unexpected character or unterminated string. *)
+val tokenize : string -> Token.t list

@@ -1,0 +1,17 @@
+(** Recursive-descent SQL parser over {!Lexer} tokens. *)
+
+exception Parse_error of string
+
+(** Tokenize, converting {!Lexer.Lex_error} into [Parse_error] with
+    position context — callers that handle parse failures handle lex
+    failures for free.
+    @raise Parse_error *)
+val tokenize : string -> Token.t list
+
+(** Parse one SQL query (an optional trailing ';' is consumed).
+    @raise Parse_error on syntax errors or trailing input. *)
+val parse : string -> Ast.query
+
+(** Parse a standalone scalar expression (test helper).
+    @raise Parse_error *)
+val parse_expr_string : string -> Ast.expr

@@ -1,0 +1,33 @@
+(** SQL tokens. *)
+
+type t =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string  (** lower-cased *)
+  | KEYWORD of string  (** upper-cased, from the keyword list *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | SEMI
+  | EOF
+
+(** The reserved words, upper-cased. *)
+val keywords : string list
+
+(** Case-insensitive membership in {!keywords}. *)
+val is_keyword : string -> bool
+
+val to_string : t -> string

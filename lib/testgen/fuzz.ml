@@ -52,6 +52,10 @@ type config = {
           candidate retain its Apply operators, so a [`Vector] sweep
           exercises the batched-Apply paths instead of decorrelated
           joins *)
+  property_check : bool;
+      (** assert the symbolic property engine's inferred facts (derived
+          keys, non-nullability, cardinality intervals) against the
+          candidate's actual result bag on every case *)
 }
 
 let default_config ~seed ~cases =
@@ -63,6 +67,7 @@ let default_config ~seed ~cases =
     shrink = true;
     exec_mode = `Row;
     candidate = Optimizer.Config.full;
+    property_check = false;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -86,12 +91,13 @@ let bag rows =
    verdict; everything else that is not agreement is a failure — in a
    fuzzer, even a Bind error is a bug (the generator emitted SQL the
    front end rejects). *)
-let classify ?budget ?mode ?candidate (eng : Engine.t) (sql : string) : outcome =
+let classify ?budget ?mode ?candidate ?property_check (eng : Engine.t) (sql : string) :
+    outcome =
   match
     try
       `R
         (Engine.Errors.protect ~sql (fun () ->
-             Engine.check ?candidate ?budget ?mode ~float_digits eng sql))
+             Engine.check ?candidate ?budget ?property_check ?mode ~float_digits eng sql))
     with exn -> `Exn exn
   with
   | `R (Ok r) when r.Engine.agree && r.Engine.lint_errors <> [] ->
@@ -143,7 +149,8 @@ let classify_spec (cfg : config) (eng : Engine.t) (spec : Qgen.spec) : outcome =
   let sql = Qgen.render spec in
   match cfg.fault with
   | None ->
-      classify ?budget:cfg.budget ~mode:cfg.exec_mode ~candidate:cfg.candidate eng sql
+      classify ?budget:cfg.budget ~mode:cfg.exec_mode ~candidate:cfg.candidate
+        ~property_check:cfg.property_check eng sql
   | Some fspec -> classify_fault ?budget:cfg.budget ~fspec eng sql
 
 let is_failure = function Mismatch _ | Failed _ -> true | Agree | Skipped _ -> false

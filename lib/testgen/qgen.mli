@@ -1,0 +1,114 @@
+(** Seeded random generation of correlated-subquery SQL.
+
+    The generator walks the TPC-H foreign-key graph to produce queries
+    in the paper's territory: nested EXISTS / NOT EXISTS, IN, scalar
+    aggregate comparisons, LEFT OUTER JOINs and GROUP BY/HAVING — with
+    correlation always along a real FK link, so every query is
+    semantically meaningful against the bench catalog.
+
+    Everything is derived from a splitmix64 stream ({!Exec.Faults.Rng}),
+    so a failing case is identified by its (seed, case) pair alone and
+    replays bit-identically.  Specs are a small IR first, SQL second:
+    shrinking works on the IR (delete a predicate, a subquery, a join, a
+    grouping) and re-renders, which keeps every shrink candidate
+    well-formed. *)
+
+module Rng = Exec.Faults.Rng
+
+(** Catalog model of one table: numeric columns with plausible constant
+    ranges, and a representative key column. *)
+type tmodel = {
+  tname : string;
+  key : string;  (** representative key column (first of the primary key) *)
+  nums : (string * bool * float * float) list;
+      (** (column, integer?, low, high) — constants for predicates are
+          drawn from \[low, high\] *)
+}
+
+val model : tmodel list
+
+(** @raise Not_found on a table outside the bench catalog. *)
+val find_model : string -> tmodel
+
+(** Tables reachable from [t] in one FK hop:
+    (other table, my column, other column). *)
+val neighbors : string -> (string * string * string) list
+
+(** {2 Query IR} *)
+
+type cmp = Lt | Gt | Le | Ge
+
+val cmp_to_string : cmp -> string
+
+type aggf = Sum | Min | Max | Avg | Count
+
+val agg_to_string : aggf -> string
+
+(** A numeric conjunct: <alias-qualified column> <cmp> <constant>. *)
+type num_pred = {
+  n_alias : string;
+  n_col : string;
+  n_cmp : cmp;
+  n_const : float;
+  n_int : bool;
+}
+
+(** A subquery block.  [b_alias = ""] marks the top-level scope, whose
+    column references render unqualified; subquery blocks get a fresh
+    alias because they may repeat an outer table. *)
+type block = {
+  b_tbl : tmodel;
+  b_alias : string;
+  b_correl : (string * string) option;
+      (** (my column, rendered outer reference): the correlation equality *)
+  b_nums : num_pred list;
+  b_subs : sub list;
+}
+
+and sub =
+  | SExists of bool * block  (** negated?, subquery *)
+  | SIn of string * block * string
+      (** outer reference IN (select inner column …) *)
+  | SAggCmp of string * cmp * aggf * string option * block
+      (** outer reference <cmp> (select agg(col) …); [None] = count star *)
+
+type join_spec = {
+  j_tbl : tmodel;
+  j_my : string;  (** join column on the joined table *)
+  j_outer : string;  (** join column on the outer table *)
+  j_left : bool;  (** LEFT OUTER JOIN when set, plain JOIN otherwise *)
+}
+
+type group_spec = {
+  g_key : string;  (** grouping column (on the outer table) *)
+  g_agg : aggf;
+  g_agg_col : string option;
+      (** aggregated column (join side); [None] = count star *)
+  g_having : (cmp * float) option;
+}
+
+type spec = {
+  s_body : block;  (** outer table, its predicates and subqueries *)
+  s_join : join_spec option;
+  s_join_nums : num_pred list;  (** numeric conjuncts on the joined table *)
+  s_group : group_spec option;  (** only generated when a join is present *)
+}
+
+(** Render a spec as SQL. *)
+val render : spec -> string
+
+(** The deterministic spec for a (seed, case) pair. *)
+val spec_of : seed:int -> case:int -> spec
+
+(** [render (spec_of ~seed ~case)]. *)
+val sql_of : seed:int -> case:int -> string
+
+(** One-step shrink candidates: each is the spec with one predicate,
+    subquery, join or grouping removed (or simplified), so every
+    candidate is well-formed SQL. *)
+val shrink_spec : spec -> spec list
+
+(** Greedy shrinking: repeatedly take the first {!shrink_spec}
+    candidate that still satisfies [still_failing], up to [max_steps]
+    (default 200) rounds. *)
+val minimize : ?max_steps:int -> (spec -> bool) -> spec -> spec

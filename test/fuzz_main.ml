@@ -1,12 +1,16 @@
 (* Differential fuzz sweep, run by `dune build @fuzz` (long sweep) and
    `make fuzz-smoke` (fixed seeds, bounded cases, part of `make verify`).
 
-   Usage: fuzz_main.exe [CASES [SEED...]]
+   Usage: fuzz_main.exe [--property-check] [CASES [SEED...]]
 
    For each seed, runs CASES generated correlated-subquery queries
    through the differential checker (full optimizer vs the correlated
    oracle).  Failures print a minimized reproducer and its replay id.
    Exit status 0 iff no mismatches and no crashes.
+
+   With --property-check, every case additionally asserts the symbolic
+   property engine's inferred facts (derived keys, non-nullability,
+   cardinality intervals) against the candidate's actual result bag.
 
    A deterministic row budget bounds each case: the correlated oracle
    executes uncorrelated nested subqueries quadratically, and a fuzzer
@@ -18,14 +22,18 @@ let sf = 0.002
 let max_rows_per_case = 5_000_000
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let property_check = List.mem "--property-check" args in
+  let args = List.filter (fun a -> a <> "--property-check") args in
   let cases, seeds =
-    match List.tl (Array.to_list Sys.argv) with
+    match args with
     | [] -> (40, [ 1; 2; 3; 4; 5 ])
     | [ c ] -> (int_of_string c, [ 1; 2; 3; 4; 5 ])
     | c :: rest -> (int_of_string c, List.map int_of_string rest)
   in
-  Printf.printf "fuzz sweep: SF %.3f, %d cases x seeds [%s]\n%!" sf cases
-    (String.concat "; " (List.map string_of_int seeds));
+  Printf.printf "fuzz sweep: SF %.3f, %d cases x seeds [%s]%s\n%!" sf cases
+    (String.concat "; " (List.map string_of_int seeds))
+    (if property_check then ", property cross-check on" else "");
   let db = Datagen.Tpch_gen.database ~sf () in
   let eng = Engine.create db in
   let failures = ref 0 in
@@ -33,7 +41,8 @@ let () =
     (fun seed ->
       let cfg =
         { (Testgen.Fuzz.default_config ~seed ~cases) with
-          Testgen.Fuzz.budget = Some (Exec.Budget.make ~max_rows:max_rows_per_case ())
+          Testgen.Fuzz.budget = Some (Exec.Budget.make ~max_rows:max_rows_per_case ());
+          property_check;
         }
       in
       let summary =

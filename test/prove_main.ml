@@ -2,15 +2,39 @@
    registered rewrite rule and normalization pass.  Exit 1 on any
    counterexample, vacuous rule, or missing template.
 
-   Usage: prove_main.exe [k]   (row bound per table, default 2) *)
+   Usage: prove_main.exe [k] [--coverage-out FILE]
+     k               row bound per table, default 2
+     --coverage-out  also write the aggregate coverage table to FILE
+                     (uploaded as a CI artifact) *)
 
 let () =
-  let k =
-    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 2
+  let k = ref 2 and coverage_out = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--coverage-out" :: f :: rest ->
+        coverage_out := Some f;
+        parse rest
+    | a :: rest ->
+        (match int_of_string_opt a with
+        | Some n -> k := n
+        | None -> failwith ("prove_main: unknown argument " ^ a));
+        parse rest
   in
+  parse (List.tl (Array.to_list Sys.argv));
+  let k = !k in
   let t0 = Unix.gettimeofday () in
   let reports = Analysis.Smallscope.check_all ~k () in
   List.iter (fun r -> print_string (Analysis.Smallscope.report_to_string r)) reports;
+  let coverage = Analysis.Smallscope.coverage_to_string reports in
+  print_newline ();
+  print_string coverage;
+  (match !coverage_out with
+  | None -> ()
+  | Some f ->
+      let oc = open_out f in
+      output_string oc coverage;
+      close_out oc;
+      Printf.printf "coverage report written to %s\n" f);
   let failed = List.filter (fun r -> not (Analysis.Smallscope.passed_report r)) reports in
   Printf.printf "\n%d rules checked at k=%d in %.1fs: %d ok, %d failed\n"
     (List.length reports) k

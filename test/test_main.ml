@@ -17,6 +17,7 @@ let () =
       ("vexec", Test_vexec.suite);
       ("metrics", Test_metrics.suite);
       ("property", Test_property.suite);
+      ("fd", Test_fd.suite);
       ("property-analysis", Test_property_analysis.suite);
       ("verify", Test_verify.suite);
       ("analysis", Test_analysis.suite);
