@@ -1,12 +1,12 @@
 # Convenience targets; `make verify` is the tier-1 gate.
 
-.PHONY: all verify test faults fuzz fuzz-smoke vexec-smoke bench bench-smoke bench-properties bench-concurrent bench-durability recover-smoke soak-smoke soak prove-rules lint-smoke clean
+.PHONY: all verify test faults fuzz fuzz-smoke fuzz-cache-smoke fuzz-cache vexec-smoke bench bench-smoke bench-properties bench-concurrent bench-durability bench-cache cache-hammer recover-smoke soak-smoke soak prove-rules lint-smoke clean
 
 all:
 	dune build
 
 verify:
-	dune build && dune runtest && $(MAKE) prove-rules && $(MAKE) fuzz-smoke && $(MAKE) vexec-smoke && $(MAKE) bench-smoke && $(MAKE) bench-properties && $(MAKE) recover-smoke
+	dune build && dune runtest && $(MAKE) prove-rules && $(MAKE) fuzz-smoke && $(MAKE) fuzz-cache-smoke && $(MAKE) vexec-smoke && $(MAKE) bench-smoke && $(MAKE) bench-properties && $(MAKE) bench-cache && $(MAKE) cache-hammer && $(MAKE) recover-smoke
 
 # bounded rule-soundness prover: every registered rewrite rule checked
 # for bag equivalence over all databases with <= 2 rows per table
@@ -38,6 +38,16 @@ fuzz-smoke:
 # the larger sweep behind the @fuzz alias (2000 cases, 10 seeds)
 fuzz:
 	dune build @fuzz
+
+# caching-tier contract fuzz: every generated query runs cold and then
+# warm with perturbed literals on a cache-enabled engine, each run
+# bag-compared to a fresh uncached optimization of the same SQL
+fuzz-cache-smoke:
+	dune exec test/fuzz_main.exe -- --cache 40 1 2 3 4 5
+
+# the full caching-tier sweep: 2000 cases over 5 seeds
+fuzz-cache:
+	dune exec test/fuzz_main.exe -- --cache 400 1 2 3 4 5
 
 # row-vs-vector differential check: every workload x config executed in
 # both modes and bag-compared, plus a vector-mode fuzz sweep
@@ -71,6 +81,18 @@ bench-concurrent:
 # writes BENCH_8.json; every recovery is row-count gated
 bench-durability:
 	dune exec bench/main.exe -- --durability
+
+# caching tier bench: warm plan-phase speedup (gated >= 5x geomean)
+# and the query_many batch CSE win on the q17 family (gated >= 1.2x
+# median with >= 1 materialization); writes BENCH_10.json
+bench-cache:
+	dune exec bench/main.exe -- --cache
+
+# 4-domain cache-coherence hammer: mutators race cached plan hits and
+# CSE batch reads; monotone-envelope checks during the race, exact
+# bag comparison against a fresh engine after quiescing
+cache-hammer:
+	dune build @cache-hammer
 
 # crash-recovery chaos sweep: the scripted writer is killed at every
 # I/O operation under short-write / torn-write / bit-flip / fsync-lie

@@ -23,6 +23,8 @@
                                   to the host's cores), writes BENCH_6.json
      bench/main.exe --durability -- WAL/snapshot write, recovery and replay
                                   timings, writes BENCH_8.json
+     bench/main.exe --cache      -- caching tier: warm plan-phase speedup and
+                                  the query_many batch CSE win, writes BENCH_10.json
 *)
 
 let fmt = Printf.printf
@@ -829,6 +831,185 @@ let durability ?(out = "BENCH_8.json") () =
   fmt "wrote %s (%d scale factors; every recovery row-count gated)\n" out
     (List.length cells)
 
+(* --- cache mode: BENCH_10.json ------------------------------------------ *)
+
+(* CI artifact for the caching tier.  Two halves:
+
+   (a) plan-phase speedup: for every named workload, the cold path
+       (parse -> normalize -> cost-based search -> verify) is timed
+       against the warm path (parse -> canonicalize -> template rebind,
+       search and verification skipped) on a cache-enabled engine.
+       Warm prepares must report a plan-cache hit and the cached plan's
+       result bag must equal a fresh uncached optimization's.
+       Gate: geometric-mean speedup >= 5x.
+
+   (b) batch CSE win: the q17 family with the global-average threshold
+       — three statements sharing the decorrelated aggregate over
+       lineitem — executed via [Engine.query_many] (shared subplans
+       materialized once) against the same prepared statements executed
+       sequentially.  Plans are warm on both sides, so the ratio
+       isolates the execution-phase CSE effect; each rep runs on a
+       fresh engine so materialization cost is inside the measurement.
+       Item bags are cross-checked against the sequential runs.
+       Gates: median win >= 1.2x, >= 1 CSE selected, >= 1
+       materialization. *)
+
+let cache_bench ?(out = "BENCH_10.json") () =
+  let bag rows =
+    List.sort compare
+      (List.map
+         (fun r -> String.concat "|" (Array.to_list (Array.map Relalg.Value.to_string r)))
+         rows)
+  in
+  (* (a) plan-phase: cold optimization vs warm template rebind *)
+  let sf_plan = 0.01 in
+  let db = database sf_plan in
+  let eng = Engine.create db in
+  Engine.enable_cache eng;
+  let time_best n f =
+    let best = ref infinity in
+    for _ = 1 to n do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let plan_rows =
+    List.map
+      (fun (qname, sql) ->
+        let cold_s =
+          time_best 3 (fun () -> ignore (Engine.prepare ~use_cache:false eng sql))
+        in
+        ignore (Engine.prepare eng sql);
+        (* prime: template inserted *)
+        let warm_p = ref None in
+        let warm_s = time_best 10 (fun () -> warm_p := Some (Engine.prepare eng sql)) in
+        let p = Option.get !warm_p in
+        if p.Engine.cache <> Some `Hit then begin
+          Printf.eprintf "CACHE BENCH: warm prepare of %s was not a plan-cache hit\n%!"
+            qname;
+          exit 2
+        end;
+        let cached_bag = bag (Engine.execute eng p).Engine.result.rows in
+        let fresh_bag =
+          bag
+            (Engine.execute eng (Engine.prepare ~use_cache:false eng sql))
+              .Engine.result.rows
+        in
+        if cached_bag <> fresh_bag then begin
+          Printf.eprintf "CACHE BENCH: cached plan of %s returned a different bag\n%!"
+            qname;
+          exit 2
+        end;
+        let speedup = cold_s /. Float.max 1e-9 warm_s in
+        fmt "  %-14s cold %7.3f ms  warm %7.3f ms  speedup %6.1fx\n%!" qname
+          (cold_s *. 1e3) (warm_s *. 1e3) speedup;
+        (qname, cold_s, warm_s, speedup))
+      Workloads.all_named
+  in
+  let plan_geomean = geomean (List.map (fun (_, _, _, s) -> s) plan_rows) in
+  fmt "plan-phase speedup (geomean over %d workloads): %.1fx\n%!"
+    (List.length plan_rows) plan_geomean;
+  (* (b) batch CSE win on the q17 family (global-average threshold) *)
+  let sf_batch = 0.02 in
+  let db = database sf_batch in
+  let shared = "(select 0.2 * avg(l2.l_quantity) from lineitem l2)" in
+  let family =
+    [ Printf.sprintf
+        "select sum(l_extendedprice) / 7.0 as avg_yearly from lineitem, part \
+         where p_partkey = l_partkey and p_brand = 'Brand#23' and l_quantity < %s"
+        shared;
+      Printf.sprintf "select count(*) as small_lines from lineitem where l_quantity < %s"
+        shared;
+      Printf.sprintf
+        "select l_returnflag, sum(l_extendedprice) as rev from lineitem \
+         where l_quantity < %s group by l_returnflag"
+        shared
+    ]
+  in
+  let eng_seq = Engine.create db in
+  let seq_preps = List.map (Engine.prepare ~use_cache:false eng_seq) family in
+  let seq_bags =
+    List.map (fun p -> bag (Engine.execute eng_seq p).Engine.result.rows) seq_preps
+  in
+  let reps = 7 in
+  let cells =
+    List.init reps (fun rep ->
+        let eng = Engine.create db in
+        Engine.enable_cache eng;
+        List.iter (fun sql -> ignore (Engine.prepare eng sql)) family;
+        let t0 = Unix.gettimeofday () in
+        let b = Engine.query_many eng family in
+        let batch_s = Unix.gettimeofday () -. t0 in
+        let t1 = Unix.gettimeofday () in
+        List.iter (fun p -> ignore (Engine.execute eng_seq p)) seq_preps;
+        let seq_s = Unix.gettimeofday () -. t1 in
+        List.iteri
+          (fun i (it : Engine.batch_item) ->
+            if bag it.Engine.item_execution.Engine.result.rows <> List.nth seq_bags i
+            then begin
+              Printf.eprintf "CACHE BENCH: batch item %d returned a different bag\n%!" i;
+              exit 2
+            end)
+          b.Engine.items;
+        let s = Option.get (Engine.cache_stats eng) in
+        let win = seq_s /. Float.max 1e-9 batch_s in
+        fmt
+          "  rep %d: batch %.3fs  sequential %.3fs  win %.2fx  (%d CSEs, %d \
+           substitutions, %d materializations)\n%!"
+          (rep + 1) batch_s seq_s win b.Engine.cse_count b.Engine.cse_substitutions
+          s.Engine.cse_materializations;
+        (batch_s, seq_s, win, b.Engine.cse_count, b.Engine.cse_substitutions,
+         s.Engine.cse_materializations))
+  in
+  let wins = List.map (fun (_, _, w, _, _, _) -> w) cells in
+  let win_median = List.nth (List.sort compare wins) (reps / 2) in
+  let _, _, _, cse_count, substitutions, materializations = List.hd cells in
+  fmt "batch CSE win (median of %d reps): %.2fx\n%!" reps win_median;
+  let json =
+    Printf.sprintf
+      "{\"sf_plan\":%.3f,\"sf_batch\":%.3f,\"plan_speedup_geomean\":%.2f,\
+       \"plan_cache\":[\n%s\n],\
+       \"batch\":{\"family_size\":%d,\"reps\":%d,\"win_median\":%.3f,\
+       \"cse_count\":%d,\"substitutions\":%d,\"materializations\":%d,\
+       \"cells\":[\n%s\n]}}\n"
+      sf_plan sf_batch plan_geomean
+      (String.concat ",\n"
+         (List.map
+            (fun (q, c, w, s) ->
+              Printf.sprintf
+                "  {\"query\":%s,\"cold_s\":%.6f,\"warm_s\":%.6f,\"speedup\":%.2f}"
+                (Exec.Metrics.json_string q) c w s)
+            plan_rows))
+      (List.length family) reps win_median cse_count substitutions materializations
+      (String.concat ",\n"
+         (List.map
+            (fun (b, s, w, _, _, _) ->
+              Printf.sprintf "  {\"batch_s\":%.6f,\"seq_s\":%.6f,\"win\":%.2f}" b s w)
+            cells))
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  fmt "wrote %s (plan-phase geomean %.1fx, batch win median %.2fx)\n" out plan_geomean
+    win_median;
+  if plan_geomean < 5.0 then begin
+    Printf.eprintf
+      "CACHE BENCH GATE: plan-phase speedup %.1fx below the 5x floor\n%!" plan_geomean;
+    exit 2
+  end;
+  if cse_count < 1 || materializations < 1 then begin
+    Printf.eprintf "CACHE BENCH GATE: the batch selected no CSE (count %d, mats %d)\n%!"
+      cse_count materializations;
+    exit 2
+  end;
+  if win_median < 1.2 then begin
+    Printf.eprintf
+      "CACHE BENCH GATE: batch CSE win %.2fx below the 1.2x floor\n%!" win_median;
+    exit 2
+  end
+
 (* --- Bechamel mode ----------------------------------------------------- *)
 
 let run_bechamel () =
@@ -882,6 +1063,7 @@ let () =
   else if List.mem "--properties" args then properties ()
   else if List.mem "--concurrent" args then concurrent ()
   else if List.mem "--durability" args then durability ()
+  else if List.mem "--cache" args then cache_bench ()
   else if List.mem "--bechamel" args then run_bechamel ()
   else begin
     let selected =

@@ -110,9 +110,14 @@ let or_die sql f =
       Printf.eprintf "%s\n%!" (Engine.Errors.to_string e);
       exit 1
 
+let no_cache_arg =
+  let doc = "Disable the plan/CSE caching tier (on by default for this command)." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
 let run_cmd =
-  let action sf seed config mode timeout max_rows max_apply fault resilient sql =
+  let action sf seed config mode timeout max_rows max_apply fault resilient no_cache sql =
     with_engine sf seed (fun eng ->
+        if not no_cache then Engine.enable_cache eng;
         let budget = budget_of timeout max_rows max_apply in
         let faults = Option.map Exec.Faults.create fault in
         or_die sql (fun () ->
@@ -130,15 +135,20 @@ let run_cmd =
               let p = Engine.prepare ~config eng sql in
               let e = Engine.execute ?budget ?faults ~mode eng p in
               print_endline (Engine.format_result e.result);
-              Printf.printf "\nelapsed: %.3fs   plan cost: %.0f   alternatives: %d\n"
-                e.elapsed_s p.plan_cost p.explored
+              let source =
+                match p.Engine.cache with
+                | Some `Hit -> "   plan: cached"
+                | Some (`Miss | `Stale) | None -> ""
+              in
+              Printf.printf "\nelapsed: %.3fs   plan cost: %.0f   alternatives: %d%s\n"
+                e.elapsed_s p.plan_cost p.explored source
             end))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a SQL query and print the result.")
     Term.(
       const action $ sf_arg $ seed_arg $ level_arg $ exec_mode_arg $ timeout_arg
-      $ max_rows_arg $ max_apply_arg $ fault_arg $ resilient_arg $ sql_arg)
+      $ max_rows_arg $ max_apply_arg $ fault_arg $ resilient_arg $ no_cache_arg $ sql_arg)
 
 let fuzz_seed_arg =
   let doc =
@@ -269,7 +279,16 @@ let fuzz_cmd =
     let doc = "Print every case, not just failures." in
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
   in
-  let action sf seed mode cases replay verbose timeout max_rows max_apply fault seeds =
+  let cache_arg =
+    let doc =
+      "Check the caching tier instead: every case runs cold and then warm with \
+       perturbed literals against a cache-enabled engine, each bag-compared to a \
+       fresh uncached optimization of the same SQL."
+    in
+    Arg.(value & flag & info [ "cache" ] ~doc)
+  in
+  let action sf seed mode cases replay verbose cache timeout max_rows max_apply fault
+      seeds =
     with_engine sf seed (fun eng ->
         let budget = budget_of timeout max_rows max_apply in
         let failures = ref 0 in
@@ -281,6 +300,7 @@ let fuzz_cmd =
                 budget;
                 fault;
                 exec_mode = mode;
+                cache;
               }
             in
             let summary =
@@ -308,7 +328,8 @@ let fuzz_cmd =
           contract instead: agree with the clean oracle or die with a typed error.")
     Term.(
       const action $ sf_arg $ seed_arg $ exec_mode_arg $ cases_arg $ replay_arg
-      $ verbose_arg $ timeout_arg $ max_rows_arg $ max_apply_arg $ fault_arg $ seeds_arg)
+      $ verbose_arg $ cache_arg $ timeout_arg $ max_rows_arg $ max_apply_arg $ fault_arg
+      $ seeds_arg)
 
 let explain_cmd =
   let stages_arg =
@@ -572,8 +593,16 @@ let serve_cmd =
     let doc = "Emit the final service statistics as JSON." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let cache_arg =
+    let doc =
+      "Enable the shared caching tier: workers prepare through one plan cache \
+       (parameterized canonical forms, generation-based invalidation) and the \
+       final statistics include hit/miss/invalidation counters."
+    in
+    Arg.(value & flag & info [ "cache" ] ~doc)
+  in
   let action sf seed config mode domains queue deadline sessions max_cost fault json
-      data_dir =
+      cache data_dir =
     let serve () =
         let service_config =
           { Service.default_config with
@@ -584,6 +613,7 @@ let serve_cmd =
             opt_config = config;
             exec_mode = mode;
             seed;
+            enable_cache = cache;
           }
         in
         let t =
@@ -641,7 +671,7 @@ let serve_cmd =
     Term.(
       const action $ sf_arg $ seed_arg $ level_arg $ exec_mode_arg $ domains_arg
       $ queue_arg $ deadline_arg $ sessions_arg $ max_cost_arg $ fault_arg $ json_arg
-      $ data_dir_arg)
+      $ cache_arg $ data_dir_arg)
 
 let () =
   let info =

@@ -91,8 +91,8 @@ let node_exprs (o : op) : expr list =
   | Join { pred; _ } | Apply { pred; _ } -> [ pred ]
   | GroupBy { aggs; _ } | LocalGroupBy { aggs; _ } | ScalarAgg { aggs; _ } ->
       agg_exprs aggs
-  | TableScan _ | ConstTable _ | SegmentApply _ | SegmentHole _ | UnionAll _
-  | Except _ | Max1row _ | Rownum _ ->
+  | TableScan _ | ConstTable _ | CseScan _ | SegmentApply _ | SegmentHole _
+  | UnionAll _ | Except _ | Max1row _ | Rownum _ ->
       []
 
 let count_outerjoins (o : op) : int =
@@ -131,7 +131,7 @@ let dead_columns (root : op) : (string * Col.t list) list =
       walk req child
     in
     match o with
-    | TableScan _ | ConstTable _ | SegmentHole _ -> ()
+    | TableScan _ | ConstTable _ | SegmentHole _ | CseScan _ -> ()
     | Select (p, i) -> visit i (Col.Set.union required (Expr.cols p))
     | Project (projs, i) ->
         let used = List.filter (fun pr -> Col.Set.mem pr.out required) projs in

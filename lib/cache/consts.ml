@@ -1,0 +1,116 @@
+(* Constant substitution and scanning over optimized plans.
+
+   The plan cache compiles a template with per-slot sentinel literals;
+   a hit rewrites every surviving sentinel [Const] (and ConstTable
+   cell) to the caller's value.  [count] is the soundness gate at
+   insert time: a slot whose sentinel no longer appears anywhere was
+   consumed by a value-dependent rewrite (constant folding, range
+   merging, contradiction detection), so the template's shape depends
+   on the literal's value and the query must be cached under its exact
+   literal vector instead. *)
+
+open Relalg
+open Relalg.Algebra
+
+let rec map_expr (f : Value.t -> Value.t option) (e : expr) : expr =
+  let sub = map_expr f in
+  match e with
+  | Const v -> ( match f v with Some v' -> Const v' | None -> e)
+  | ColRef _ -> e
+  | Arith (o, a, b) ->
+      let a = sub a in
+      Arith (o, a, sub b)
+  | Cmp (o, a, b) ->
+      let a = sub a in
+      Cmp (o, a, sub b)
+  | And (a, b) ->
+      let a = sub a in
+      And (a, sub b)
+  | Or (a, b) ->
+      let a = sub a in
+      Or (a, sub b)
+  | Not a -> Not (sub a)
+  | IsNull a -> IsNull (sub a)
+  | Like (a, p) -> Like (sub a, p)
+  | Case (branches, els) ->
+      let branches =
+        List.map
+          (fun (c, v) ->
+            let c = sub c in
+            (c, sub v))
+          branches
+      in
+      Case (branches, Option.map sub els)
+  | Subquery o -> Subquery (map_op f o)
+  | Exists o -> Exists (map_op f o)
+  | InSub (a, o) ->
+      let a = sub a in
+      InSub (a, map_op f o)
+  | QuantCmp (c, q, a, o) ->
+      let a = sub a in
+      QuantCmp (c, q, a, map_op f o)
+
+and map_agg f (a : agg) : agg = { a with fn = map_agg_fn f a.fn }
+
+and map_agg_fn f = function
+  | CountStar -> CountStar
+  | Count e -> Count (map_expr f e)
+  | Sum e -> Sum (map_expr f e)
+  | Min e -> Min (map_expr f e)
+  | Max e -> Max (map_expr f e)
+  | Avg e -> Avg (map_expr f e)
+
+and map_op (f : Value.t -> Value.t option) (o : op) : op =
+  let go = map_op f in
+  let ex = map_expr f in
+  match o with
+  | TableScan _ | SegmentHole _ | CseScan _ -> o
+  | ConstTable { cols; rows } ->
+      ConstTable
+        { cols;
+          rows =
+            List.map
+              (Array.map (fun v -> match f v with Some v' -> v' | None -> v))
+              rows
+        }
+  | Select (p, i) -> Select (ex p, go i)
+  | Project (ps, i) -> Project (List.map (fun p -> { p with expr = ex p.expr }) ps, go i)
+  | Join { kind; pred; left; right } ->
+      Join { kind; pred = ex pred; left = go left; right = go right }
+  | Apply { kind; pred; left; right } ->
+      Apply { kind; pred = ex pred; left = go left; right = go right }
+  | SegmentApply { seg_cols; outer; inner } ->
+      SegmentApply { seg_cols; outer = go outer; inner = go inner }
+  | GroupBy { keys; aggs; input } ->
+      GroupBy { keys; aggs = List.map (map_agg f) aggs; input = go input }
+  | LocalGroupBy { keys; aggs; input } ->
+      LocalGroupBy { keys; aggs = List.map (map_agg f) aggs; input = go input }
+  | ScalarAgg { aggs; input } ->
+      ScalarAgg { aggs = List.map (map_agg f) aggs; input = go input }
+  | UnionAll (l, r) ->
+      let l = go l in
+      UnionAll (l, go r)
+  | Except (l, r) ->
+      let l = go l in
+      Except (l, go r)
+  | Max1row i -> Max1row (go i)
+  | Rownum { out; input } -> Rownum { out; input = go input }
+
+(* Visit every Const value in the tree, ConstTable cells included. *)
+let iter_consts (f : Value.t -> unit) (o : op) : unit =
+  ignore
+    (map_op
+       (fun v ->
+         f v;
+         None)
+       o)
+
+(* Occurrence count of each probe value in the plan. *)
+let count (probes : Value.t list) (o : op) : int list =
+  let arr = Array.of_list probes in
+  let counts = Array.make (Array.length arr) 0 in
+  iter_consts
+    (fun v ->
+      Array.iteri (fun i p -> if Value.equal p v then counts.(i) <- counts.(i) + 1) arr)
+    o;
+  Array.to_list counts

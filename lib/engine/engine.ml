@@ -14,6 +14,52 @@ type t = {
   props_env : Props.env;
   store : Storage.Durable.t option;
       (** durable backing when opened from disk; [None] = in-memory *)
+  mutable caches : caches option;
+      (** shared caching tier (plan cache + CSE store); [None] until
+          {!enable_cache} *)
+}
+
+(* The caching tier: a plan cache keyed on the canonical parameterized
+   query form, and a store of materialized common subexpressions that
+   [query_many] shares across a batch.  Lives on the engine so every
+   entry point — direct queries, the service's worker pool, the REPL —
+   sees the same entries. *)
+and caches = {
+  plans : centry Cache.Plan_cache.t;
+  cse : Cache.Cse.t;
+  verify_skips : int Atomic.t;
+      (** verifier runs skipped because the plan came from the cache
+          (it was verified when the entry was inserted) *)
+}
+
+(* Under a canonical key the cache holds either a parameterized
+   template (plan compiled with per-slot sentinel literals, rebound on
+   every hit) or the [NonParam] verdict that the query's plan shape
+   depends on its literal values — those plans are cached under an
+   exact key that includes the literal vector, as [Exact]. *)
+and centry = Param of slotted | NonParam | Exact of prepared_
+
+and slotted = { template : prepared_; sentinels : Value.t array }
+
+and prepared_ = {
+  sql : string;
+  bound : Sqlfront.Binder.bound;
+  stages : Normalize.stages;  (** normalization pipeline snapshots *)
+  plan : Algebra.op;  (** the chosen plan *)
+  plan_cost : float;
+  seed_cost : float;
+  explored : int;
+  config : Optimizer.Config.t;
+  trace : Optimizer.Search.trace option;  (** rule firings, when requested *)
+  quarantined : (string * string) list;
+      (** rules the verifier disabled during the search (rule, violation) *)
+  lint : Analysis.Lint.finding list;
+      (** static findings on the chosen plan, most severe first *)
+  cache : [ `Hit | `Miss | `Stale ] option;
+      (** provenance when the plan cache served this prepare: [`Hit]
+          rebound a cached template, [`Miss] populated the cache,
+          [`Stale] recomputed after a generation moved; [None] = cache
+          disabled or bypassed *)
 }
 
 let create (db : Storage.Database.t) : t =
@@ -21,6 +67,7 @@ let create (db : Storage.Database.t) : t =
     stats = Optimizer.Stats.create db;
     props_env = Catalog.props_env db.Storage.Database.catalog;
     store = None;
+    caches = None;
   }
 
 (* Open a durable engine rooted at [dir], running crash recovery
@@ -39,6 +86,7 @@ let open_db ?(io_env : Storage.Io_faults.env option) ~(dir : string)
     stats = Optimizer.Stats.create db;
     props_env = Catalog.props_env catalog;
     store = Some store;
+    caches = None;
   }
 
 let database (t : t) = t.db
@@ -74,20 +122,19 @@ let snapshot (t : t) : int =
 let close_store (t : t) : unit =
   match t.store with Some s -> Storage.Durable.close s | None -> ()
 
-type prepared = {
+type prepared = prepared_ = {
   sql : string;
   bound : Sqlfront.Binder.bound;
-  stages : Normalize.stages;  (** normalization pipeline snapshots *)
-  plan : Algebra.op;  (** the chosen plan *)
+  stages : Normalize.stages;
+  plan : Algebra.op;
   plan_cost : float;
   seed_cost : float;
   explored : int;
   config : Optimizer.Config.t;
-  trace : Optimizer.Search.trace option;  (** rule firings, when requested *)
+  trace : Optimizer.Search.trace option;
   quarantined : (string * string) list;
-      (** rules the verifier disabled during the search (rule, violation) *)
   lint : Analysis.Lint.finding list;
-      (** static findings on the chosen plan, most severe first *)
+  cache : [ `Hit | `Miss | `Stale ] option;
 }
 
 (* Raise a typed [Invalid_plan] error for the first violation, with the
@@ -117,9 +164,11 @@ let stage_guard (phase : Errors.phase) (sql : string) (f : unit -> 'a) : 'a =
       raise (Errors.Error (Errors.make ~sql phase ("invalid argument: " ^ m)))
   | Not_found -> raise (Errors.Error (Errors.make ~sql phase "internal lookup failed"))
 
-let prepare ?(config = Optimizer.Config.full) ?must ?(record_trace = false)
-    ?(verify = true) (t : t) (sql : string) : prepared =
-  let bound = Sqlfront.Binder.bind_sql t.db.Storage.Database.catalog sql in
+(* The full parse-to-search pipeline on a pre-bound query; every
+   prepare — cached or not — ends up here for the plans it actually
+   compiles. *)
+let prepare_bound ?(config = Optimizer.Config.full) ?must ?(record_trace = false)
+    ?(verify = true) (t : t) ~(sql : string) (bound : Sqlfront.Binder.bound) : prepared =
   let opts =
     { Normalize.env = t.props_env;
       decorrelate = config.decorrelate;
@@ -171,7 +220,144 @@ let prepare ?(config = Optimizer.Config.full) ?must ?(record_trace = false)
     trace = outcome.trace;
     quarantined = outcome.quarantined;
     lint;
+    cache = None;
   }
+
+(* ------------------------------------------------------------------ *)
+(* The caching tier.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let enable_cache ?(plan_bytes = 8 * 1024 * 1024) ?(cse_bytes = 64 * 1024 * 1024) (t : t)
+    : unit =
+  match t.caches with
+  | Some _ -> ()
+  | None ->
+      t.caches <-
+        Some
+          { plans = Cache.Plan_cache.create ~max_bytes:plan_bytes ();
+            cse = Cache.Cse.create ~max_bytes:cse_bytes ();
+            verify_skips = Atomic.make 0;
+          }
+
+let cache_enabled (t : t) : bool = t.caches <> None
+
+let current_gen (t : t) (table : string) : int =
+  match Storage.Database.table_opt t.db table with
+  | Some tb -> Storage.Table.generation tb
+  | None -> -1
+
+(* The generation vector a plan-cache entry carries: one (table,
+   generation) pair per base table the plan reads. *)
+let plan_gens (t : t) (plan : Algebra.op) : (string * int) list =
+  List.map (fun table -> (table, current_gen t table)) (Cache.Cse.tables_of plan)
+
+(* Rough retained size of a cached template, for the byte budget. *)
+let plan_bytes_of (p : prepared) : int =
+  512 + (Op.count_ops p.plan * 128) + String.length p.sql
+
+(* Cached prepare: canonicalize, look the canonical form up, rebind a
+   template's sentinel constants to this query's literals on a hit.
+   The template is compiled with per-slot sentinel literals whose
+   pairwise order and equality REPLICATE the real literals' (see
+   [Canon.sentinels]); the literals' order pattern is part of the key,
+   so every value-dependent conclusion the optimizer drew from the
+   sentinels (interval contradiction, bound subsumption) also holds
+   for any literal vector the entry is rebound to.  If a slot's
+   sentinel no longer appears in the optimized plan, constant folding
+   consumed it, so the form is declared [NonParam] and the query is
+   cached under an exact key that includes its literal vector.
+   Rebinding performs no re-verification: the template was verified
+   when the entry was inserted, and the verifier's judgment is
+   independent of the values inside [Const] leaves. *)
+let cached_prepare (c : caches) ~(config : Optimizer.Config.t) (t : t) (sql : string) :
+    prepared =
+  let cat = t.db.Storage.Database.catalog in
+  let ast = Sqlfront.Parser.parse sql in
+  let canon = Cache.Canon.analyze ast in
+  let ckey =
+    Optimizer.Config.fingerprint config
+    ^ "|" ^ canon.key
+    ^ "|" ^ Cache.Canon.order_pattern canon.literals
+  in
+  let cg = current_gen t in
+  let finish status p =
+    if status = `Hit then Atomic.incr c.verify_skips;
+    { p with sql; cache = Some status }
+  in
+  let exact_path () =
+    let ekey = ckey ^ "|exact|" ^ Cache.Canon.signature canon.literals in
+    match
+      Cache.Plan_cache.find_or_compute c.plans ~key:ekey ~current_gen:cg
+        ~compute:(fun () ->
+          let p = prepare_bound ~config t ~sql (Sqlfront.Binder.bind_query cat [] ast) in
+          (Exact p, plan_gens t p.plan, plan_bytes_of p))
+    with
+    | `Hit (Exact p) -> finish `Hit p
+    | `Miss (Exact p) -> finish `Miss p
+    | `Stale (Exact p) -> finish `Stale p
+    | _ -> assert false (* exact keys only ever hold [Exact] *)
+  in
+  let reals = List.map Cache.Canon.value_of_lit canon.literals in
+  if
+    List.exists Option.is_none reals
+    (* unparseable date literal: prepare verbatim so the binder
+       reports it *)
+    || Cache.Canon.mixed_numeric_tie canon.literals
+    (* an int slot numerically equal to a float slot: the sentinel
+       grid cannot realize that equality, so a template could bake in
+       a strict-order conclusion the reals violate *)
+  then exact_path ()
+  else begin
+    let reals = List.filter_map Fun.id reals in
+    let sent_lits = Cache.Canon.sentinels canon.literals in
+    let sent_vals = List.filter_map Cache.Canon.value_of_lit sent_lits in
+    let opaque_vals = List.filter_map Cache.Canon.value_of_lit canon.opaque in
+    (* a sentinel value that also appears as a non-lifted literal would
+       make rebinding rewrite the wrong constant — refuse the form *)
+    let collision =
+      List.length sent_vals <> List.length sent_lits
+      || List.exists (fun s -> List.exists (Value.equal s) opaque_vals) sent_vals
+    in
+    let rebind status (s : slotted) =
+      let pairs = List.combine (Array.to_list s.sentinels) reals in
+      let swap v =
+        Option.map snd (List.find_opt (fun (sv, _) -> Value.equal sv v) pairs)
+      in
+      let plan =
+        if pairs = [] then s.template.plan else Cache.Consts.map_op swap s.template.plan
+      in
+      finish status { s.template with plan }
+    in
+    match
+      Cache.Plan_cache.find_or_compute c.plans ~key:ckey ~current_gen:cg
+        ~compute:(fun () ->
+          if collision then (NonParam, [], 64)
+          else
+            let sq = Cache.Canon.with_literals ast sent_lits in
+            let p = prepare_bound ~config t ~sql (Sqlfront.Binder.bind_query cat [] sq) in
+            let counts = Cache.Consts.count sent_vals p.plan in
+            if List.for_all (fun n -> n > 0) counts then
+              ( Param { template = p; sentinels = Array.of_list sent_vals },
+                plan_gens t p.plan,
+                plan_bytes_of p )
+            else (NonParam, [], 64))
+    with
+    | `Hit NonParam | `Miss NonParam | `Stale NonParam -> exact_path ()
+    | `Hit (Param s) -> rebind `Hit s
+    | `Miss (Param s) -> rebind `Miss s
+    | `Stale (Param s) -> rebind `Stale s
+    | `Hit (Exact _) | `Miss (Exact _) | `Stale (Exact _) ->
+        assert false (* canonical keys never hold [Exact] *)
+  end
+
+let prepare ?(config = Optimizer.Config.full) ?must ?(record_trace = false)
+    ?(verify = true) ?(use_cache = true) (t : t) (sql : string) : prepared =
+  match t.caches with
+  | Some c when use_cache && must = None && (not record_trace) && verify ->
+      cached_prepare c ~config t sql
+  | _ ->
+      prepare_bound ~config ?must ~record_trace ~verify t ~sql
+        (Sqlfront.Binder.bind_sql t.db.Storage.Database.catalog sql)
 
 (* Execute a prepared query.  Returns the rows plus execution counters
    (Apply invocations, rows processed) for the benches. *)
@@ -195,6 +381,16 @@ let execute ?budget ?faults ?(collect_metrics = false) ?(property_check = false)
     ?(mode = `Row) (t : t) (p : prepared) : execution =
   let metrics = if collect_metrics then Some (Exec.Metrics.create p.plan) else None in
   let ctx = Exec.Executor.make_ctx ?budget ?faults ?metrics t.db in
+  (* CseScan leaves resolve through the engine's CSE store; the store
+     re-materializes stale entries with a plain row-engine context
+     (entry plans are CseScan-free, so this cannot re-enter) *)
+  (match t.caches with
+  | Some c ->
+      let exec plan =
+        Exec.Executor.run (Exec.Executor.make_ctx t.db) Exec.Executor.empty_lookup plan
+      in
+      ctx.cse <- Some (fun id -> Cache.Cse.fetch c.cse ~exec ~current_gen:(current_gen t) id)
+  | None -> ());
   let t0 = Unix.gettimeofday () in
   let rows =
     match mode with
@@ -240,8 +436,193 @@ let execute ?budget ?faults ?(collect_metrics = false) ?(property_check = false)
     metrics = Option.map Exec.Metrics.root metrics;
   }
 
-let query ?config ?budget ?faults ?mode (t : t) (sql : string) : Exec.Executor.result =
-  (execute ?budget ?faults ?mode t (prepare ?config t sql)).result
+let query ?config ?budget ?faults ?mode ?use_cache (t : t) (sql : string) :
+    Exec.Executor.result =
+  (execute ?budget ?faults ?mode t (prepare ?config ?use_cache t sql)).result
+
+(* ------------------------------------------------------------------ *)
+(* Cache statistics and the batch entry point.                        *)
+(* ------------------------------------------------------------------ *)
+
+type cache_stats = {
+  plan_hits : int;
+  plan_misses : int;
+  plan_invalidations : int;
+  plan_evictions : int;
+  plan_single_flight_waits : int;
+  plan_entries : int;
+  plan_bytes : int;
+  verify_skips : int;
+  cse_hits : int;
+  cse_materializations : int;
+  cse_invalidations : int;
+  cse_evictions : int;
+  cse_entries : int;
+  cse_bytes : int;
+}
+
+let cache_stats (t : t) : cache_stats option =
+  match t.caches with
+  | None -> None
+  | Some c ->
+      let p = Cache.Plan_cache.stats c.plans in
+      let s = Cache.Cse.stats c.cse in
+      Some
+        { plan_hits = p.hits;
+          plan_misses = p.misses;
+          plan_invalidations = p.invalidations;
+          plan_evictions = p.evictions;
+          plan_single_flight_waits = p.single_flight_waits;
+          plan_entries = p.entries;
+          plan_bytes = p.bytes;
+          verify_skips = Atomic.get c.verify_skips;
+          cse_hits = s.hits;
+          cse_materializations = s.materializations;
+          cse_invalidations = s.invalidations;
+          cse_evictions = s.evictions;
+          cse_entries = s.entries;
+          cse_bytes = s.bytes;
+        }
+
+(* CSE planning for a batch: tally closed subtrees across all plans by
+   structural fingerprint (the store's own identity), score each
+   shared one with the greedy benefit heuristic — k occurrences save
+   k·cost(subplan) against k·cost(scanning the materialization) plus
+   one materialization unless the store already holds rows — and
+   replace the winners' occurrences with [CseScan] leaves, outermost
+   first.  Substituted plans are re-verified defensively; a plan whose
+   substitution fails verification keeps its original form. *)
+let plan_batch_cse (c : caches) (t : t) (preps : prepared list) :
+    prepared list * int * int =
+  let tally : (string, Algebra.op * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (p : prepared) ->
+      List.iter
+        (fun (fp, sub) ->
+          match Hashtbl.find_opt tally fp with
+          | Some (s, n) -> Hashtbl.replace tally fp (s, n + 1)
+          | None -> Hashtbl.add tally fp (sub, 1))
+        (Cache.Cse.candidates p.plan))
+    preps;
+  let scored =
+    Hashtbl.fold
+      (fun fp (sub, k) acc ->
+        let known = Cache.Cse.status c.cse fp in
+        if k < 2 && known = `Absent then acc
+        else
+          let cost = Optimizer.Cost.of_plan t.stats sub in
+          let rows_hint =
+            let env = Optimizer.Card.make_env t.stats sub in
+            max 1 (int_of_float (Optimizer.Card.estimate env sub))
+          in
+          let scan =
+            Optimizer.Cost.of_plan t.stats
+              (Algebra.CseScan { id = "?"; cols = Op.schema sub; rows_hint })
+          in
+          let mat = match known with `Materialized -> 0.0 | _ -> cost in
+          let k' = float_of_int k in
+          let benefit = (k' *. cost) -. (k' *. scan) -. mat in
+          if benefit > 0.0 then (benefit, fp, sub, cost, rows_hint) :: acc else acc)
+      tally []
+  in
+  (* Chosen winners, keyed by fingerprint.  Scored subtrees overlap
+     (a winner can sit inside another winner): substitution is
+     top-down, so only the outermost match in each plan is planted —
+     entries are interned and materialized lazily, on first actual
+     substitution, never for a shadowed inner winner. *)
+  let chosen : (string, Algebra.op * float * int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (_, fp, sub, cost, rows_hint) ->
+      Hashtbl.replace chosen fp (sub, cost, rows_hint))
+    scored;
+  if Hashtbl.length chosen = 0 then (preps, 0, 0)
+  else begin
+    let used : (string, string * int) Hashtbl.t = Hashtbl.create 8 in
+    let nsub = ref 0 in
+    let rec subst (o : Algebra.op) : Algebra.op =
+      match o with
+      | Algebra.TableScan _ | Algebra.ConstTable _ | Algebra.SegmentHole _
+      | Algebra.CseScan _ ->
+          o
+      | _ -> (
+          let fp = Cache.Cse.fingerprint o in
+          match Hashtbl.find_opt chosen fp with
+          | Some (sub, cost, rows_hint) ->
+              let id, rows_hint =
+                match Hashtbl.find_opt used fp with
+                | Some cached -> cached
+                | None ->
+                    let id = Cache.Cse.intern c.cse ~plan:sub ~cost ~rows_hint in
+                    Hashtbl.replace used fp (id, rows_hint);
+                    (id, rows_hint)
+              in
+              incr nsub;
+              Algebra.CseScan { id; cols = Op.schema o; rows_hint }
+          | None -> Op.with_children o (List.map subst (Op.children o)))
+    in
+    let preps' =
+      List.map
+        (fun (p : prepared) ->
+          let before = !nsub in
+          let plan' = subst p.plan in
+          if !nsub = before then p
+          else
+            match Verify.check ~expect_schema:(Op.schema p.plan) plan' with
+            | [] -> { p with plan = plan' }
+            | _ ->
+                nsub := before;
+                p)
+        preps
+    in
+    (* pre-materialize every planted entry so statement execution only
+       scans *)
+    let exec plan =
+      Exec.Executor.run (Exec.Executor.make_ctx t.db) Exec.Executor.empty_lookup plan
+    in
+    Hashtbl.iter
+      (fun _ (id, _) ->
+        ignore (Cache.Cse.fetch c.cse ~exec ~current_gen:(current_gen t) id))
+      used;
+    (preps', Hashtbl.length used, !nsub)
+  end
+
+type batch_item = {
+  item_sql : string;
+  item_prepared : prepared;
+  item_execution : execution;
+}
+
+type batch = {
+  items : batch_item list;
+  cse_count : int;  (** CSE entries selected for this batch *)
+  cse_substitutions : int;  (** CseScan occurrences planted across the batch *)
+  batch_elapsed_s : float;
+}
+
+(* Batch entry point: prepare the whole workload (through the plan
+   cache when enabled), pick common subexpressions jointly, then
+   execute in order — materializations first (inside
+   [plan_batch_cse]), statements after, so every CseScan reads rows
+   that already exist. *)
+let query_many ?config ?budget ?faults ?mode ?(use_cache = true) (t : t)
+    (sqls : string list) : batch =
+  let t0 = Unix.gettimeofday () in
+  let preps = List.map (prepare ?config ~use_cache t) sqls in
+  let preps, cse_count, cse_substitutions =
+    match t.caches with
+    | Some c when use_cache -> plan_batch_cse c t preps
+    | _ -> (preps, 0, 0)
+  in
+  let items =
+    List.map2
+      (fun sql p ->
+        { item_sql = sql;
+          item_prepared = p;
+          item_execution = execute ?budget ?faults ?mode t p;
+        })
+      sqls preps
+  in
+  { items; cse_count; cse_substitutions; batch_elapsed_s = Unix.gettimeofday () -. t0 }
 
 (* ------------------------------------------------------------------ *)
 (* Checked entry points: typed diagnostics instead of exceptions.     *)
@@ -439,9 +820,19 @@ let plan_properties_json ~(env : Props.env) (plan : Algebra.op) : string =
   walk 0 plan;
   "[" ^ String.concat "," (List.rev !items) ^ "]"
 
+(* Cache provenance of a prepared statement, for EXPLAIN output. *)
+let plan_source (p : prepared) : string =
+  match p.cache with
+  | None -> "optimizer (cache bypassed)"
+  | Some `Hit -> "plan cache hit (template rebound, verification skipped)"
+  | Some `Miss -> "optimizer (plan cache miss, template inserted)"
+  | Some `Stale -> "optimizer (cached plan stale, recomputed)"
+
 let explain ?config ?(properties = true) (t : t) (sql : string) : string =
   let p = prepare ?config t sql in
   let b = Buffer.create 1024 in
+  if t.caches <> None then
+    Buffer.add_string b (Printf.sprintf "== plan source ==\n%s\n" (plan_source p));
   Buffer.add_string b "== subquery class ==\n";
   Buffer.add_string b (Normalize.Classify.to_string p.stages.subquery_class);
   Buffer.add_string b "\n== normalized ==\n";
@@ -500,10 +891,14 @@ let explain_analyze ?config ?budget ?(times = true) ?(properties = true) ?(mode 
    the execution counters and the per-operator metrics tree. *)
 let explain_json ?config ?budget ?(analyze = false) ?(properties = true) ?(mode = `Row)
     (t : t) (sql : string) : string =
-  let p = prepare ?config ~record_trace:true t sql in
+  (* recording a trace forces a fresh search, so only ask for one when
+     no caching tier could serve the plan instead *)
+  let p = prepare ?config ~record_trace:(t.caches = None) t sql in
   let b = Buffer.create 2048 in
   Buffer.add_string b "{";
   Buffer.add_string b (Printf.sprintf "\"sql\":%s," (Exec.Metrics.json_string sql));
+  Buffer.add_string b
+    (Printf.sprintf "\"plan_source\":%s," (Exec.Metrics.json_string (plan_source p)));
   Buffer.add_string b
     (Printf.sprintf "\"config\":%s,"
        (Exec.Metrics.json_string (Optimizer.Config.name_of p.config)));

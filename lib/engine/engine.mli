@@ -62,12 +62,24 @@ type prepared = {
       (** rules the verifier disabled during the search (rule, violation) *)
   lint : Analysis.Lint.finding list;
       (** static findings on the chosen plan, most severe first *)
+  cache : [ `Hit | `Miss | `Stale ] option;
+      (** plan-cache outcome; [None] when the statement bypassed the
+          cache (cache disabled, [use_cache:false], or a non-default
+          prepare such as [must]/[record_trace]/[verify:false]) *)
 }
 
 (** Compile a SQL string.  [config] selects the optimizer technology
     level (default {!Optimizer.Config.full}); [must] restricts the
     chosen plan (see {!Optimizer.Search.optimize}); [record_trace]
     keeps the per-round rule-firing trace of the search.
+
+    When the engine's caching tier is enabled ({!enable_cache}) and
+    [use_cache] is [true] (the default), the statement is normalized
+    to a parameterized canonical form and looked up in the plan cache:
+    a hit skips parse-to-search and rebinds the cached template's
+    parameter slots with this statement's literals.  Cached templates
+    were verified at insert, so verification is skipped on hits (the
+    skip is counted in {!cache_stats}).
 
     [verify] (default [true]) runs the {!Relalg.Verify} integrity
     checker at three points: on the normalized plan, across the
@@ -83,9 +95,45 @@ val prepare :
   ?must:(Algebra.op -> bool) ->
   ?record_trace:bool ->
   ?verify:bool ->
+  ?use_cache:bool ->
   t ->
   string ->
   prepared
+
+(** {2 Caching tier}
+
+    An engine can carry a shared caching tier: a parameterized plan
+    cache (canonical form → optimized template, generation-vector
+    invalidation, LRU + byte budget, single-flight computation) and a
+    CSE store of materialized common subexpressions served through the
+    [CseScan] access path. *)
+
+(** Switch the caching tier on.  [plan_bytes] (default 8 MiB) budgets
+    the plan cache, [cse_bytes] (default 64 MiB) the materialized
+    rows.  Idempotent: calling it again keeps the existing caches. *)
+val enable_cache : ?plan_bytes:int -> ?cse_bytes:int -> t -> unit
+
+val cache_enabled : t -> bool
+
+type cache_stats = {
+  plan_hits : int;
+  plan_misses : int;
+  plan_invalidations : int;  (** entries dropped because a table generation moved *)
+  plan_evictions : int;  (** entries dropped by the byte budget *)
+  plan_single_flight_waits : int;  (** lookups served by a concurrent compute *)
+  plan_entries : int;
+  plan_bytes : int;
+  verify_skips : int;  (** verifier runs skipped on plan-cache hits *)
+  cse_hits : int;
+  cse_materializations : int;
+  cse_invalidations : int;
+  cse_evictions : int;
+  cse_entries : int;
+  cse_bytes : int;
+}
+
+(** [None] until {!enable_cache}. *)
+val cache_stats : t -> cache_stats option
 
 type execution = {
   result : Exec.Executor.result;
@@ -138,9 +186,45 @@ val query :
   ?budget:Exec.Budget.t ->
   ?faults:Exec.Faults.t ->
   ?mode:exec_mode ->
+  ?use_cache:bool ->
   t ->
   string ->
   Exec.Executor.result
+
+(** {2 Multi-query optimization} *)
+
+type batch_item = {
+  item_sql : string;
+  item_prepared : prepared;
+  item_execution : execution;
+}
+
+type batch = {
+  items : batch_item list;  (** one per input statement, same order *)
+  cse_count : int;  (** common subexpressions selected for this batch *)
+  cse_substitutions : int;  (** [CseScan] leaves planted across the batch *)
+  batch_elapsed_s : float;
+}
+
+(** Optimize and execute a workload jointly.  All statements are
+    prepared (through the plan cache when enabled), closed subtrees
+    shared across the batch are tallied by structural fingerprint, and
+    the ones whose greedy benefit — occurrences × (subplan cost −
+    scan cost) − materialization cost — is positive are materialized
+    once in the CSE store and replaced by [CseScan] leaves everywhere
+    they occur.  Materializations run before any statement, so
+    execution order within the batch is free.  Without an enabled
+    cache (or with [use_cache:false]) this degenerates to sequential
+    prepare + execute. *)
+val query_many :
+  ?config:Optimizer.Config.t ->
+  ?budget:Exec.Budget.t ->
+  ?faults:Exec.Faults.t ->
+  ?mode:exec_mode ->
+  ?use_cache:bool ->
+  t ->
+  string list ->
+  batch
 
 (** {2 Checked entry points}
 

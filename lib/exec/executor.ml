@@ -51,6 +51,10 @@ type ctx = {
       (** schema position tables, memoized per plan node *)
   probe_cache : (lookup -> row list) option Metrics.PhysTbl.t;
       (** Apply index fast paths, memoized per inner tree *)
+  mutable cse : (string -> row list) option;
+      (** resolver for [CseScan] ids, installed by the engine when a
+          CSE store is active; plans containing [CseScan] fail without
+          one *)
 }
 
 let make_ctx ?budget ?faults ?metrics db =
@@ -70,6 +74,7 @@ let make_ctx ?budget ?faults ?metrics db =
     mnode = None;
     pos_cache = Metrics.PhysTbl.create 64;
     probe_cache = Metrics.PhysTbl.create 16;
+    cse = None;
   }
 
 (* Cooperative budget check — called wherever the counters advance and
@@ -92,7 +97,7 @@ let note_rows_in (ctx : ctx) (n : int) =
   match ctx.mnode with None -> () | Some node -> Metrics.add_rows_in node n
 
 let op_fault_kind : op -> Faults.op_kind = function
-  | TableScan _ -> Faults.Scan
+  | TableScan _ | CseScan _ -> Faults.Scan
   | ConstTable _ -> Faults.ConstTable
   | SegmentHole _ -> Faults.SegmentHole
   | Select _ -> Faults.Select
@@ -339,6 +344,13 @@ and run_node (ctx : ctx) (env : lookup) (o : op) : row list =
       account_rows ctx n;
       !out
   | ConstTable { rows; _ } -> rows
+  | CseScan { id; _ } -> (
+      match ctx.cse with
+      | None -> raise (Runtime_error ("CseScan without a CSE store: " ^ id))
+      | Some fetch ->
+          let rows = fetch id in
+          account_rows ctx (List.length rows);
+          rows)
   | SegmentHole { src; _ } -> (
       match ctx.seg with
       | None -> raise (Runtime_error "SegmentHole outside SegmentApply")

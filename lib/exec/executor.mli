@@ -43,6 +43,10 @@ type ctx = {
       (** schema position tables, memoized per plan node *)
   probe_cache : (lookup -> row list) option Metrics.PhysTbl.t;
       (** Apply index fast paths, memoized per inner tree *)
+  mutable cse : (string -> row list) option;
+      (** resolver for [CseScan] ids, installed by the engine when a
+          CSE store is active; plans containing [CseScan] fail without
+          one *)
 }
 
 (** [make_ctx ?budget ?faults ?metrics db] — a budget makes the

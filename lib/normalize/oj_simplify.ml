@@ -139,6 +139,6 @@ let rec simplify_with (rejected : Col.Set.t) (o : op) : op =
   | Except (l, r) -> Except (simplify_with Col.Set.empty l, simplify_with Col.Set.empty r)
   | Max1row i -> Max1row (simplify_with rejected i)
   | Rownum r -> Rownum { r with input = simplify_with (restrict rejected r.input) r.input }
-  | TableScan _ | ConstTable _ | SegmentHole _ -> o
+  | TableScan _ | ConstTable _ | SegmentHole _ | CseScan _ -> o
 
 let simplify (o : op) : op = simplify_with Col.Set.empty o

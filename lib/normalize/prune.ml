@@ -21,7 +21,7 @@ let expr_cols e = Expr.cols e
 let rec prune ~(env : Props.env) (required : Col.Set.t) (o : op) : op =
   let p = prune ~env in
   match o with
-  | TableScan _ | ConstTable _ | SegmentHole _ -> o
+  | TableScan _ | ConstTable _ | SegmentHole _ | CseScan _ -> o
   | Select (pred, i) -> Select (pred, p (Col.Set.union required (expr_cols pred)) i)
   | Project (projs, i) ->
       let kept = List.filter (fun pr -> Col.Set.mem pr.out required) projs in

@@ -119,6 +119,7 @@ and estimate_raw env (o : op) : float =
   match o with
   | TableScan { table; _ } -> float_of_int (Stats.row_count env.stats table)
   | ConstTable { rows; _ } -> float_of_int (List.length rows)
+  | CseScan { rows_hint; _ } -> float_of_int rows_hint
   | SegmentHole _ -> env.hole_card
   | Select (p, i) -> estimate env i *. selectivity env p
   | Project (_, i) | Rownum { input = i; _ } | Max1row i -> estimate env i

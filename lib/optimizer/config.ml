@@ -65,3 +65,13 @@ let name_of c =
   else if c = correlated_only then "correlated"
   else if c = decorrelated_only then "decorrelated"
   else "custom"
+
+(* Unlike [name_of] (which collapses every modified record to
+   "custom"), the fingerprint enumerates every field, so two configs
+   compare equal iff their fingerprints do.  The plan cache keys on it:
+   a plan optimized under one technique mix must never serve a request
+   made under another. *)
+let fingerprint c =
+  Printf.sprintf "%b%b%b%b%b%b%b%b%b:%d:%d" c.decorrelate c.simplify_oj c.class2
+    c.groupby_reorder c.local_agg c.segment_apply c.correlated_exec c.join_reorder
+    c.property_rewrites c.max_alternatives c.max_rounds

@@ -30,3 +30,8 @@ val correlated_only : t
 val decorrelated_only : t
 
 val name_of : t -> string
+
+(** Injective rendering of every field — the plan cache's config key
+    component.  [name_of] collapses modified records to "custom" and
+    must not be used for keying. *)
+val fingerprint : t -> string

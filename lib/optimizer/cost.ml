@@ -50,7 +50,7 @@ let rec cost (env : Card.env) (cat : Catalog.t) (o : op) : float =
   let card = Card.estimate env in
   match o with
   | TableScan _ -> card o *. touch
-  | ConstTable _ | SegmentHole _ -> card o *. touch
+  | ConstTable _ | SegmentHole _ | CseScan _ -> card o *. touch
   | Select (p, i) ->
       let n = float_of_int (List.length (conjuncts p)) in
       cost env cat i +. (card i *. 0.3 *. n)

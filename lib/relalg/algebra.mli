@@ -83,6 +83,11 @@ and op =
       (** passes rows through; runtime error if input has more than one *)
   | Rownum of { out : Col.t; input : op }
       (** appends a unique integer column: manufactures a key *)
+  | CseScan of { id : string; cols : Col.t list; rows_hint : int }
+      (** scan of a materialized common subexpression: [id] names an
+          entry in the engine's CSE store, [cols] are this occurrence's
+          output columns (positionally the store entry's schema),
+          [rows_hint] the materialization's estimated cardinality *)
 
 val true_ : expr
 

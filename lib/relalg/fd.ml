@@ -329,6 +329,10 @@ and analyze_node ~env ?memo (o : op) : t =
     | SegmentHole _ ->
         (* a SegmentApply partition: nonempty by construction *)
         { fds = []; uniques = []; nonnull = Col.Set.empty; card = { lo = 1; hi = None } }
+    | CseScan _ ->
+        (* a CSE materialization can be refreshed between reads; claim
+           nothing structural about its contents *)
+        { fds = []; uniques = []; nonnull = Col.Set.empty; card = top }
     | Select (p, i) ->
         let ci = analyze i in
         let isch = Op.schema_set i in

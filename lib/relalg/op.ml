@@ -9,7 +9,9 @@ open Algebra
 
 let rec schema (o : op) : Col.t list =
   match o with
-  | TableScan { cols; _ } | ConstTable { cols; _ } | SegmentHole { cols; _ } -> cols
+  | TableScan { cols; _ } | ConstTable { cols; _ } | SegmentHole { cols; _ }
+  | CseScan { cols; _ } ->
+      cols
   | Select (_, i) | Max1row i -> schema i
   | Project (projs, _) -> List.map (fun p -> p.out) projs
   | Join { kind; left; right; _ } | Apply { kind; left; right; _ } -> (
@@ -30,7 +32,7 @@ let schema_set o = Col.Set.of_list (schema o)
 (* ------------------------------------------------------------------ *)
 
 let children = function
-  | TableScan _ | ConstTable _ | SegmentHole _ -> []
+  | TableScan _ | ConstTable _ | SegmentHole _ | CseScan _ -> []
   | Select (_, i) | Project (_, i) | Max1row i -> [ i ]
   | GroupBy { input; _ } | LocalGroupBy { input; _ } | ScalarAgg { input; _ }
   | Rownum { input; _ } ->
@@ -41,7 +43,7 @@ let children = function
 
 let with_children o cs =
   match o, cs with
-  | (TableScan _ | ConstTable _ | SegmentHole _), [] -> o
+  | (TableScan _ | ConstTable _ | SegmentHole _ | CseScan _), [] -> o
   | Select (p, _), [ i ] -> Select (p, i)
   | Project (ps, _), [ i ] -> Project (ps, i)
   | Max1row _, [ i ] -> Max1row i
@@ -64,8 +66,8 @@ let local_exprs = function
   | Join { pred; _ } | Apply { pred; _ } -> [ pred ]
   | GroupBy { aggs; _ } | LocalGroupBy { aggs; _ } | ScalarAgg { aggs; _ } ->
       List.filter_map (fun a -> agg_input_expr a.fn) aggs
-  | TableScan _ | ConstTable _ | SegmentHole _ | SegmentApply _ | UnionAll _
-  | Except _ | Max1row _ | Rownum _ ->
+  | TableScan _ | ConstTable _ | SegmentHole _ | CseScan _ | SegmentApply _
+  | UnionAll _ | Except _ | Max1row _ | Rownum _ ->
       []
 
 (* ------------------------------------------------------------------ *)
@@ -131,6 +133,7 @@ let rec rename (m : Col.t Col.IdMap.t) (o : op) : op =
   match o with
   | TableScan t -> TableScan { t with cols = List.map rc t.cols }
   | ConstTable t -> ConstTable { t with cols = List.map rc t.cols }
+  | CseScan c -> CseScan { c with cols = List.map rc c.cols }
   | SegmentHole h -> SegmentHole { cols = List.map rc h.cols; src = List.map rc h.src }
   | Select (p, i) -> Select (re p, rename m i)
   | Project (ps, i) ->
@@ -167,7 +170,8 @@ let clone_fresh (o : op) : op * Col.t Col.IdMap.t =
   let rec produced acc o =
     let acc =
       match o with
-      | TableScan { cols; _ } | ConstTable { cols; _ } -> cols @ acc
+      | TableScan { cols; _ } | ConstTable { cols; _ } | CseScan { cols; _ } ->
+          cols @ acc
       | SegmentHole { cols; _ } -> cols @ acc
       | Project (ps, _) -> List.map (fun p -> p.out) ps @ acc
       | GroupBy { aggs; _ } | LocalGroupBy { aggs; _ } | ScalarAgg { aggs; _ } ->
@@ -302,6 +306,9 @@ let iso (a : op) (b : op) : Col.t Col.IdMap.t option =
         eop l1 l2;
         eop r1 r2
     | Max1row ia, Max1row ib -> eop ia ib
+    | CseScan ca, CseScan cb ->
+        if ca.id <> cb.id then raise Not_iso;
+        List.iter2 bind ca.cols cb.cols
     | Rownum ra, Rownum rb ->
         eop ra.input rb.input;
         bind ra.out rb.out

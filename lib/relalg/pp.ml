@@ -17,6 +17,7 @@ let label (o : op) : string =
   match o with
   | TableScan { table; _ } -> Printf.sprintf "Scan(%s)" table
   | ConstTable { rows; _ } -> Printf.sprintf "Const(%d rows)" (List.length rows)
+  | CseScan { id; _ } -> Printf.sprintf "CseScan(%s)" id
   | SegmentHole _ -> "S"
   | Select (p, _) -> Printf.sprintf "Select[%s]" (Expr.to_string p)
   | Project (ps, _) ->
@@ -65,6 +66,7 @@ let shape (o : op) : string =
       match o with
       | TableScan { table; _ } -> "scan:" ^ table
       | ConstTable _ -> "const"
+      | CseScan { id; _ } -> "csescan:" ^ id
       | SegmentHole _ -> "hole"
       | Select _ -> "select"
       | Project _ -> "project"

@@ -31,6 +31,9 @@ let default_env = { table_key = (fun _ -> []); table_nullable = (fun _ -> []) }
 let rec keys ?(env = default_env) (o : op) : key list =
   let keys = keys ~env in
   match o with
+  (* a CSE materialization can be refreshed between reads; claim
+     nothing about it *)
+  | CseScan _ -> []
   | TableScan { table; cols } -> (
       let names = env.table_key table in
       match names with
@@ -139,6 +142,7 @@ let rec max_one_row ?(env = default_env) (o : op) : bool =
   let m1 = max_one_row ~env in
   match o with
   | ScalarAgg _ | Max1row _ -> true
+  | CseScan _ -> false
   | ConstTable { rows; _ } -> List.length rows <= 1
   | Select (p, i) ->
       m1 i
@@ -176,6 +180,7 @@ let rec max_one_row ?(env = default_env) (o : op) : bool =
 let rec nonnullable ?(env = default_env) (o : op) : Col.Set.t =
   let nonnullable o = nonnullable ~env o in
   match o with
+  | CseScan _ -> Col.Set.empty
   | TableScan { table; cols } ->
       let nullable = env.table_nullable table in
       Col.Set.of_list
@@ -254,7 +259,7 @@ let pred_eq_pairs (p : expr) : (Col.t * Col.t) list =
 
 let rec equal_pairs (o : op) : (Col.t * Col.t) list =
   match o with
-  | TableScan _ | ConstTable _ | SegmentHole _ -> []
+  | TableScan _ | ConstTable _ | SegmentHole _ | CseScan _ -> []
   | Select (p, i) -> pred_eq_pairs p @ equal_pairs i
   | Max1row i | Rownum { input = i; _ } -> equal_pairs i
   | Project (projs, i) ->
@@ -317,7 +322,7 @@ let pred_const_bindings (p : expr) : Value.t Col.IdMap.t =
 let rec const_bindings (o : op) : Value.t Col.IdMap.t =
   let union = Col.IdMap.union (fun _ v _ -> Some v) in
   match o with
-  | TableScan _ | SegmentHole _ -> Col.IdMap.empty
+  | TableScan _ | SegmentHole _ | CseScan _ -> Col.IdMap.empty
   | ConstTable { cols; rows } -> (
       match rows with
       | [] -> Col.IdMap.empty

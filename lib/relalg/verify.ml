@@ -158,7 +158,7 @@ let check ?expect_schema (root : op) : violation list =
         keys
     in
     match o with
-    | TableScan { cols; _ } -> dup_check cols
+    | TableScan { cols; _ } | CseScan { cols; _ } -> dup_check cols
     | ConstTable { cols; rows } ->
         dup_check cols;
         let n = List.length cols in

@@ -66,6 +66,10 @@ type config = {
   opt_config : Optimizer.Config.t;  (** primary-path optimizer level *)
   fallback_config : Optimizer.Config.t;  (** degraded-path optimizer level *)
   seed : int;  (** seeds backoff jitter and per-request fault streams *)
+  enable_cache : bool;
+      (** switch the engine's caching tier on at creation: every worker
+          then prepares through the shared plan cache, and batch
+          submissions share materialized common subexpressions *)
 }
 
 let default_config =
@@ -80,6 +84,7 @@ let default_config =
     opt_config = Optimizer.Config.full;
     fallback_config = Optimizer.Config.correlated_only;
     seed = 0;
+    enable_cache = false;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -171,8 +176,16 @@ type t = {
   stats : Stats.t;
 }
 
-let stats (t : t) : Stats.snapshot = Stats.snapshot t.stats
+let stats (t : t) : Stats.snapshot =
+  { (Stats.snapshot t.stats) with Stats.cache = Engine.cache_stats t.eng }
+
 let engine (t : t) : Engine.t = t.eng
+
+(* Batch entry point: multi-query optimization on the shared engine
+   (common subexpressions picked jointly, see [Engine.query_many]).
+   Runs on the caller's thread — batches are a planning-level feature,
+   not a scheduling one, so they do not consume worker slots. *)
+let query_many (t : t) (sqls : string list) : Engine.batch = Engine.query_many t.eng sqls
 
 (* Per-session breakers are bounded: past this many tracked sessions,
    creating another first sweeps out every pristine breaker (closed,
@@ -620,6 +633,7 @@ and crash (t : t) (job : job) (ex : exn) : unit =
 (* ------------------------------------------------------------------ *)
 
 let create_with ?(config = default_config) (eng : Engine.t) : t =
+  if config.enable_cache then Engine.enable_cache eng;
   let t =
     { cfg = config;
       eng;

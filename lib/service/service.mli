@@ -27,11 +27,16 @@ type config = {
   opt_config : Optimizer.Config.t;  (** primary-path optimizer level *)
   fallback_config : Optimizer.Config.t;  (** degraded-path optimizer level *)
   seed : int;  (** seeds backoff jitter and per-request fault streams *)
+  enable_cache : bool;
+      (** switch the engine's caching tier on at creation
+          ({!Engine.enable_cache}): every worker then prepares through
+          the shared plan cache, and {!query_many} batches share
+          materialized common subexpressions *)
 }
 
 (** 4 domains, queue bound 128, no cost gate, no default deadline,
     {!Backoff.default} retries, vector engine on the full optimizer
-    with correlated/row fallback. *)
+    with correlated/row fallback, caching tier off. *)
 val default_config : config
 
 (** {2 Requests and replies} *)
@@ -119,6 +124,13 @@ val run : t -> request -> reply
 (** Submit every request before awaiting any, preserving order. *)
 val run_many : t -> request list -> reply list
 
+(** Multi-query optimization on the shared engine: the batch is
+    planned jointly (shared subplans materialized once, statements
+    rewritten to scan them — see {!Engine.query_many}).  Runs on the
+    caller's thread; without {!config.enable_cache} it degenerates to
+    sequential prepare + execute. *)
+val query_many : t -> string list -> Engine.batch
+
 (** {2 Journaled mutations}
 
     Mutations bypass the query queue and serialize on the store's own
@@ -137,6 +149,8 @@ val snapshot_now : t -> int
 
 (** {2 Introspection} *)
 
+(** Snapshot of the service counters; {!Stats.snapshot.cache} is
+    filled from the engine when the caching tier is on. *)
 val stats : t -> Stats.snapshot
 
 val engine : t -> Engine.t

@@ -182,6 +182,10 @@ type snapshot = {
   snapshots_written : int;
   latency : percentiles;  (** all sessions pooled *)
   per_session : (string * percentiles) list;  (** sorted by session name *)
+  cache : Engine.cache_stats option;
+      (** engine caching-tier counters; [None] when the tier is off.
+          Filled by [Service.stats], not by {!snapshot} (the stats
+          store does not hold the engine). *)
 }
 
 let snapshot (t : t) : snapshot =
@@ -214,6 +218,7 @@ let snapshot (t : t) : snapshot =
         per_session =
           Hashtbl.fold (fun name s acc -> (name, freeze s) :: acc) t.sessions []
           |> List.sort compare;
+        cache = None;
       })
 
 (* --- rendering -------------------------------------------------------- *)
@@ -245,6 +250,20 @@ let render (s : snapshot) : string =
     Buffer.add_string b
       (Printf.sprintf "durability: mutations journaled %d  snapshots written %d\n"
          s.mutations_journaled s.snapshots_written);
+  (match s.cache with
+  | None -> ()
+  | Some c ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "cache: plan hits %d  misses %d  stale %d  evicted %d  waits %d  entries %d (%d bytes)  verify-skips %d\n"
+           c.Engine.plan_hits c.Engine.plan_misses c.Engine.plan_invalidations
+           c.Engine.plan_evictions c.Engine.plan_single_flight_waits
+           c.Engine.plan_entries c.Engine.plan_bytes c.Engine.verify_skips);
+      Buffer.add_string b
+        (Printf.sprintf
+           "cse:   hits %d  materializations %d  stale %d  evicted %d  entries %d (%d bytes)\n"
+           c.Engine.cse_hits c.Engine.cse_materializations c.Engine.cse_invalidations
+           c.Engine.cse_evictions c.Engine.cse_entries c.Engine.cse_bytes));
   Buffer.add_string b
     (Printf.sprintf "latency: %s\n" (percentiles_to_string s.latency));
   List.iter
@@ -257,6 +276,19 @@ let percentiles_to_json (p : percentiles) : string =
   Printf.sprintf "{\"count\":%d,\"p50_s\":%.6f,\"p95_s\":%.6f,\"p99_s\":%.6f,\"max_s\":%.6f}"
     p.count p.p50 p.p95 p.p99 p.max
 
+let cache_to_json (c : Engine.cache_stats) : string =
+  Printf.sprintf
+    "{\"plan_hits\":%d,\"plan_misses\":%d,\"plan_invalidations\":%d,\
+     \"plan_evictions\":%d,\"plan_single_flight_waits\":%d,\
+     \"plan_entries\":%d,\"plan_bytes\":%d,\"verify_skips\":%d,\
+     \"cse_hits\":%d,\"cse_materializations\":%d,\"cse_invalidations\":%d,\
+     \"cse_evictions\":%d,\"cse_entries\":%d,\"cse_bytes\":%d}"
+    c.Engine.plan_hits c.Engine.plan_misses c.Engine.plan_invalidations
+    c.Engine.plan_evictions c.Engine.plan_single_flight_waits c.Engine.plan_entries
+    c.Engine.plan_bytes c.Engine.verify_skips c.Engine.cse_hits
+    c.Engine.cse_materializations c.Engine.cse_invalidations c.Engine.cse_evictions
+    c.Engine.cse_entries c.Engine.cse_bytes
+
 let to_json (s : snapshot) : string =
   Printf.sprintf
     "{\"submitted\":%d,\"admitted\":%d,\"shed\":%d,\"shed_dispatch\":%d,\
@@ -265,11 +297,12 @@ let to_json (s : snapshot) : string =
      \"breaker_trips\":%d,\"poisoned\":%d,\"worker_kills\":%d,\"worker_respawns\":%d,\
      \"queue_depth\":%d,\"queue_high_water\":%d,\
      \"mutations_journaled\":%d,\"snapshots_written\":%d,\
-     \"latency\":%s,\"sessions\":{%s}}"
+     \"cache\":%s,\"latency\":%s,\"sessions\":{%s}}"
     s.submitted s.admitted s.shed s.shed_dispatch s.requeued s.completed s.failed
     s.deadline_queued s.deadline_running s.retried s.degraded s.breaker_trips
     s.poisoned s.worker_kills s.worker_respawns s.queue_depth s.queue_high_water
     s.mutations_journaled s.snapshots_written
+    (match s.cache with Some c -> cache_to_json c | None -> "null")
     (percentiles_to_json s.latency)
     (String.concat ","
        (List.map

@@ -77,6 +77,10 @@ type snapshot = {
   snapshots_written : int;  (** durable snapshot rotations *)
   latency : percentiles;
   per_session : (string * percentiles) list;
+  cache : Engine.cache_stats option;
+      (** engine caching-tier counters; always [None] from {!snapshot}
+          (the stats store does not hold the engine) — [Service.stats]
+          fills it in *)
 }
 
 val snapshot : t -> snapshot

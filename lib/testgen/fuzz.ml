@@ -56,6 +56,12 @@ type config = {
       (** assert the symbolic property engine's inferred facts (derived
           keys, non-nullability, cardinality intervals) against the
           candidate's actual result bag on every case *)
+  cache : bool;
+      (** caching-tier contract instead of the differential check:
+          every case runs twice against a cache-enabled engine — cold,
+          then with perturbed literals so the warm run rebinds the
+          cached template — and each run is bag-compared against a
+          fresh uncached optimization of the same SQL *)
 }
 
 let default_config ~seed ~cases =
@@ -68,6 +74,7 @@ let default_config ~seed ~cases =
     exec_mode = `Row;
     candidate = Optimizer.Config.full;
     property_check = false;
+    cache = false;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -145,9 +152,82 @@ let classify_fault ?budget ~(fspec : Exec.Faults.spec) (eng : Engine.t) (sql : s
           Skipped ("killed: " ^ Engine.Errors.phase_to_string e.Engine.Errors.phase)
       | `Exn exn -> Failed ("untyped exception: " ^ Printexc.to_string exn))
 
+(* Deterministically perturb the literal tokens of a SQL string so a
+   warm cache run exercises template rebinding with fresh values.
+   Both sides of the comparison run the *same* perturbed text, so the
+   perturbation cannot change the verdict — only which plan-cache
+   entry serves it.  Date literals (STRING right after the DATE
+   keyword) are left alone so the text stays parseable. *)
+let perturb_literals ~(salt : int) (sql : string) : string =
+  let state = ref (((salt * 2654435761) + 97) land 0x3FFFFFFF) in
+  let next n =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod n
+  in
+  let rec go prev acc = function
+    | [] -> List.rev acc
+    | t :: rest ->
+        let t' =
+          match (prev, t) with
+          | Some (Sqlfront.Token.KEYWORD "DATE"), _ -> t
+          | _, Sqlfront.Token.INT n -> Sqlfront.Token.INT (n + 1 + next 7)
+          | _, Sqlfront.Token.FLOAT f ->
+              (* keep the result non-integral: [Token.to_string] renders an
+                 integral float as "9024.", which re-tokenizes as INT DOT *)
+              let f' = f +. (0.5 *. float_of_int (1 + next 5)) in
+              Sqlfront.Token.FLOAT
+                (if Float.is_integer f' then f' +. 0.5 else f')
+          | _, Sqlfront.Token.STRING s -> Sqlfront.Token.STRING (s ^ "x")
+          | _ -> t
+        in
+        go (Some t) (t' :: acc) rest
+  in
+  Sqlfront.Parser.tokenize sql
+  |> List.filter (fun t -> t <> Sqlfront.Token.EOF)
+  |> go None []
+  |> List.map Sqlfront.Token.to_string
+  |> String.concat " "
+
+(* Caching-tier contract for one SQL text: the cache-enabled engine
+   and a fresh uncached optimization of the same text must produce the
+   same bag. *)
+let classify_cache ?budget ~mode ~candidate ~(salt : int) (eng : Engine.t)
+    (sql : string) : outcome =
+  let compare_on sql =
+    match
+      try
+        `R
+          (Engine.Errors.protect ~sql (fun () ->
+               let cached = Engine.query ~config:candidate ?budget ~mode eng sql in
+               let fresh =
+                 Engine.query ~config:candidate ?budget ~mode ~use_cache:false eng sql
+               in
+               (bag cached.Exec.Executor.rows, bag fresh.Exec.Executor.rows)))
+      with exn -> `Exn exn
+    with
+    | `R (Ok (a, b)) ->
+        if a = b then Agree
+        else
+          Mismatch
+            (Printf.sprintf "cached plan bag: %d rows vs fresh optimization %d rows"
+               (List.length a) (List.length b))
+    | `R (Error e) -> (
+        match e.Engine.Errors.phase with
+        | Budget | Fault -> Skipped (Engine.Errors.phase_to_string e.phase)
+        | _ -> Failed (Engine.Errors.to_string e))
+    | `Exn exn -> Failed ("untyped exception: " ^ Printexc.to_string exn)
+  in
+  match compare_on sql with
+  | Agree -> compare_on (perturb_literals ~salt sql)
+  | o -> o
+
 let classify_spec (cfg : config) (eng : Engine.t) (spec : Qgen.spec) : outcome =
   let sql = Qgen.render spec in
   match cfg.fault with
+  | None when cfg.cache ->
+      Engine.enable_cache eng;
+      classify_cache ?budget:cfg.budget ~mode:cfg.exec_mode ~candidate:cfg.candidate
+        ~salt:(cfg.seed + Hashtbl.hash sql) eng sql
   | None ->
       classify ?budget:cfg.budget ~mode:cfg.exec_mode ~candidate:cfg.candidate
         ~property_check:cfg.property_check eng sql

@@ -53,6 +53,12 @@ type config = {
       (** assert the symbolic property engine's inferred facts (derived
           keys, non-nullability, cardinality intervals) against the
           candidate's actual result bag on every case *)
+  cache : bool;
+      (** caching-tier contract instead of the differential check:
+          every case runs twice against a cache-enabled engine — cold,
+          then with perturbed literals so the warm run rebinds the
+          cached template — and each run is bag-compared against a
+          fresh uncached optimization of the same SQL *)
 }
 
 val default_config : seed:int -> cases:int -> config

@@ -234,7 +234,7 @@ let rec eval_flags (b : Batch.t) (pos : (int, int) Hashtbl.t) (e : expr) : bool 
    a batch nested loop. *)
 let node_supported (o : op) : bool =
   match o with
-  | TableScan _ | ConstTable _ | UnionAll _ | Except _ -> true
+  | TableScan _ | ConstTable _ | CseScan _ | UnionAll _ | Except _ -> true
   | Select (p, _) -> vectorizable_expr p
   | Project (projs, _) -> List.for_all (fun (p : proj) -> vectorizable_expr p.expr) projs
   | Join { pred; _ } -> vectorizable_expr pred
@@ -818,6 +818,15 @@ let rec compile (v : vctx) (o : op) : source =
       | TableScan { table; cols } -> compile_scan v table cols
       | ConstTable { cols; rows } ->
           emit (fun () -> Batch.chunks ~size:v.batch_size (Batch.of_rows cols rows))
+      | CseScan { id; cols; _ } ->
+          emit (fun () ->
+              let rows =
+                match v.ctx.Ex.cse with
+                | None -> runtime_error "CseScan without a CSE store: %s" id
+                | Some fetch -> fetch id
+              in
+              Ex.account_rows v.ctx (List.length rows);
+              Batch.chunks ~size:v.batch_size (Batch.of_rows cols rows))
       | Select (p, i) -> compile_select v node p i
       | Project (projs, i) -> compile_project v node projs i
       | Join { kind; pred; left; right } -> compile_join v node kind pred left right

@@ -1,7 +1,7 @@
 (* Differential fuzz sweep, run by `dune build @fuzz` (long sweep) and
    `make fuzz-smoke` (fixed seeds, bounded cases, part of `make verify`).
 
-   Usage: fuzz_main.exe [--property-check] [CASES [SEED...]]
+   Usage: fuzz_main.exe [--property-check] [--cache] [CASES [SEED...]]
 
    For each seed, runs CASES generated correlated-subquery queries
    through the differential checker (full optimizer vs the correlated
@@ -11,6 +11,11 @@
    With --property-check, every case additionally asserts the symbolic
    property engine's inferred facts (derived keys, non-nullability,
    cardinality intervals) against the candidate's actual result bag.
+
+   With --cache, the differential check is replaced by the
+   caching-tier contract: every case runs cold and then warm with
+   perturbed literals against a cache-enabled engine, each run
+   bag-compared to a fresh uncached optimization of the same SQL.
 
    A deterministic row budget bounds each case: the correlated oracle
    executes uncorrelated nested subqueries quadratically, and a fuzzer
@@ -24,16 +29,18 @@ let max_rows_per_case = 5_000_000
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let property_check = List.mem "--property-check" args in
-  let args = List.filter (fun a -> a <> "--property-check") args in
+  let cache = List.mem "--cache" args in
+  let args = List.filter (fun a -> a <> "--property-check" && a <> "--cache") args in
   let cases, seeds =
     match args with
     | [] -> (40, [ 1; 2; 3; 4; 5 ])
     | [ c ] -> (int_of_string c, [ 1; 2; 3; 4; 5 ])
     | c :: rest -> (int_of_string c, List.map int_of_string rest)
   in
-  Printf.printf "fuzz sweep: SF %.3f, %d cases x seeds [%s]%s\n%!" sf cases
+  Printf.printf "fuzz sweep: SF %.3f, %d cases x seeds [%s]%s%s\n%!" sf cases
     (String.concat "; " (List.map string_of_int seeds))
-    (if property_check then ", property cross-check on" else "");
+    (if property_check then ", property cross-check on" else "")
+    (if cache then ", caching-tier contract" else "");
   let db = Datagen.Tpch_gen.database ~sf () in
   let eng = Engine.create db in
   let failures = ref 0 in
@@ -43,6 +50,7 @@ let () =
         { (Testgen.Fuzz.default_config ~seed ~cases) with
           Testgen.Fuzz.budget = Some (Exec.Budget.make ~max_rows:max_rows_per_case ());
           property_check;
+          cache;
         }
       in
       let summary =

@@ -22,5 +22,6 @@ let () =
       ("verify", Test_verify.suite);
       ("analysis", Test_analysis.suite);
       ("service", Test_service.suite);
-      ("storage", Test_storage.suite)
+      ("storage", Test_storage.suite);
+      ("cache", Test_cache.suite)
     ]
